@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the quantities behind the paper's
+//! solver-time results (Figures 5, 6, 8, 9, Table 4): the LP form, the general
+//! MILP, the A* rounds, the baselines, and the alpha-beta simulator.
+use criterion::{criterion_group, criterion_main, Criterion};
+use teccl_baselines::{sccl_like_schedule, taccl_like_schedule, TacclConfig};
+use teccl_bench::{quick_config, run_teccl, Method, Scenario};
+use teccl_collective::{CollectiveKind, DemandMatrix};
+use teccl_schedule::simulate;
+use teccl_topology::NodeId;
+
+fn bench_lp_alltoall(c: &mut Criterion) {
+    let scenario = Scenario::collective(
+        "lp-internal2x2-atoa",
+        teccl_topology::internal2(2),
+        CollectiveKind::AllToAll,
+        1,
+        1024.0 * 1024.0,
+    );
+    c.bench_function("lp_form/internal2x2_alltoall", |b| {
+        b.iter(|| run_teccl(&scenario, &quick_config(), Method::Lp).unwrap())
+    });
+}
+
+fn bench_milp_allgather(c: &mut Criterion) {
+    let scenario = Scenario::collective(
+        "milp-internal1x1-ag",
+        teccl_topology::internal1(1),
+        CollectiveKind::AllGather,
+        1,
+        1024.0 * 1024.0,
+    );
+    c.bench_function("milp_form/internal1_allgather", |b| {
+        b.iter(|| run_teccl(&scenario, &quick_config(), Method::Milp).unwrap())
+    });
+}
+
+fn bench_astar_allgather(c: &mut Criterion) {
+    let scenario = Scenario::collective(
+        "astar-internal2x2-ag",
+        teccl_topology::internal2(2),
+        CollectiveKind::AllGather,
+        1,
+        1024.0 * 1024.0,
+    );
+    c.bench_function("astar/internal2x2_allgather", |b| {
+        b.iter(|| run_teccl(&scenario, &quick_config(), Method::AStar).unwrap())
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let topo = teccl_topology::dgx1();
+    let gpus: Vec<NodeId> = topo.gpus().collect();
+    let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
+    c.bench_function("baselines/sccl_like_dgx1_allgather", |b| {
+        b.iter(|| sccl_like_schedule(&topo, &demand, 25e3).unwrap())
+    });
+    c.bench_function("baselines/taccl_like_dgx1_allgather", |b| {
+        b.iter(|| taccl_like_schedule(&topo, &demand, 25e3, &TacclConfig { attempts: 2, ..Default::default() }).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let topo = teccl_topology::dgx1();
+    let gpus: Vec<NodeId> = topo.gpus().collect();
+    let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
+    let ring_order: Vec<NodeId> = [0usize, 1, 2, 3, 7, 6, 5, 4].iter().map(|&i| gpus[i]).collect();
+    let schedule = teccl_baselines::ring_all_gather(&topo, &ring_order, 1, 1e6).unwrap();
+    c.bench_function("simulator/dgx1_ring_allgather", |b| {
+        b.iter(|| simulate(&topo, &demand, &schedule).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lp_alltoall, bench_milp_allgather, bench_astar_allgather, bench_baselines, bench_simulator
+}
+criterion_main!(benches);

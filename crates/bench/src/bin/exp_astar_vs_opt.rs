@@ -1,0 +1,14 @@
+//! §6.3 "A* vs OPT": quality and solver time of the A* technique vs the
+//! optimal MILP on an Internal-2 topology, with alpha = 0 and alpha > 0.
+use teccl_bench::{astar_vs_opt_rows, print_table};
+
+fn main() {
+    let mut rows = astar_vs_opt_rows(2, 1);
+    rows.extend(astar_vs_opt_rows(2, 2));
+    print_table(
+        "A* vs OPT (Internal2)",
+        &["alpha", "chunks"],
+        &["astar_solver_s", "opt_solver_s", "astar_transfer_us", "opt_transfer_us"],
+        &rows,
+    );
+}

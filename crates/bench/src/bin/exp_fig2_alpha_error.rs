@@ -1,0 +1,15 @@
+//! Figure 2: relative error in the algorithmic-bandwidth estimate when the
+//! α-delay is ignored, as a function of transfer size (2-chassis, 8-GPU,
+//! 40-edge internal topology; α = 0.6/0.75 µs).
+use teccl_bench::{fig2_rows, print_table};
+
+fn main() {
+    let sizes: Vec<f64> = [10e3, 100e3, 1e6, 10e6].to_vec();
+    let rows = fig2_rows(&sizes);
+    print_table(
+        "Figure 2: relative error of the alpha-free bandwidth estimate",
+        &["transfer"],
+        &["transfer_MB", "relative_error_%"],
+        &rows,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 4: algorithmic-bandwidth improvement of TE-CCL over the TACCL-like
+//! baseline across output-buffer sizes, per topology and collective.
+use teccl_bench::{fig4_fig5_rows, print_table};
+
+fn main() {
+    let sizes: Vec<f64> = ["16M", "4M", "1M", "256K", "64K"]
+        .iter()
+        .map(|s| teccl_collective::chunk::parse_size(s).unwrap())
+        .collect();
+    let rows = fig4_fig5_rows(&sizes);
+    print_table(
+        "Figure 4: algo-bandwidth improvement over TACCL (%)",
+        &["topology", "collective", "output_buffer"],
+        &["bw_improvement_%", "solver_speedup_%", "teccl_GBps", "taccl_GBps", "teccl_solver_s", "taccl_solver_s"],
+        &rows,
+    );
+}

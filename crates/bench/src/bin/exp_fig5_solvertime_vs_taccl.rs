@@ -1,0 +1,17 @@
+//! Figure 5: solver-time speedup of TE-CCL over the TACCL-like baseline for
+//! the same scenarios as Figure 4.
+use teccl_bench::{fig4_fig5_rows, print_table};
+
+fn main() {
+    let sizes: Vec<f64> = ["16M", "1M", "64K"]
+        .iter()
+        .map(|s| teccl_collective::chunk::parse_size(s).unwrap())
+        .collect();
+    let rows = fig4_fig5_rows(&sizes);
+    print_table(
+        "Figure 5: solver-time comparison vs TACCL",
+        &["topology", "collective", "output_buffer"],
+        &["bw_improvement_%", "solver_speedup_%", "teccl_GBps", "taccl_GBps", "teccl_solver_s", "taccl_solver_s"],
+        &rows,
+    );
+}

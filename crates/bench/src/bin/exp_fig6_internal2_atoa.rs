@@ -1,0 +1,13 @@
+//! Figure 6: Internal-2 ALLTOALL across chassis counts — solver time and
+//! algorithmic bandwidth vs the TACCL-like baseline.
+use teccl_bench::{fig6_rows, print_table};
+
+fn main() {
+    let rows = fig6_rows(&[2, 3, 4], 4.0 * 1024.0 * 1024.0);
+    print_table(
+        "Figure 6: Internal2 ALLTOALL vs TACCL",
+        &["chassis"],
+        &["solver_speedup_%", "bw_improvement_%", "teccl_solver_s", "taccl_solver_s"],
+        &rows,
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 7: the benefit of in-network copy — collective finish time with copy
+//! (MILP/A*) vs without copy (LP, per-destination unicast) across sizes.
+use teccl_bench::{fig7_rows, print_table};
+
+fn main() {
+    let sizes: Vec<f64> = [256e3, 1e6, 4e6, 16e6].to_vec();
+    let rows = fig7_rows(&sizes);
+    print_table(
+        "Figure 7: copy vs no-copy collective finish time (ms)",
+        &["topology", "output_buffer"],
+        &["size_MB", "with_copy_ms", "no_copy_ms"],
+        &rows,
+    );
+}

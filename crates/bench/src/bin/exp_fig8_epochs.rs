@@ -1,0 +1,13 @@
+//! Figure 8: small (fastest-link) vs large (slowest-link) epoch durations —
+//! effect on solver time and on schedule quality.
+use teccl_bench::{fig8_rows, print_table};
+
+fn main() {
+    let rows = fig8_rows();
+    print_table(
+        "Figure 8: small vs large epochs (100*(small-large)/large)",
+        &["topology, collective"],
+        &["solver_time_delta_%", "transfer_time_delta_%", "small_transfer_us", "large_transfer_us"],
+        &rows,
+    );
+}

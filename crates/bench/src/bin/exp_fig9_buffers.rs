@@ -1,0 +1,13 @@
+//! Figure 9: store-and-forward buffers on vs off — effect on solver time and
+//! schedule quality.
+use teccl_bench::{fig9_rows, print_table};
+
+fn main() {
+    let rows = fig9_rows();
+    print_table(
+        "Figure 9: buffers vs no buffers (100*(without-with)/without)",
+        &["topology"],
+        &["solver_time_speedup_%", "transfer_time_delta_%", "with_buffers_us", "without_buffers_us"],
+        &rows,
+    );
+}

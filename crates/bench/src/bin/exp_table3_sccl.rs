@@ -1,0 +1,13 @@
+//! Table 3: SCCL least-steps vs TE-CCL transfer time on a DGX-1 (25 KB chunks,
+//! alpha = 0.7 us). The barrier-per-round baseline cannot pipeline chunks.
+use teccl_bench::{print_table, table3_rows};
+
+fn main() {
+    let rows = table3_rows(3);
+    print_table(
+        "Table 3: SCCL vs TE-CCL transfer time (us)",
+        &["collective, #chunks"],
+        &["sccl_us", "teccl_us"],
+        &rows,
+    );
+}

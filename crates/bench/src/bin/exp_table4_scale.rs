@@ -1,0 +1,14 @@
+//! Table 4: TE-CCL solver times on the larger topologies (reduced scale —
+//! the paper runs 64-256 GPUs with Gurobi; this reproduction's built-in solver
+//! runs the same formulations on 8-16 GPUs).
+use teccl_bench::{print_table, table4_rows};
+
+fn main() {
+    let rows = table4_rows();
+    print_table(
+        "Table 4: scale runs (TACCL-free)",
+        &["topology / collective"],
+        &["gpus", "epoch_multiplier", "solver_s", "transfer_us"],
+        &rows,
+    );
+}

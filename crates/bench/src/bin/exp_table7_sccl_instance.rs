@@ -1,0 +1,13 @@
+//! Table 7 (Appendix G): SCCL `instance` mode vs TE-CCL on a DGX-1 with
+//! alpha = 0 and 25 KB chunks.
+use teccl_bench::{print_table, table7_rows};
+
+fn main() {
+    let rows = table7_rows(3);
+    print_table(
+        "Table 7: SCCL instance vs TE-CCL (alpha = 0)",
+        &["collective (#chunks)"],
+        &["sccl_solver_s", "teccl_solver_s", "transfer_diff_%"],
+        &rows,
+    );
+}

@@ -1,0 +1,18 @@
+//! Table 8 (Appendix H): the full NDv2 sweep — epoch duration (ED), collective
+//! time (CT), solver time (ST) and algorithmic bandwidth (AB) for TE-CCL and
+//! the TACCL-like baseline across output-buffer sizes.
+use teccl_bench::{print_table, table8_rows};
+
+fn main() {
+    let sizes: Vec<f64> = ["64M", "16M", "4M", "1M", "256K", "64K", "16K"]
+        .iter()
+        .map(|s| teccl_collective::chunk::parse_size(s).unwrap())
+        .collect();
+    let rows = table8_rows(&sizes);
+    print_table(
+        "Table 8: NDv2 sweep (TE-CCL vs TACCL-like)",
+        &["collective", "output_buffer"],
+        &["ED_us", "CT_us", "ST_s", "AB_GBps", "taccl_CT_us", "taccl_ST_s", "taccl_AB_GBps", "improvement_%"],
+        &rows,
+    );
+}

@@ -1,0 +1,643 @@
+//! # teccl-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§6, Appendices G/H), each returning printable rows, plus thin
+//! binaries (`src/bin/exp_*.rs`) that print them. Criterion micro-benchmarks
+//! for the solver live in `benches/`.
+//!
+//! Scale note: the paper solves its largest instances with Gurobi on an
+//! 80-core, 512 GB machine; this reproduction ships its own simplex/B&B
+//! substrate, so every experiment defaults to a reduced scale (single / dual
+//! chassis, 1–2 chunks) that preserves the *shape* of the paper's results —
+//! who wins, in which direction, and where the crossovers are. See
+//! EXPERIMENTS.md for the recorded numbers.
+
+use std::time::Duration;
+
+use teccl_baselines::{sccl_like_schedule, shortest_path_schedule, taccl_like_schedule, TacclConfig};
+use teccl_collective::chunk::format_size;
+use teccl_collective::{CollectiveKind, DemandMatrix};
+use teccl_core::{BufferMode, EpochStrategy, SolverConfig, TeCcl};
+use teccl_schedule::{percent_improvement, simulate};
+use teccl_topology::{NodeId, Topology};
+
+/// One measured data point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Free-form labels (scenario, size, …), printed in order.
+    pub labels: Vec<String>,
+    /// Numeric columns, printed in order after the labels.
+    pub values: Vec<f64>,
+}
+
+/// Prints rows as an aligned table with a header.
+pub fn print_table(title: &str, label_headers: &[&str], value_headers: &[&str], rows: &[Row]) {
+    println!("\n== {title} ==");
+    let header: Vec<String> = label_headers
+        .iter()
+        .map(|s| s.to_string())
+        .chain(value_headers.iter().map(|s| s.to_string()))
+        .collect();
+    println!("{}", header.join("\t"));
+    for row in rows {
+        let cells: Vec<String> = row
+            .labels
+            .iter()
+            .cloned()
+            .chain(row.values.iter().map(|v| {
+                if v.is_finite() {
+                    format!("{v:.4}")
+                } else {
+                    "NA".to_string()
+                }
+            }))
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+}
+
+/// Which solver to use for a TE-CCL run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Automatic dispatch ([`TeCcl::solve`]).
+    Auto,
+    /// The general MILP.
+    Milp,
+    /// The LP form.
+    Lp,
+    /// The A* technique.
+    AStar,
+}
+
+/// The result of running one scheduler on one scenario.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheduler name.
+    pub solver: String,
+    /// Wall-clock solver time (seconds).
+    pub solver_time: f64,
+    /// Collective finish time from the α–β simulator (seconds).
+    pub transfer_time: f64,
+    /// Algorithmic bandwidth (bytes/second) for the scenario's output buffer.
+    pub algo_bw: f64,
+    /// Bytes placed on the wire.
+    pub bytes_on_wire: f64,
+    /// Epoch duration used (0 when not epoch based).
+    pub epoch_duration: f64,
+}
+
+/// A benchmark scenario: a topology, a collective demand, and chunk sizing.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (for reporting).
+    pub name: String,
+    /// Topology.
+    pub topo: Topology,
+    /// Demand.
+    pub demand: DemandMatrix,
+    /// Chunk size in bytes.
+    pub chunk_bytes: f64,
+    /// Output buffer size in bytes (for algorithmic bandwidth).
+    pub output_buffer: f64,
+}
+
+impl Scenario {
+    /// Builds a scenario for a collective on a topology, using the paper's
+    /// output-buffer-size parameterization (Figures 4–6, Table 8).
+    pub fn collective(
+        name: impl Into<String>,
+        topo: Topology,
+        kind: CollectiveKind,
+        chunks: usize,
+        output_buffer: f64,
+    ) -> Self {
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let n = gpus.len();
+        let demand = DemandMatrix::for_collective(kind, topo.num_nodes(), &gpus, chunks);
+        // Per-destination transfer = output_buffer / (n-1); each chunk is that
+        // transfer split into `chunks` pieces.
+        let transfer = output_buffer / (n as f64 - 1.0);
+        let chunk_bytes = transfer / chunks as f64;
+        Self { name: name.into(), topo, demand, chunk_bytes, output_buffer }
+    }
+}
+
+/// A quick default solver configuration for experiments: early stop at 30%
+/// (the paper's ALLGATHER setting) and a per-solve time limit so runs stay
+/// bounded on the built-in solver.
+pub fn quick_config() -> SolverConfig {
+    let mut c = SolverConfig::early_stop();
+    c.time_limit = Some(Duration::from_secs(60));
+    c
+}
+
+/// Runs TE-CCL on a scenario and measures the resulting schedule.
+pub fn run_teccl(scenario: &Scenario, config: &SolverConfig, method: Method) -> Option<RunResult> {
+    let solver = TeCcl::new(scenario.topo.clone(), config.clone());
+    let outcome = match method {
+        Method::Auto => solver.solve(&scenario.demand, scenario.chunk_bytes),
+        Method::Milp => solver.solve_milp(&scenario.demand, scenario.chunk_bytes),
+        Method::Lp => solver.solve_lp(&scenario.demand, scenario.chunk_bytes),
+        Method::AStar => solver.solve_astar(&scenario.demand, scenario.chunk_bytes),
+    }
+    .ok()?;
+    let sim = simulate(&outcome.topology_used, &scenario.demand, &outcome.schedule).ok()?;
+    Some(RunResult {
+        solver: format!("te-ccl-{method:?}").to_lowercase(),
+        solver_time: outcome.solver_time.as_secs_f64(),
+        transfer_time: sim.transfer_time,
+        algo_bw: scenario.output_buffer / sim.transfer_time,
+        bytes_on_wire: sim.bytes_on_wire,
+        epoch_duration: outcome.epoch_duration,
+    })
+}
+
+/// Runs the TACCL-like baseline on a scenario.
+pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
+    let cfg = TacclConfig { seed, ..Default::default() };
+    let res = taccl_like_schedule(&scenario.topo, &scenario.demand, scenario.chunk_bytes, &cfg)?;
+    Some(RunResult {
+        solver: "taccl-like".into(),
+        solver_time: res.solver_time,
+        transfer_time: res.transfer_time,
+        algo_bw: scenario.output_buffer / res.transfer_time,
+        bytes_on_wire: res.schedule.total_bytes_on_wire(),
+        epoch_duration: 0.0,
+    })
+}
+
+/// Runs the SCCL-like synchronous-round baseline on a scenario.
+pub fn run_sccl(scenario: &Scenario) -> Option<RunResult> {
+    let res = sccl_like_schedule(&scenario.topo, &scenario.demand, scenario.chunk_bytes)?;
+    Some(RunResult {
+        solver: "sccl-like".into(),
+        solver_time: res.solver_time,
+        transfer_time: res.transfer_time,
+        algo_bw: scenario.output_buffer / res.transfer_time,
+        bytes_on_wire: res.schedule.total_bytes_on_wire(),
+        epoch_duration: 0.0,
+    })
+}
+
+/// Runs the shortest-path unicast baseline on a scenario.
+pub fn run_shortest_path(scenario: &Scenario) -> Option<RunResult> {
+    let start = std::time::Instant::now();
+    let schedule = shortest_path_schedule(&scenario.topo, &scenario.demand, scenario.chunk_bytes);
+    let sim = simulate(&scenario.topo, &scenario.demand, &schedule).ok()?;
+    Some(RunResult {
+        solver: "shortest-path".into(),
+        solver_time: start.elapsed().as_secs_f64(),
+        transfer_time: sim.transfer_time,
+        algo_bw: scenario.output_buffer / sim.transfer_time,
+        bytes_on_wire: sim.bytes_on_wire,
+        epoch_duration: 0.0,
+    })
+}
+
+/// The output-buffer-size sweep the paper uses on its x-axes (reduced: the
+/// multi-GB points only change the chunk size, not the problem structure).
+pub fn output_buffer_sweep() -> Vec<f64> {
+    ["256M", "64M", "16M", "4M", "1M", "256K", "64K", "16K"]
+        .iter()
+        .map(|s| teccl_collective::chunk::parse_size(s).unwrap())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-experiment row generators (one per table / figure).
+// ---------------------------------------------------------------------------
+
+/// Figure 2: relative error in the algorithmic-bandwidth estimate when α is
+/// ignored, versus the transfer size, on the 2-chassis / 8-GPU / 40-edge
+/// internal topology.
+pub fn fig2_rows(sizes: &[f64]) -> Vec<Row> {
+    let topo = teccl_topology::fig2_topology();
+    let gpus: Vec<NodeId> = topo.gpus().collect();
+    let mut rows = Vec::new();
+    for &transfer in sizes {
+        let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
+        let scenario = Scenario {
+            name: format!("fig2-{}", format_size(transfer)),
+            topo: topo.clone(),
+            demand,
+            chunk_bytes: transfer,
+            output_buffer: (gpus.len() - 1) as f64 * transfer,
+        };
+        let solver = TeCcl::new(scenario.topo.clone(), quick_config());
+        let Ok(outcome) = solver.solve_astar(&scenario.demand, scenario.chunk_bytes) else { continue };
+        let with_alpha =
+            simulate(&topo, &scenario.demand, &outcome.schedule).map(|s| s.transfer_time);
+        let no_alpha_topo = topo.with_alpha_scaled(0.0);
+        let without_alpha =
+            simulate(&no_alpha_topo, &scenario.demand, &outcome.schedule).map(|s| s.transfer_time);
+        if let (Ok(t_with), Ok(t_without)) = (with_alpha, without_alpha) {
+            let bw_with = scenario.output_buffer / t_with;
+            let bw_without = scenario.output_buffer / t_without;
+            let rel_error = (bw_without - bw_with) / bw_with * 100.0;
+            rows.push(Row {
+                labels: vec![format_size(transfer)],
+                values: vec![transfer / 1e6, rel_error],
+            });
+        }
+    }
+    rows
+}
+
+/// Table 3: SCCL least-steps vs TE-CCL transfer time on a DGX-1 with 25 KB
+/// chunks (α = 0.7 µs).
+pub fn table3_rows(max_ag_chunks: usize) -> Vec<Row> {
+    let topo = teccl_topology::dgx1();
+    let chunk = 25e3;
+    let mut rows = Vec::new();
+    for chunks in 1..=max_ag_chunks {
+        let scenario = Scenario::collective(
+            format!("AG-{chunks}"),
+            topo.clone(),
+            CollectiveKind::AllGather,
+            chunks,
+            7.0 * chunk * chunks as f64,
+        );
+        let sccl = run_sccl(&scenario);
+        let ours = run_teccl(&scenario, &quick_config(), Method::AStar);
+        if let (Some(s), Some(o)) = (sccl, ours) {
+            rows.push(Row {
+                labels: vec![format!("ALLGATHER, {chunks}")],
+                values: vec![s.transfer_time * 1e6, o.transfer_time * 1e6],
+            });
+        }
+    }
+    // ALLTOALL, 1 chunk per destination.
+    let scenario = Scenario::collective("AtoA-1", topo, CollectiveKind::AllToAll, 1, 7.0 * chunk);
+    if let (Some(s), Some(o)) =
+        (run_sccl(&scenario), run_teccl(&scenario, &quick_config(), Method::Lp))
+    {
+        rows.push(Row {
+            labels: vec!["ALLTOALL, 1".into()],
+            values: vec![s.transfer_time * 1e6, o.transfer_time * 1e6],
+        });
+    }
+    rows
+}
+
+/// The topology set used for the TACCL comparisons (Figures 4 and 5), at the
+/// reduced scale this reproduction runs at.
+pub fn taccl_comparison_topologies() -> Vec<(String, Topology)> {
+    vec![
+        ("NDv2 x1".into(), teccl_topology::ndv2(1)),
+        ("Internal1 x2".into(), teccl_topology::internal1(2)),
+        ("Internal2 x2".into(), teccl_topology::internal2(2)),
+    ]
+}
+
+/// Figures 4 & 5: TE-CCL vs TACCL — algorithmic-bandwidth improvement (%) and
+/// solver-time speedup (%) per topology / collective / output-buffer size.
+/// Row values: `[bw_improve%, solver_speedup%, teccl_bw GB/s, taccl_bw GB/s,
+/// teccl_solver_s, taccl_solver_s]`.
+pub fn fig4_fig5_rows(sizes: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (name, topo) in taccl_comparison_topologies() {
+        for kind in [CollectiveKind::AllGather, CollectiveKind::AllToAll] {
+            for &size in sizes {
+                let scenario = Scenario::collective(
+                    format!("{name}-{kind:?}-{}", format_size(size)),
+                    topo.clone(),
+                    kind,
+                    1,
+                    size,
+                );
+                let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+                let ours = run_teccl(&scenario, &quick_config(), method);
+                let taccl = run_taccl(&scenario, 1);
+                match (ours, taccl) {
+                    (Some(o), Some(t)) => rows.push(Row {
+                        labels: vec![name.clone(), format!("{kind:?}"), format_size(size)],
+                        values: vec![
+                            percent_improvement(o.algo_bw, t.algo_bw),
+                            percent_improvement(t.solver_time, o.solver_time),
+                            o.algo_bw / 1e9,
+                            t.algo_bw / 1e9,
+                            o.solver_time,
+                            t.solver_time,
+                        ],
+                    }),
+                    (Some(o), None) => rows.push(Row {
+                        // TACCL infeasible (the "X" marks in the paper's plots).
+                        labels: vec![
+                            name.clone(),
+                            format!("{kind:?}"),
+                            format!("{} (TACCL X)", format_size(size)),
+                        ],
+                        values: vec![f64::NAN, f64::NAN, o.algo_bw / 1e9, f64::NAN, o.solver_time, f64::NAN],
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 6: Internal-2 ALLTOALL across chassis counts — solver-time speedup
+/// and bandwidth improvement vs TACCL.
+pub fn fig6_rows(chassis_counts: &[usize], size: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &ch in chassis_counts {
+        let topo = teccl_topology::internal2(ch);
+        let scenario =
+            Scenario::collective(format!("Internal2 x{ch}"), topo, CollectiveKind::AllToAll, 1, size);
+        let ours = run_teccl(&scenario, &quick_config(), Method::Lp);
+        let taccl = run_taccl(&scenario, 1);
+        if let (Some(o), Some(t)) = (ours, taccl) {
+            rows.push(Row {
+                labels: vec![format!("{ch} ch")],
+                values: vec![
+                    percent_improvement(t.solver_time, o.solver_time),
+                    percent_improvement(o.algo_bw, t.algo_bw),
+                    o.solver_time,
+                    t.solver_time,
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Table 4: TE-CCL solver time on the larger (reduced-scale) topologies.
+/// Row values: `[gpus, epoch multiplier, solver_s, transfer_us]`.
+pub fn table4_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cases: Vec<(String, Topology, CollectiveKind, Method)> = vec![
+        ("Internal1 AG (A*)".into(), teccl_topology::internal1(2), CollectiveKind::AllGather, Method::AStar),
+        ("Internal1 AtoA (LP)".into(), teccl_topology::internal1(2), CollectiveKind::AllToAll, Method::Lp),
+        ("Internal2 AG (A*)".into(), teccl_topology::internal2(4), CollectiveKind::AllGather, Method::AStar),
+        ("Internal2 AtoA (LP)".into(), teccl_topology::internal2(4), CollectiveKind::AllToAll, Method::Lp),
+    ];
+    for (name, topo, kind, method) in cases {
+        let gpus = topo.num_gpus();
+        let scenario = Scenario::collective(name.clone(), topo, kind, 1, 16.0 * 1024.0 * 1024.0);
+        if let Some(o) = run_teccl(&scenario, &quick_config(), method) {
+            rows.push(Row {
+                labels: vec![name],
+                values: vec![gpus as f64, 1.0, o.solver_time, o.transfer_time * 1e6],
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 7: the benefit of in-network copy — collective finish time with the
+/// copy-capable solver vs the copy-free LP, across transfer sizes.
+pub fn fig7_rows(sizes: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let topologies: Vec<(String, Topology)> = vec![
+        ("Internal1 (a=0)".into(), teccl_topology::internal1(1).with_alpha_scaled(0.0)),
+        ("Internal1".into(), teccl_topology::internal1(1)),
+        ("Internal2 x2".into(), teccl_topology::internal2(2)),
+    ];
+    for (name, topo) in topologies {
+        for &size in sizes {
+            let scenario = Scenario::collective(
+                format!("{name}-{}", format_size(size)),
+                topo.clone(),
+                CollectiveKind::AllGather,
+                2,
+                size,
+            );
+            let copy = run_teccl(&scenario, &quick_config(), Method::AStar);
+            // "No copy": the LP treats every (chunk, destination) as distinct
+            // traffic from the source.
+            let no_copy = run_teccl(&scenario, &quick_config(), Method::Lp);
+            if let (Some(c), Some(n)) = (copy, no_copy) {
+                rows.push(Row {
+                    labels: vec![name.clone(), format_size(size)],
+                    values: vec![size / 1e6, c.transfer_time * 1e3, n.transfer_time * 1e3],
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 8: small (fastest-link) vs large (slowest-link) epochs — solver-time
+/// and transfer-time deltas.
+pub fn fig8_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cases: Vec<(String, Topology, CollectiveKind)> = vec![
+        ("Internal1 AG".into(), teccl_topology::internal1(2), CollectiveKind::AllGather),
+        ("Internal1 AtoA".into(), teccl_topology::internal1(2), CollectiveKind::AllToAll),
+        ("NDv2x1 AG".into(), teccl_topology::ndv2(1), CollectiveKind::AllGather),
+        ("NDv2x1 AtoA".into(), teccl_topology::ndv2(1), CollectiveKind::AllToAll),
+    ];
+    for (name, topo, kind) in cases {
+        let scenario = Scenario::collective(name.clone(), topo, kind, 1, 4.0 * 1024.0 * 1024.0);
+        let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+        let mut small_cfg = quick_config();
+        small_cfg.epoch_strategy = EpochStrategy::FastestLink;
+        let mut large_cfg = quick_config();
+        large_cfg.epoch_strategy = EpochStrategy::SlowestLink;
+        let small = run_teccl(&scenario, &small_cfg, method);
+        let large = run_teccl(&scenario, &large_cfg, method);
+        if let (Some(s), Some(l)) = (small, large) {
+            rows.push(Row {
+                labels: vec![name],
+                values: vec![
+                    percent_improvement(s.solver_time, l.solver_time),
+                    percent_improvement(s.transfer_time, l.transfer_time),
+                    s.transfer_time * 1e6,
+                    l.transfer_time * 1e6,
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 9: store-and-forward buffers on vs off — solver-time and
+/// transfer-time deltas.
+pub fn fig9_rows() -> Vec<Row> {
+    let mut rows = Vec::new();
+    let cases: Vec<(String, Topology)> = vec![
+        ("Internal1 a=0".into(), teccl_topology::internal1(1).with_alpha_scaled(0.0)),
+        ("Internal1".into(), teccl_topology::internal1(1)),
+        ("Internal2 x2".into(), teccl_topology::internal2(2)),
+        ("DGX1".into(), teccl_topology::dgx1()),
+    ];
+    for (name, topo) in cases {
+        let scenario =
+            Scenario::collective(name.clone(), topo, CollectiveKind::AllGather, 1, 4.0 * 1024.0 * 1024.0);
+        let with_cfg = quick_config();
+        let mut without_cfg = quick_config();
+        without_cfg.buffer_mode = BufferMode::NoStoreAndForward;
+        let with_buf = run_teccl(&scenario, &with_cfg, Method::AStar);
+        let without_buf = run_teccl(&scenario, &without_cfg, Method::AStar);
+        if let (Some(w), Some(wo)) = (with_buf, without_buf) {
+            rows.push(Row {
+                labels: vec![name],
+                values: vec![
+                    percent_improvement(wo.solver_time, w.solver_time),
+                    percent_improvement(wo.transfer_time, w.transfer_time),
+                    w.transfer_time * 1e6,
+                    wo.transfer_time * 1e6,
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// §6.3 "A* vs OPT": the A* technique versus the optimal MILP on an
+/// Internal-2 topology, with α = 0 and α > 0.
+/// Row values: `[astar_solver_s, opt_solver_s, astar_transfer_us, opt_transfer_us]`.
+pub fn astar_vs_opt_rows(chassis: usize, chunks: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, topo) in [
+        ("a=0", teccl_topology::internal2(chassis).with_alpha_scaled(0.0)),
+        ("a>0", teccl_topology::internal2(chassis)),
+    ] {
+        let scenario = Scenario::collective(
+            format!("Internal2 x{chassis} {label}"),
+            topo,
+            CollectiveKind::AllGather,
+            chunks,
+            4.0 * 1024.0 * 1024.0,
+        );
+        let astar = run_teccl(&scenario, &quick_config(), Method::AStar);
+        let opt = run_teccl(&scenario, &quick_config(), Method::Milp);
+        if let (Some(a), Some(o)) = (astar, opt) {
+            rows.push(Row {
+                labels: vec![label.into(), format!("{chunks} chunk(s)")],
+                values: vec![a.solver_time, o.solver_time, a.transfer_time * 1e6, o.transfer_time * 1e6],
+            });
+        }
+    }
+    rows
+}
+
+/// Table 7 (Appendix G): SCCL `instance` mode vs TE-CCL on a DGX-1 with α = 0
+/// and 25 KB chunks — solver times and transfer-time difference.
+pub fn table7_rows(max_chunks: usize) -> Vec<Row> {
+    let topo = teccl_topology::dgx1().with_alpha_scaled(0.0);
+    let chunk = 25e3;
+    let mut rows = Vec::new();
+    for chunks in 1..=max_chunks {
+        let scenario = Scenario::collective(
+            format!("AG-{chunks}"),
+            topo.clone(),
+            CollectiveKind::AllGather,
+            chunks,
+            7.0 * chunk * chunks as f64,
+        );
+        let sccl = run_sccl(&scenario);
+        let ours = run_teccl(&scenario, &quick_config(), Method::AStar);
+        if let (Some(s), Some(o)) = (sccl, ours) {
+            rows.push(Row {
+                labels: vec![format!("ALLGATHER ({chunks})")],
+                values: vec![
+                    s.solver_time,
+                    o.solver_time,
+                    100.0 * (s.transfer_time - o.transfer_time) / s.transfer_time,
+                ],
+            });
+        }
+    }
+    let scenario = Scenario::collective("AtoA-1", topo, CollectiveKind::AllToAll, 1, 7.0 * chunk);
+    if let (Some(s), Some(o)) =
+        (run_sccl(&scenario), run_teccl(&scenario, &quick_config(), Method::Lp))
+    {
+        rows.push(Row {
+            labels: vec!["ALLTOALL (1)".into()],
+            values: vec![
+                s.solver_time,
+                o.solver_time,
+                100.0 * (s.transfer_time - o.transfer_time) / s.transfer_time,
+            ],
+        });
+    }
+    rows
+}
+
+/// Table 8 (Appendix H): the full NDv2 sweep — epoch duration, collective
+/// time, solver time and algorithmic bandwidth for TE-CCL and the TACCL-like
+/// baseline, ALLGATHER and ALLTOALL, across output buffer sizes.
+/// Row values: `[ED_us, CT_us, ST_s, AB_GBps, taccl_CT_us, taccl_ST_s,
+/// taccl_AB_GBps, improvement_%]`.
+pub fn table8_rows(sizes: &[f64]) -> Vec<Row> {
+    let topo = teccl_topology::ndv2(1);
+    let mut rows = Vec::new();
+    for kind in [CollectiveKind::AllToAll, CollectiveKind::AllGather] {
+        for &size in sizes {
+            let scenario = Scenario::collective(
+                format!("NDv2-{kind:?}-{}", format_size(size)),
+                topo.clone(),
+                kind,
+                1,
+                size,
+            );
+            let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+            let ours = run_teccl(&scenario, &quick_config(), method);
+            let taccl = run_taccl(&scenario, 1);
+            if let Some(o) = ours {
+                let (t_ct, t_st, t_bw) = taccl
+                    .map(|t| (t.transfer_time * 1e6, t.solver_time, t.algo_bw / 1e9))
+                    .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+                rows.push(Row {
+                    labels: vec![format!("{kind:?}"), format_size(size)],
+                    values: vec![
+                        o.epoch_duration * 1e6,
+                        o.transfer_time * 1e6,
+                        o.solver_time,
+                        o.algo_bw / 1e9,
+                        t_ct,
+                        t_st,
+                        t_bw,
+                        percent_improvement(o.algo_bw / 1e9, t_bw),
+                    ],
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builder_sizes_chunks_correctly() {
+        let topo = teccl_topology::internal1(1);
+        let s = Scenario::collective("t", topo, CollectiveKind::AllGather, 2, 6.0e6);
+        // 4 GPUs → transfer per destination = 2 MB, 2 chunks of 1 MB.
+        assert!((s.chunk_bytes - 1.0e6).abs() < 1.0);
+        assert_eq!(s.demand.num_chunks, 2);
+    }
+
+    #[test]
+    fn run_helpers_produce_consistent_metrics() {
+        let topo = teccl_topology::internal2(2);
+        let scenario = Scenario::collective("t", topo, CollectiveKind::AllGather, 1, 1.0e6);
+        let ours = run_teccl(&scenario, &quick_config(), Method::AStar).unwrap();
+        assert!(ours.transfer_time > 0.0);
+        assert!((ours.algo_bw - scenario.output_buffer / ours.transfer_time).abs() < 1.0);
+        let sp = run_shortest_path(&scenario).unwrap();
+        assert!(sp.transfer_time > 0.0);
+        let sccl = run_sccl(&scenario).unwrap();
+        assert!(sccl.transfer_time > 0.0);
+        let taccl = run_taccl(&scenario, 1).unwrap();
+        assert!(taccl.transfer_time > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_descending_and_parsable() {
+        let sweep = output_buffer_sweep();
+        assert!(sweep.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(sweep[0], 256.0 * 1024.0 * 1024.0);
+    }
+
+    #[test]
+    fn fig6_rows_have_expected_shape() {
+        let rows = fig6_rows(&[2], 1024.0 * 1024.0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values.len(), 4);
+    }
+}

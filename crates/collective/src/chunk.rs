@@ -1,0 +1,186 @@
+//! Chunk sizing helpers.
+//!
+//! The paper's metrics (§6) are phrased in terms of the **output buffer size**
+//! (the data each GPU holds once the collective finishes — TACCL's metric) and
+//! the **transfer size** (the data each GPU sends to each peer). The optimizer
+//! itself works in whole chunks; this module converts between the two views.
+
+use serde::{Deserialize, Serialize};
+
+use crate::demand::CollectiveKind;
+
+/// Physical size of the chunks a demand is split into.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkSpec {
+    /// Size of one chunk in bytes.
+    pub chunk_bytes: f64,
+    /// Number of chunks each source contributes per destination-relevant unit
+    /// (see [`CollectiveSizing`] for the collective-specific meaning).
+    pub chunks: usize,
+}
+
+impl ChunkSpec {
+    /// Creates a new chunk specification.
+    pub fn new(chunk_bytes: f64, chunks: usize) -> Self {
+        Self { chunk_bytes, chunks }
+    }
+
+    /// Total bytes represented by `n` chunks.
+    pub fn bytes(&self, n: usize) -> f64 {
+        self.chunk_bytes * n as f64
+    }
+}
+
+/// Converts between output-buffer / transfer sizes and chunk sizes for a given
+/// collective on `num_gpus` participants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveSizing {
+    /// The collective kind.
+    pub kind: CollectiveKind,
+    /// Number of participating GPUs.
+    pub num_gpus: usize,
+}
+
+impl CollectiveSizing {
+    /// Creates a sizing helper.
+    pub fn new(kind: CollectiveKind, num_gpus: usize) -> Self {
+        Self { kind, num_gpus }
+    }
+
+    /// The output buffer size (bytes each GPU has received when the collective
+    /// completes) for a given per-source transfer size.
+    ///
+    /// * ALLGATHER: every GPU receives the full transfer from each of the
+    ///   other `n-1` GPUs.
+    /// * ALLTOALL: every GPU receives a distinct slice of size
+    ///   `transfer / (n-1)`... — in the paper's accounting the transfer size is
+    ///   *per destination*, so each GPU still receives `(n-1) * transfer`.
+    /// * BROADCAST: each non-root receives the root's transfer once.
+    pub fn output_buffer_bytes(&self, transfer_bytes: f64) -> f64 {
+        let n = self.num_gpus as f64;
+        match self.kind {
+            CollectiveKind::AllGather
+            | CollectiveKind::AllToAll
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllReduce => (n - 1.0) * transfer_bytes,
+            CollectiveKind::Broadcast | CollectiveKind::Scatter => transfer_bytes,
+            CollectiveKind::Gather => (n - 1.0) * transfer_bytes,
+        }
+    }
+
+    /// The per-source transfer size implied by a target output buffer size
+    /// (inverse of [`Self::output_buffer_bytes`]).
+    pub fn transfer_bytes_for_output_buffer(&self, output_buffer_bytes: f64) -> f64 {
+        let n = self.num_gpus as f64;
+        match self.kind {
+            CollectiveKind::AllGather
+            | CollectiveKind::AllToAll
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllReduce
+            | CollectiveKind::Gather => output_buffer_bytes / (n - 1.0),
+            CollectiveKind::Broadcast | CollectiveKind::Scatter => output_buffer_bytes,
+        }
+    }
+
+    /// Splits a per-source transfer into `chunks` chunks and returns the
+    /// resulting [`ChunkSpec`].
+    pub fn chunk_spec(&self, transfer_bytes: f64, chunks: usize) -> ChunkSpec {
+        assert!(chunks > 0, "need at least one chunk");
+        ChunkSpec::new(transfer_bytes / chunks as f64, chunks)
+    }
+
+    /// Convenience: chunk spec for a target output buffer size.
+    pub fn chunk_spec_for_output_buffer(&self, output_buffer_bytes: f64, chunks: usize) -> ChunkSpec {
+        self.chunk_spec(self.transfer_bytes_for_output_buffer(output_buffer_bytes), chunks)
+    }
+}
+
+/// Parses human-readable sizes like `"1G"`, `"256M"`, `"64K"`, `"512"` (bytes).
+/// Used by the experiment harness to mirror the x-axis labels of Figures 4–6
+/// and Table 8.
+pub fn parse_size(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.chars().last().unwrap().to_ascii_uppercase() {
+        'G' => (&s[..s.len() - 1], 1024.0 * 1024.0 * 1024.0),
+        'M' => (&s[..s.len() - 1], 1024.0 * 1024.0),
+        'K' => (&s[..s.len() - 1], 1024.0),
+        _ => (s, 1.0),
+    };
+    num.parse::<f64>().ok().map(|v| v * mult)
+}
+
+/// Formats a byte count the way the paper labels its x-axes (1G, 256M, 64K, …).
+pub fn format_size(bytes: f64) -> String {
+    const G: f64 = 1024.0 * 1024.0 * 1024.0;
+    const M: f64 = 1024.0 * 1024.0;
+    const K: f64 = 1024.0;
+    if bytes >= G && (bytes / G).fract().abs() < 1e-9 {
+        format!("{}G", (bytes / G) as u64)
+    } else if bytes >= M && (bytes / M).fract().abs() < 1e-9 {
+        format!("{}M", (bytes / M) as u64)
+    } else if bytes >= K && (bytes / K).fract().abs() < 1e-9 {
+        format!("{}K", (bytes / K) as u64)
+    } else {
+        format!("{}B", bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allgather_output_buffer_roundtrip() {
+        let sizing = CollectiveSizing::new(CollectiveKind::AllGather, 8);
+        let transfer = sizing.transfer_bytes_for_output_buffer(7.0e9);
+        assert!((transfer - 1.0e9).abs() < 1e-3);
+        assert!((sizing.output_buffer_bytes(transfer) - 7.0e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_sizes() {
+        let sizing = CollectiveSizing::new(CollectiveKind::Broadcast, 4);
+        assert_eq!(sizing.output_buffer_bytes(5.0), 5.0);
+        assert_eq!(sizing.transfer_bytes_for_output_buffer(5.0), 5.0);
+    }
+
+    #[test]
+    fn chunk_spec_division() {
+        let sizing = CollectiveSizing::new(CollectiveKind::AllToAll, 4);
+        let spec = sizing.chunk_spec(4.0e6, 4);
+        assert_eq!(spec.chunks, 4);
+        assert!((spec.chunk_bytes - 1.0e6).abs() < 1e-9);
+        assert!((spec.bytes(3) - 3.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunks_panics() {
+        CollectiveSizing::new(CollectiveKind::AllGather, 4).chunk_spec(1.0, 0);
+    }
+
+    #[test]
+    fn parse_and_format_sizes() {
+        assert_eq!(parse_size("1G"), Some(1024.0 * 1024.0 * 1024.0));
+        assert_eq!(parse_size("256M"), Some(256.0 * 1024.0 * 1024.0));
+        assert_eq!(parse_size("64k"), Some(64.0 * 1024.0));
+        assert_eq!(parse_size("100"), Some(100.0));
+        assert_eq!(parse_size(""), None);
+        assert_eq!(parse_size("abc"), None);
+        assert_eq!(format_size(1024.0 * 1024.0 * 1024.0), "1G");
+        assert_eq!(format_size(256.0 * 1024.0 * 1024.0), "256M");
+        assert_eq!(format_size(4.0 * 1024.0), "4K");
+        assert_eq!(format_size(100.0), "100B");
+    }
+
+    #[test]
+    fn format_parse_roundtrip() {
+        for s in ["1G", "256M", "64M", "16M", "4M", "1M", "256K", "64K", "16K", "4K", "1K"] {
+            let bytes = parse_size(s).unwrap();
+            assert_eq!(format_size(bytes), s);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Demand matrices and collective builders.
+//!
+//! The demand function `D : N × C × N → {0, 1}` of Table 1, stored densely
+//! over `(source, chunk, destination)` triples, plus builders for the standard
+//! collectives and multi-tenant combination (§5).
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use teccl_topology::NodeId;
+
+/// The collective operations TE-CCL can schedule.
+///
+/// The paper evaluates ALLGATHER and ALLTOALL; the remaining collectives are
+/// expressible as demand matrices with the same machinery (reductions are
+/// modeled by their communication pattern only — compute is outside the α–β
+/// model, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Every GPU sends its data to every other GPU (multicast-friendly).
+    AllGather,
+    /// Every GPU sends a *distinct* piece of data to every other GPU
+    /// (no benefit from copy — the LP form applies, §4.1).
+    AllToAll,
+    /// One root sends the same data to everyone.
+    Broadcast,
+    /// Everyone sends their data to one root.
+    Gather,
+    /// One root sends a distinct piece to every other GPU.
+    Scatter,
+    /// Each GPU ends with one reduced shard (communication pattern of an
+    /// all-to-all; reduction compute not modeled).
+    ReduceScatter,
+    /// ReduceScatter followed by AllGather (communication pattern union).
+    AllReduce,
+}
+
+impl CollectiveKind {
+    /// Whether in-network copy can help this collective (i.e. some chunk is
+    /// wanted by more than one destination). Determines whether the MILP/A*
+    /// (copy-aware) or the LP form (copy-free, §4.1) is the right formulation.
+    pub fn benefits_from_copy(self) -> bool {
+        match self {
+            CollectiveKind::AllGather
+            | CollectiveKind::Broadcast
+            | CollectiveKind::AllReduce => true,
+            CollectiveKind::AllToAll
+            | CollectiveKind::Gather
+            | CollectiveKind::Scatter
+            | CollectiveKind::ReduceScatter => false,
+        }
+    }
+}
+
+/// A demand matrix `D[s][c][d]` over the nodes of a topology.
+///
+/// `num_nodes` is the total node count of the topology (switches included so
+/// `NodeId` indexes directly); switches never appear as sources or
+/// destinations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandMatrix {
+    /// Total number of nodes (GPUs + switches) in the topology.
+    pub num_nodes: usize,
+    /// Number of chunk ids per source (`C` in the paper's notation).
+    pub num_chunks: usize,
+    /// Dense storage: `wants[s * num_chunks * num_nodes + c * num_nodes + d]`.
+    wants: Vec<bool>,
+}
+
+impl DemandMatrix {
+    /// Creates an empty demand matrix.
+    pub fn new(num_nodes: usize, num_chunks: usize) -> Self {
+        Self { num_nodes, num_chunks, wants: vec![false; num_nodes * num_chunks * num_nodes] }
+    }
+
+    #[inline]
+    fn idx(&self, s: NodeId, c: usize, d: NodeId) -> usize {
+        (s.0 * self.num_chunks + c) * self.num_nodes + d.0
+    }
+
+    /// Marks that destination `d` wants chunk `c` of source `s`.
+    pub fn set(&mut self, s: NodeId, c: usize, d: NodeId) {
+        assert!(c < self.num_chunks && s.0 < self.num_nodes && d.0 < self.num_nodes);
+        assert!(s != d, "a node never demands its own chunk");
+        let i = self.idx(s, c, d);
+        self.wants[i] = true;
+    }
+
+    /// Whether destination `d` wants chunk `c` of source `s`.
+    pub fn wants(&self, s: NodeId, c: usize, d: NodeId) -> bool {
+        self.wants[self.idx(s, c, d)]
+    }
+
+    /// All destinations that want chunk `c` of source `s`.
+    pub fn destinations_of(&self, s: NodeId, c: usize) -> Vec<NodeId> {
+        (0..self.num_nodes).filter(|&d| self.wants(s, c, NodeId(d))).map(NodeId).collect()
+    }
+
+    /// Whether any destination wants chunk `c` of source `s` (i.e. the chunk
+    /// exists / must be initialized in the source buffer).
+    pub fn chunk_in_use(&self, s: NodeId, c: usize) -> bool {
+        (0..self.num_nodes).any(|d| self.wants(s, c, NodeId(d)))
+    }
+
+    /// Total number of `(s, c, d)` demand triples.
+    pub fn total_demands(&self) -> usize {
+        self.wants.iter().filter(|&&w| w).count()
+    }
+
+    /// Number of chunks destination `d` must receive in total.
+    pub fn demand_of_destination(&self, d: NodeId) -> usize {
+        (0..self.num_nodes)
+            .flat_map(|s| (0..self.num_chunks).map(move |c| (s, c)))
+            .filter(|&(s, c)| self.wants(NodeId(s), c, d))
+            .count()
+    }
+
+    /// Number of distinct destinations source `s` must satisfy, summed over
+    /// its chunks (the "amount of data `s` injects" in chunk units when no
+    /// copy is available).
+    pub fn demand_of_source(&self, s: NodeId) -> usize {
+        (0..self.num_chunks).map(|c| self.destinations_of(s, c).len()).sum()
+    }
+
+    /// `true` if no demand is set.
+    pub fn is_empty(&self) -> bool {
+        self.total_demands() == 0
+    }
+
+    /// Whether some chunk is wanted by more than one destination (copy could
+    /// help — see §2.2 "Copy" and Figure 1c).
+    pub fn benefits_from_copy(&self) -> bool {
+        (0..self.num_nodes).any(|s| {
+            (0..self.num_chunks).any(|c| self.destinations_of(NodeId(s), c).len() > 1)
+        })
+    }
+
+    /// Iterates over all `(source, chunk, destination)` triples with demand.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, usize, NodeId)> + '_ {
+        (0..self.num_nodes).flat_map(move |s| {
+            (0..self.num_chunks).flat_map(move |c| {
+                (0..self.num_nodes)
+                    .filter(move |&d| self.wants(NodeId(s), c, NodeId(d)))
+                    .map(move |d| (NodeId(s), c, NodeId(d)))
+            })
+        })
+    }
+
+    // ----- Collective builders -------------------------------------------
+
+    /// ALLGATHER over `gpus`: every source has `chunks` chunks and every other
+    /// participant wants all of them.
+    pub fn all_gather(num_nodes: usize, gpus: &[NodeId], chunks: usize) -> Self {
+        let mut d = Self::new(num_nodes, chunks);
+        for &s in gpus {
+            for c in 0..chunks {
+                for &dst in gpus {
+                    if dst != s {
+                        d.set(s, c, dst);
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// ALLTOALL over `gpus`: every source sends `chunks_per_dest` *distinct*
+    /// chunks to each other participant. Chunk ids are laid out as
+    /// `dest_index * chunks_per_dest + j` (the paper's "number of chunks"
+    /// notation for all-to-all counts chunks per destination, Table 7).
+    pub fn all_to_all(num_nodes: usize, gpus: &[NodeId], chunks_per_dest: usize) -> Self {
+        let mut d = Self::new(num_nodes, chunks_per_dest * gpus.len());
+        for &s in gpus {
+            for (di, &dst) in gpus.iter().enumerate() {
+                if dst == s {
+                    continue;
+                }
+                for j in 0..chunks_per_dest {
+                    d.set(s, di * chunks_per_dest + j, dst);
+                }
+            }
+        }
+        d
+    }
+
+    /// BROADCAST from `root`: every other participant wants all of the root's
+    /// `chunks` chunks.
+    pub fn broadcast(num_nodes: usize, gpus: &[NodeId], root: NodeId, chunks: usize) -> Self {
+        let mut d = Self::new(num_nodes, chunks);
+        for c in 0..chunks {
+            for &dst in gpus {
+                if dst != root {
+                    d.set(root, c, dst);
+                }
+            }
+        }
+        d
+    }
+
+    /// GATHER to `root`: the root wants all `chunks` chunks of every other
+    /// participant.
+    pub fn gather(num_nodes: usize, gpus: &[NodeId], root: NodeId, chunks: usize) -> Self {
+        let mut d = Self::new(num_nodes, chunks);
+        for &s in gpus {
+            if s == root {
+                continue;
+            }
+            for c in 0..chunks {
+                d.set(s, c, root);
+            }
+        }
+        d
+    }
+
+    /// SCATTER from `root`: the root sends `chunks_per_dest` distinct chunks
+    /// to each other participant.
+    pub fn scatter(num_nodes: usize, gpus: &[NodeId], root: NodeId, chunks_per_dest: usize) -> Self {
+        let mut d = Self::new(num_nodes, chunks_per_dest * gpus.len());
+        for (di, &dst) in gpus.iter().enumerate() {
+            if dst == root {
+                continue;
+            }
+            for j in 0..chunks_per_dest {
+                d.set(root, di * chunks_per_dest + j, dst);
+            }
+        }
+        d
+    }
+
+    /// REDUCESCATTER over `gpus`: communication-wise each GPU sends one
+    /// distinct shard (of `chunks_per_dest` chunks) to every other GPU —
+    /// identical to an all-to-all demand. Reduction compute is not modeled.
+    pub fn reduce_scatter(num_nodes: usize, gpus: &[NodeId], chunks_per_dest: usize) -> Self {
+        Self::all_to_all(num_nodes, gpus, chunks_per_dest)
+    }
+
+    /// Builds the demand for a collective kind with a single "chunks" knob
+    /// (interpretation depends on the collective; see the individual builders).
+    /// Rooted collectives use the first GPU as the root.
+    pub fn for_collective(kind: CollectiveKind, num_nodes: usize, gpus: &[NodeId], chunks: usize) -> Self {
+        match kind {
+            CollectiveKind::AllGather => Self::all_gather(num_nodes, gpus, chunks),
+            CollectiveKind::AllToAll => Self::all_to_all(num_nodes, gpus, chunks),
+            CollectiveKind::Broadcast => Self::broadcast(num_nodes, gpus, gpus[0], chunks),
+            CollectiveKind::Gather => Self::gather(num_nodes, gpus, gpus[0], chunks),
+            CollectiveKind::Scatter => Self::scatter(num_nodes, gpus, gpus[0], chunks),
+            CollectiveKind::ReduceScatter => Self::reduce_scatter(num_nodes, gpus, chunks),
+            CollectiveKind::AllReduce => {
+                // Communication pattern: reduce-scatter then all-gather; the
+                // union over distinct chunk id ranges.
+                let rs = Self::reduce_scatter(num_nodes, gpus, chunks);
+                let ag = Self::all_gather(num_nodes, gpus, chunks);
+                Self::combine(&[rs, ag]).0
+            }
+        }
+    }
+
+    /// Combines several tenants' demands into one matrix by giving each tenant
+    /// a disjoint chunk-id range (§5 "Use in multi-tenant clusters": the
+    /// multi-tenant demand is the sum of the per-tenant demands). Returns the
+    /// combined matrix and the chunk-id range of each tenant.
+    pub fn combine(tenants: &[DemandMatrix]) -> (DemandMatrix, Vec<Range<usize>>) {
+        assert!(!tenants.is_empty());
+        let num_nodes = tenants[0].num_nodes;
+        assert!(tenants.iter().all(|t| t.num_nodes == num_nodes), "tenants must share a topology");
+        let total_chunks: usize = tenants.iter().map(|t| t.num_chunks).sum();
+        let mut combined = DemandMatrix::new(num_nodes, total_chunks);
+        let mut ranges = Vec::with_capacity(tenants.len());
+        let mut offset = 0;
+        for t in tenants {
+            for (s, c, d) in t.iter() {
+                combined.set(s, c + offset, d);
+            }
+            ranges.push(offset..offset + t.num_chunks);
+            offset += t.num_chunks;
+        }
+        (combined, ranges)
+    }
+}
+
+/// A tenant's demand plus its scheduling priority (§5: priorities weight the
+/// per-tenant completion terms in the objective).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantDemand {
+    /// Name of the tenant (for reporting).
+    pub name: String,
+    /// The tenant's demand.
+    pub demand: DemandMatrix,
+    /// Priority weight (larger = more important). Must be positive.
+    pub priority: f64,
+}
+
+impl TenantDemand {
+    /// Creates a tenant demand with priority 1.
+    pub fn new(name: impl Into<String>, demand: DemandMatrix) -> Self {
+        Self { name: name.into(), demand, priority: 1.0 }
+    }
+
+    /// Sets the priority weight.
+    pub fn with_priority(mut self, priority: f64) -> Self {
+        assert!(priority > 0.0);
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn all_gather_demand_counts() {
+        let g = gpus(4);
+        let d = DemandMatrix::all_gather(4, &g, 2);
+        // 4 sources * 2 chunks * 3 destinations.
+        assert_eq!(d.total_demands(), 24);
+        assert!(d.benefits_from_copy());
+        assert_eq!(d.demand_of_destination(NodeId(0)), 6);
+        assert!(d.wants(NodeId(1), 0, NodeId(2)));
+        assert!(!d.wants(NodeId(1), 0, NodeId(1)));
+    }
+
+    #[test]
+    fn all_to_all_demand_is_distinct_per_destination() {
+        let g = gpus(3);
+        let d = DemandMatrix::all_to_all(3, &g, 2);
+        assert_eq!(d.num_chunks, 6);
+        // Each source sends 2 chunks to each of 2 destinations.
+        assert_eq!(d.total_demands(), 3 * 2 * 2);
+        assert!(!d.benefits_from_copy());
+        // Chunk for destination 2 from source 0 is chunk id 2*2 + j.
+        assert!(d.wants(NodeId(0), 4, NodeId(2)));
+        assert!(!d.wants(NodeId(0), 4, NodeId(1)));
+    }
+
+    #[test]
+    fn broadcast_gather_scatter() {
+        let g = gpus(4);
+        let b = DemandMatrix::broadcast(4, &g, NodeId(0), 3);
+        assert_eq!(b.total_demands(), 9);
+        assert!(b.benefits_from_copy());
+
+        let ga = DemandMatrix::gather(4, &g, NodeId(0), 2);
+        assert_eq!(ga.total_demands(), 6);
+        assert!(!ga.benefits_from_copy());
+        assert_eq!(ga.demand_of_destination(NodeId(0)), 6);
+        assert_eq!(ga.demand_of_destination(NodeId(1)), 0);
+
+        let sc = DemandMatrix::scatter(4, &g, NodeId(0), 1);
+        assert_eq!(sc.total_demands(), 3);
+        assert!(!sc.benefits_from_copy());
+    }
+
+    #[test]
+    fn allreduce_is_union_of_rs_and_ag() {
+        let g = gpus(3);
+        let ar = DemandMatrix::for_collective(CollectiveKind::AllReduce, 3, &g, 1);
+        let rs = DemandMatrix::reduce_scatter(3, &g, 1);
+        let ag = DemandMatrix::all_gather(3, &g, 1);
+        assert_eq!(ar.total_demands(), rs.total_demands() + ag.total_demands());
+        assert!(ar.benefits_from_copy());
+    }
+
+    #[test]
+    fn copy_benefit_flags_match_kinds() {
+        assert!(CollectiveKind::AllGather.benefits_from_copy());
+        assert!(!CollectiveKind::AllToAll.benefits_from_copy());
+        assert!(CollectiveKind::Broadcast.benefits_from_copy());
+        assert!(!CollectiveKind::Scatter.benefits_from_copy());
+    }
+
+    #[test]
+    fn switches_excluded_by_construction() {
+        // Topology with 5 nodes where node 4 is a switch: pass only GPU ids.
+        let g = gpus(4);
+        let d = DemandMatrix::all_gather(5, &g, 1);
+        assert_eq!(d.num_nodes, 5);
+        assert_eq!(d.demand_of_destination(NodeId(4)), 0);
+        assert!(!d.chunk_in_use(NodeId(4), 0));
+    }
+
+    #[test]
+    fn combine_tenants_offsets_chunks() {
+        let g = gpus(3);
+        let a = DemandMatrix::all_gather(3, &g, 1);
+        let b = DemandMatrix::all_to_all(3, &g, 1);
+        let (combined, ranges) = DemandMatrix::combine(&[a.clone(), b.clone()]);
+        assert_eq!(combined.num_chunks, a.num_chunks + b.num_chunks);
+        assert_eq!(combined.total_demands(), a.total_demands() + b.total_demands());
+        assert_eq!(ranges[0], 0..1);
+        assert_eq!(ranges[1], 1..4);
+        // Tenant A's demand sits in chunk 0.
+        assert!(combined.wants(NodeId(0), 0, NodeId(1)));
+    }
+
+    #[test]
+    fn iter_matches_wants() {
+        let g = gpus(3);
+        let d = DemandMatrix::all_gather(3, &g, 1);
+        let triples: Vec<_> = d.iter().collect();
+        assert_eq!(triples.len(), d.total_demands());
+        for (s, c, dst) in triples {
+            assert!(d.wants(s, c, dst));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_demand_panics() {
+        let mut d = DemandMatrix::new(3, 1);
+        d.set(NodeId(1), 0, NodeId(1));
+    }
+
+    #[test]
+    fn tenant_priority_builder() {
+        let g = gpus(3);
+        let t = TenantDemand::new("training", DemandMatrix::all_gather(3, &g, 1)).with_priority(2.0);
+        assert_eq!(t.priority, 2.0);
+        assert_eq!(t.name, "training");
+    }
+
+    #[test]
+    fn demand_of_source_counts_destination_copies() {
+        let g = gpus(4);
+        let ag = DemandMatrix::all_gather(4, &g, 2);
+        // 2 chunks, each wanted by 3 destinations.
+        assert_eq!(ag.demand_of_source(NodeId(0)), 6);
+        let a2a = DemandMatrix::all_to_all(4, &g, 1);
+        assert_eq!(a2a.demand_of_source(NodeId(0)), 3);
+    }
+}

@@ -1,0 +1,16 @@
+//! # teccl-collective
+//!
+//! Collective-communication demands for TE-CCL.
+//!
+//! A collective (ALLGATHER, ALLTOALL, …) is expressed as a *demand matrix*
+//! `D[s][c][d] ∈ {0, 1}` (§3.1, Table 1): whether destination GPU `d` wants
+//! chunk `c` originating at source GPU `s`. This crate provides the demand
+//! representation, builders for the standard collectives, chunk-size
+//! bookkeeping (output buffer size ↔ per-chunk bytes, §6 "Metrics"), and
+//! multi-tenant demand combination (§5).
+
+pub mod chunk;
+pub mod demand;
+
+pub use chunk::{ChunkSpec, CollectiveSizing};
+pub use demand::{CollectiveKind, DemandMatrix, TenantDemand};

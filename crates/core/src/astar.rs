@@ -1,0 +1,286 @@
+//! The A*-inspired time-partitioned solver (§4.2, Appendix D).
+//!
+//! Instead of one MILP over the whole horizon, the problem is split into
+//! *rounds* of a few epochs each. Every round solves a smaller MILP whose
+//! objective rewards (a) demands satisfied inside the round and (b) chunks
+//! moving closer to their destinations — the latter uses Floyd–Warshall
+//! α-distances as the heuristic, which is where the A* analogy comes from.
+//! State (which node holds which chunk, plus chunks still in flight because of
+//! α-delays) is carried from round to round until every demand is met.
+//!
+//! The result is sub-optimal but dramatically cheaper than the monolithic
+//! MILP, and it still supports copy (unlike the LP form).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use teccl_collective::DemandMatrix;
+use teccl_schedule::Send;
+use teccl_topology::{NodeId, Topology};
+
+use crate::config::SolverConfig;
+use crate::epochs::{delta_epochs, kappa_epochs};
+use crate::error::TeCclError;
+use crate::milp_form::{MilpBuildOptions, MilpFormulation};
+
+/// Result of an A* solve.
+#[derive(Debug, Clone)]
+pub struct AStarOutcome {
+    /// All sends, with epochs numbered globally across rounds.
+    pub sends: Vec<Send>,
+    /// Number of rounds used.
+    pub rounds: usize,
+    /// Epochs per round.
+    pub epochs_per_round: usize,
+    /// Total wall-clock solver time in seconds (sum over rounds).
+    pub solver_time: f64,
+    /// Initial holders per commodity (for pruning).
+    pub initial_holders: HashMap<(usize, usize), Vec<NodeId>>,
+}
+
+/// Solves `demand` with the A* technique. `tau` is the epoch duration.
+pub fn solve_astar(
+    topology: &Topology,
+    demand: &DemandMatrix,
+    chunk_bytes: f64,
+    config: &SolverConfig,
+    tau: f64,
+) -> Result<AStarOutcome, TeCclError> {
+    if demand.is_empty() {
+        return Err(TeCclError::EmptyDemand);
+    }
+    let start = Instant::now();
+
+    // Effective per-link delay and the number of epochs per round: large
+    // enough that a chunk sent in a round arrives at most one round later
+    // (§4.2 "we set the number of epochs such that chunks do not arrive later
+    // than one round in the future").
+    let eff_delta: Vec<usize> = topology
+        .links
+        .iter()
+        .map(|l| delta_epochs(l, tau) + kappa_epochs(l, chunk_bytes, tau) - 1)
+        .collect();
+    let max_delta = eff_delta.iter().copied().max().unwrap_or(0);
+    let epochs_per_round = config.astar_epochs_per_round.unwrap_or((max_delta + 2).max(4));
+
+    // Distance matrix for the heuristic reward (per-link cost in epochs).
+    let pm = teccl_topology::floyd_warshall(topology, |l| (eff_delta[l.id.0] + 1) as f64);
+
+    // Mutable state carried across rounds.
+    let mut holders: HashMap<(usize, usize), Vec<NodeId>> = HashMap::new();
+    let mut initial_holders: HashMap<(usize, usize), Vec<NodeId>> = HashMap::new();
+    for (s, c, _d) in demand.iter() {
+        holders.entry((s.0, c)).or_insert_with(|| vec![s]);
+        initial_holders.entry((s.0, c)).or_insert_with(|| vec![s]);
+    }
+    let mut in_flight: Vec<(NodeId, usize, NodeId, usize)> = Vec::new();
+    let mut all_sends: Vec<Send> = Vec::new();
+    let mut stalls = 0usize;
+
+    for round in 0..config.astar_max_rounds {
+        // Remaining demands: a triple is satisfied once the destination holds
+        // the chunk (or it is in flight towards it).
+        let mut remaining = DemandMatrix::new(demand.num_nodes, demand.num_chunks);
+        let mut remaining_count = 0usize;
+        for (s, c, d) in demand.iter() {
+            let held = holders.get(&(s.0, c)).map_or(false, |h| h.contains(&d));
+            let flying = in_flight.iter().any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
+            if !held && !flying {
+                remaining.set(s, c, d);
+                remaining_count += 1;
+            }
+        }
+        if remaining_count == 0 {
+            return Ok(AStarOutcome {
+                sends: all_sends,
+                rounds: round,
+                epochs_per_round,
+                solver_time: start.elapsed().as_secs_f64(),
+                initial_holders,
+            });
+        }
+
+        // Terminal rewards: for every unsatisfied commodity and every GPU,
+        // reward ending the round with the chunk near a destination.
+        let mut terminal_rewards = Vec::new();
+        for s in topology.gpus() {
+            for c in 0..demand.num_chunks {
+                let dests: Vec<NodeId> = remaining.destinations_of(s, c);
+                if dests.is_empty() {
+                    continue;
+                }
+                for n in topology.gpus() {
+                    let dist = dests
+                        .iter()
+                        .map(|&d| pm.distance(n, d))
+                        .fold(f64::INFINITY, f64::min);
+                    if dist.is_finite() {
+                        let w = config.astar_gamma / (1.0 + dist);
+                        terminal_rewards.push((s, c, n, w));
+                    }
+                }
+            }
+        }
+
+        // Extra initial holders: everything beyond the original source.
+        let mut extra_initial = Vec::new();
+        for (&(s, c), hs) in &holders {
+            for &h in hs {
+                if h.0 != s {
+                    extra_initial.push((NodeId(s), c, h));
+                }
+            }
+        }
+
+        let options = MilpBuildOptions {
+            relax_completion: true,
+            extra_initial,
+            in_flight: in_flight.clone(),
+            terminal_rewards,
+            hyperedge_groups: Vec::new(),
+        };
+        let form = MilpFormulation::build(
+            topology,
+            &remaining,
+            chunk_bytes,
+            config,
+            epochs_per_round,
+            tau,
+            &options,
+        )?;
+        let sol = form.solve(config)?;
+        let round_sends = form.sends(&sol);
+
+        if round_sends.is_empty() {
+            stalls += 1;
+            if stalls >= 2 {
+                return Err(TeCclError::AStarDidNotConverge {
+                    rounds: round + 1,
+                    remaining_demands: remaining_count,
+                });
+            }
+            continue;
+        }
+        stalls = 0;
+
+        // Update state and record sends with global epoch numbers.
+        let mut new_in_flight: Vec<(NodeId, usize, NodeId, usize)> = Vec::new();
+        // Previously in-flight chunks have now landed.
+        for (s, c, n, _vis) in in_flight.drain(..) {
+            let h = holders.entry((s.0, c)).or_default();
+            if !h.contains(&n) {
+                h.push(n);
+            }
+        }
+        for snd in &round_sends {
+            let link = topology.link_between(snd.from, snd.to).expect("send uses a topology link");
+            let arrival = snd.epoch + eff_delta[link.id.0] + 1;
+            if arrival <= epochs_per_round {
+                let h = holders.entry((snd.chunk.source.0, snd.chunk.chunk)).or_default();
+                if !h.contains(&snd.to) {
+                    h.push(snd.to);
+                }
+            } else {
+                new_in_flight.push((
+                    snd.chunk.source,
+                    snd.chunk.chunk,
+                    snd.to,
+                    arrival - epochs_per_round,
+                ));
+            }
+            all_sends.push(Send {
+                chunk: snd.chunk,
+                from: snd.from,
+                to: snd.to,
+                epoch: snd.epoch + round * epochs_per_round,
+            });
+        }
+        in_flight = new_in_flight;
+    }
+
+    // Final check after exhausting rounds.
+    let mut remaining_count = 0usize;
+    for (s, c, d) in demand.iter() {
+        let held = holders.get(&(s.0, c)).map_or(false, |h| h.contains(&d));
+        let flying = in_flight.iter().any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
+        if !held && !flying {
+            remaining_count += 1;
+        }
+    }
+    if remaining_count == 0 {
+        Ok(AStarOutcome {
+            sends: all_sends,
+            rounds: config.astar_max_rounds,
+            epochs_per_round,
+            solver_time: start.elapsed().as_secs_f64(),
+            initial_holders,
+        })
+    } else {
+        Err(TeCclError::AStarDidNotConverge {
+            rounds: config.astar_max_rounds,
+            remaining_demands: remaining_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use teccl_topology::{line_topology, ring_topology};
+
+    #[test]
+    fn broadcast_line_converges_over_rounds() {
+        // 4-node line, small rounds so the far node needs more than one round.
+        let topo = line_topology(4, 1e9, 0.0);
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let demand = DemandMatrix::broadcast(4, &gpus, NodeId(0), 1);
+        let mut config = SolverConfig::default();
+        config.astar_epochs_per_round = Some(2);
+        let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
+        assert!(out.rounds >= 2, "expected at least 2 rounds, got {}", out.rounds);
+        // Every destination received the chunk.
+        for d in 1..4 {
+            assert!(out.sends.iter().any(|s| s.to == NodeId(d) && s.chunk.source == NodeId(0)));
+        }
+        // Global epochs grow across rounds.
+        let max_epoch = out.sends.iter().map(|s| s.epoch).max().unwrap();
+        assert!(max_epoch >= 2);
+    }
+
+    #[test]
+    fn single_round_when_demand_fits() {
+        let topo = ring_topology(3, 1e9, 0.0);
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let demand = DemandMatrix::broadcast(3, &gpus, NodeId(0), 1);
+        let config = SolverConfig::default();
+        let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn produces_valid_schedule_after_pruning() {
+        let topo = line_topology(4, 1e9, 0.0);
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let demand = DemandMatrix::all_gather(4, &gpus, 1);
+        let mut config = SolverConfig::default();
+        config.astar_epochs_per_round = Some(3);
+        let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
+        let pruned = crate::extract::prune_sends(&out.sends, &demand, &out.initial_holders, |a, b| {
+            topo.link_between(a, b).map(|l| delta_epochs(l, 1e-3)).unwrap_or(0)
+        });
+        let schedule = crate::extract::schedule_from_sends("astar", 1e6, 1e-3, pruned, out.solver_time);
+        let report = teccl_schedule::validate(&topo, &demand, &schedule, false);
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn empty_demand_rejected() {
+        let topo = line_topology(2, 1e9, 0.0);
+        let demand = DemandMatrix::new(2, 1);
+        assert!(matches!(
+            solve_astar(&topo, &demand, 1e6, &SolverConfig::default(), 1e-3),
+            Err(TeCclError::EmptyDemand)
+        ));
+    }
+}

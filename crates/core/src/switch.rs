@@ -1,0 +1,159 @@
+//! Switch models (§3.1 "Modeling switches", Appendix C).
+//!
+//! * **Copy-capable switch** (default): the switch participates in the flow
+//!   conservation constraints like any node but with a zero buffer. Models
+//!   SHArP-style in-network multicast.
+//! * **Non-copy switch**: traditional flow conservation at the switch (what
+//!   comes in must go out, no duplication), zero buffer.
+//! * **Hyper-edge model**: the switch is removed from the graph and replaced
+//!   by direct GPU-to-GPU "hyper-edges"; the number of hyper-edges usable in
+//!   the same epoch is capped by the switch's port counts, and each GPU can
+//!   use at most one of its incoming and one of its outgoing hyper-edges per
+//!   epoch (Appendix C). This is TACCL's model and is used for the
+//!   apples-to-apples comparison of §6.1, where a chunk pays a single
+//!   transmission delay to cross a switch.
+
+use teccl_topology::{LinkId, NodeId, Topology};
+
+/// A group of hyper-edges that replaced one switch, together with the usage
+/// limits Appendix C imposes.
+#[derive(Debug, Clone)]
+pub struct HyperEdgeGroup {
+    /// Name of the switch that was replaced (for reporting).
+    pub switch_name: String,
+    /// All hyper-edge link ids (in the transformed topology) of this group.
+    pub links: Vec<LinkId>,
+    /// Maximum number of hyper-edges of this group usable in one epoch:
+    /// `min(#links into the switch, #links out of the switch)`.
+    pub max_concurrent: usize,
+    /// Per-GPU outgoing hyper-edges (each GPU may use at most one per epoch).
+    pub out_edges_of: Vec<(NodeId, Vec<LinkId>)>,
+    /// Per-GPU incoming hyper-edges (each GPU may use at most one per epoch).
+    pub in_edges_of: Vec<(NodeId, Vec<LinkId>)>,
+}
+
+/// Replaces every switch with direct GPU-to-GPU hyper-edges.
+///
+/// A hyper-edge `(i, j)` is added for every pair where `i → switch` and
+/// `switch → j` exist and no direct `i → j` link already exists. Its capacity
+/// is the minimum of the two crossed links and its α their sum — but the chunk
+/// pays only **one** transmission (β) delay, which is exactly the accounting
+/// difference between TACCL's switch handling and TE-CCL's (§6 "Baselines").
+///
+/// Returns the transformed topology (same GPU node ids, switches retained as
+/// isolated nodes so ids stay stable) and one [`HyperEdgeGroup`] per switch.
+pub fn hyperedge_transform(topo: &Topology) -> (Topology, Vec<HyperEdgeGroup>) {
+    let mut out = Topology::new(format!("{} (hyper-edge)", topo.name));
+    // Recreate all nodes with identical ids.
+    for n in &topo.nodes {
+        match n.kind {
+            teccl_topology::NodeKind::Gpu => out.add_gpu(n.name.clone(), n.chassis),
+            teccl_topology::NodeKind::Switch => out.add_switch(n.name.clone(), n.chassis),
+        };
+    }
+    // Copy all GPU-GPU links.
+    for l in &topo.links {
+        if !topo.is_switch(l.src) && !topo.is_switch(l.dst) {
+            out.add_link(l.src, l.dst, l.capacity, l.alpha);
+        }
+    }
+    // Replace each switch by hyper-edges.
+    let mut groups = Vec::new();
+    for sw in topo.switches() {
+        let in_links: Vec<_> = topo.in_links(sw).filter(|l| !topo.is_switch(l.src)).collect();
+        let out_links: Vec<_> = topo.out_links(sw).filter(|l| !topo.is_switch(l.dst)).collect();
+        let mut links = Vec::new();
+        let mut out_edges_of: std::collections::BTreeMap<NodeId, Vec<LinkId>> = Default::default();
+        let mut in_edges_of: std::collections::BTreeMap<NodeId, Vec<LinkId>> = Default::default();
+        for inl in &in_links {
+            for outl in &out_links {
+                let (i, j) = (inl.src, outl.dst);
+                if i == j || out.link_between(i, j).is_some() {
+                    continue;
+                }
+                let capacity = inl.capacity.min(outl.capacity);
+                let alpha = inl.alpha + outl.alpha;
+                let id = out.add_link(i, j, capacity, alpha);
+                links.push(id);
+                out_edges_of.entry(i).or_default().push(id);
+                in_edges_of.entry(j).or_default().push(id);
+            }
+        }
+        groups.push(HyperEdgeGroup {
+            switch_name: topo.nodes[sw.0].name.clone(),
+            max_concurrent: in_links.len().min(out_links.len()),
+            links,
+            out_edges_of: out_edges_of.into_iter().collect(),
+            in_edges_of: in_edges_of.into_iter().collect(),
+        });
+    }
+    (out, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teccl_topology::{internal2, ndv2};
+
+    #[test]
+    fn transform_keeps_gpu_links_and_node_ids() {
+        let topo = internal2(2); // 4 GPUs + 1 switch
+        let (t, groups) = hyperedge_transform(&topo);
+        assert_eq!(t.num_nodes(), topo.num_nodes());
+        assert_eq!(groups.len(), 1);
+        // Intra-chassis GPU links survive.
+        assert!(t.link_between(NodeId(0), NodeId(1)).is_some());
+        // The switch is now isolated: no links touch it.
+        let sw = topo.switches().next().unwrap();
+        assert_eq!(t.out_links(sw).count(), 0);
+        assert_eq!(t.in_links(sw).count(), 0);
+    }
+
+    #[test]
+    fn hyperedges_connect_cross_chassis_gpus() {
+        let topo = internal2(2);
+        let (t, groups) = hyperedge_transform(&topo);
+        // GPU 0 (chassis 0) now has a direct edge to GPU 2 (chassis 1).
+        assert!(t.link_between(NodeId(0), NodeId(2)).is_some());
+        // All 4 GPUs attach to the switch, so the concurrency cap is 4.
+        assert_eq!(groups[0].max_concurrent, 4);
+        // Hyper-edge α is the sum of the two crossed links' α.
+        let l = t.link_between(NodeId(0), NodeId(2)).unwrap();
+        assert!((l.alpha - 2.0 * 0.75e-6).abs() < 1e-15);
+        assert!((l.capacity - 12.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_hyperedge_duplicates_existing_direct_links() {
+        let topo = internal2(2);
+        let (t, _) = hyperedge_transform(&topo);
+        // GPU0-GPU1 are directly connected in-chassis; the transform must not
+        // add a second parallel edge (validate() would flag duplicates).
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn ndv2_groups_track_uplinked_gpus_only() {
+        let topo = ndv2(2);
+        let (t, groups) = hyperedge_transform(&topo);
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        // Only GPUs 0, 1 of each chassis uplink: 4 GPUs total; edges go between
+        // chassis (and between GPU0/GPU1 pairs across chassis) minus existing
+        // direct links.
+        assert_eq!(g.max_concurrent, 4);
+        assert!(!g.links.is_empty());
+        for (_, links) in &g.out_edges_of {
+            assert!(!links.is_empty());
+        }
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn topology_without_switches_is_unchanged() {
+        let topo = teccl_topology::dgx1();
+        let (t, groups) = hyperedge_transform(&topo);
+        assert!(groups.is_empty());
+        assert_eq!(t.num_links(), topo.num_links());
+    }
+}

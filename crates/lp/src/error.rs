@@ -1,0 +1,72 @@
+//! Error types for the LP/MILP solver.
+
+use std::fmt;
+
+/// Errors returned by the LP / MILP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable id referenced a variable that does not exist in the model.
+    UnknownVariable(usize),
+    /// A constraint references no variables and cannot be satisfied.
+    EmptyInfeasibleConstraint(String),
+    /// Variable bounds are inconsistent (lower bound above upper bound).
+    InconsistentBounds { var: String, lb: f64, ub: f64 },
+    /// A coefficient, bound, or right-hand side was NaN or infinite where a
+    /// finite value is required.
+    NonFiniteCoefficient(String),
+    /// The simplex iteration limit was exceeded before reaching optimality.
+    IterationLimit(usize),
+    /// Internal numerical failure (e.g. pivot element too small).
+    Numerical(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable(id) => write!(f, "unknown variable id {id}"),
+            LpError::EmptyInfeasibleConstraint(name) => {
+                write!(f, "constraint `{name}` has no variables but a non-trivial bound")
+            }
+            LpError::InconsistentBounds { var, lb, ub } => {
+                write!(f, "variable `{var}` has inconsistent bounds [{lb}, {ub}]")
+            }
+            LpError::NonFiniteCoefficient(what) => {
+                write!(f, "non-finite coefficient encountered: {what}")
+            }
+            LpError::IterationLimit(n) => {
+                write!(f, "simplex iteration limit ({n}) exceeded")
+            }
+            LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LpError::UnknownVariable(3);
+        assert!(e.to_string().contains("3"));
+        let e = LpError::InconsistentBounds { var: "x".into(), lb: 2.0, ub: 1.0 };
+        assert!(e.to_string().contains("x"));
+        let e = LpError::IterationLimit(100);
+        assert!(e.to_string().contains("100"));
+        let e = LpError::Numerical("pivot too small".into());
+        assert!(e.to_string().contains("pivot"));
+        let e = LpError::EmptyInfeasibleConstraint("c0".into());
+        assert!(e.to_string().contains("c0"));
+        let e = LpError::NonFiniteCoefficient("rhs".into());
+        assert!(e.to_string().contains("rhs"));
+    }
+
+    #[test]
+    fn errors_are_clonable_and_comparable() {
+        let e = LpError::IterationLimit(5);
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, LpError::IterationLimit(6));
+    }
+}

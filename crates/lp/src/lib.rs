@@ -1,0 +1,60 @@
+//! # teccl-lp
+//!
+//! A self-contained linear-programming (LP) and mixed-integer linear-programming
+//! (MILP) solver used as the optimization substrate for TE-CCL.
+//!
+//! The TE-CCL paper solves its formulations with Gurobi. No mature pure-Rust
+//! LP/MILP solver exists in the offline crate set, so this crate implements the
+//! pieces the paper's formulations need from scratch:
+//!
+//! * a **model builder** ([`Model`]) with bounded continuous and integer
+//!   variables, linear constraints (`<=`, `>=`, `==`) and a linear objective,
+//! * a **presolver** ([`presolve`]) that removes fixed variables, empty and
+//!   singleton rows (TE-CCL models contain many structurally-forced-zero flow
+//!   variables near the time boundaries, so this matters a lot),
+//! * a **two-phase bounded-variable revised simplex** ([`simplex`]) with a dense
+//!   basis inverse, Dantzig pricing and a Bland anti-cycling fallback,
+//! * a **branch-and-bound MILP solver** ([`milp`]) with a rounding heuristic,
+//!   relative-gap early stop (the paper's "early stop at 30%" mode) and a time
+//!   limit (the paper's 2-hour Gurobi timeout).
+//!
+//! The solver is deterministic: the same model always produces the same
+//! solution, mirroring the reliability claim TE-CCL makes versus TACCL.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use teccl_lp::{Model, Sense, ConstraintOp, SolveStatus};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2, y <= 3, x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0, false);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 2.0, false);
+//! m.add_cons("cap", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! m.add_cons("bx", &[(x, 1.0)], ConstraintOp::Le, 2.0);
+//! m.add_cons("by", &[(y, 1.0)], ConstraintOp::Le, 3.0);
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.status, SolveStatus::Optimal);
+//! assert!((sol.objective - 10.0).abs() < 1e-6);
+//! ```
+
+pub mod error;
+pub mod milp;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+pub mod solution;
+pub mod sparse;
+pub mod standard;
+
+pub use error::LpError;
+pub use milp::{MilpConfig, MilpSolver};
+pub use model::{ConstraintOp, Model, Sense, VarId};
+pub use solution::{Solution, SolveStats, SolveStatus};
+pub use sparse::{SparseMatrix, SparseVec};
+
+/// Default feasibility / optimality tolerance used throughout the solver.
+pub const TOL: f64 = 1e-7;
+
+/// Tolerance used to decide whether a value is integral.
+pub const INT_TOL: f64 = 1e-6;

@@ -1,0 +1,499 @@
+//! Branch-and-bound MILP solver built on the LP relaxation.
+//!
+//! Mirrors the Gurobi features the TE-CCL paper relies on:
+//!
+//! * a **time limit** (the paper stops Gurobi after 2 hours and keeps the
+//!   incumbent),
+//! * a **relative-gap early stop** (the paper's "early stop at 30%" variant
+//!   used for ALLGATHER),
+//! * deterministic behaviour (best-bound node selection with stable
+//!   tie-breaking, most-fractional branching with lowest-index ties),
+//! * a rounding heuristic that quickly produces incumbents for the highly
+//!   structured 0/1 flow models TE-CCL generates.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::LpError;
+use crate::model::{Model, Sense};
+use crate::solution::{Solution, SolveStats, SolveStatus};
+use crate::INT_TOL;
+
+/// Configuration for the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MilpConfig {
+    /// Wall-clock limit; the best incumbent found so far is returned when it
+    /// expires (status [`SolveStatus::Feasible`]).
+    pub time_limit: Option<Duration>,
+    /// Stop as soon as the relative gap between the incumbent and the best
+    /// bound drops below this value (`0.0` = prove optimality, `0.3` = the
+    /// paper's 30% early stop).
+    pub rel_gap: f64,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_limit: usize,
+    /// Whether to run the rounding heuristic at every node.
+    pub rounding_heuristic: bool,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        Self { time_limit: None, rel_gap: 1e-6, node_limit: 200_000, rounding_heuristic: true }
+    }
+}
+
+impl MilpConfig {
+    /// Configuration matching the paper's "early stop" mode (30% gap).
+    pub fn early_stop(gap: f64) -> Self {
+        Self { rel_gap: gap, ..Default::default() }
+    }
+
+    /// Configuration with a wall-clock time limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Self { time_limit: Some(limit), ..Default::default() }
+    }
+}
+
+/// A branch-and-bound node: the set of bound overrides accumulated along the
+/// path from the root, plus the parent's relaxation objective (used for
+/// best-bound node selection and pruning).
+#[derive(Debug, Clone)]
+struct Node {
+    overrides: Vec<(usize, f64, f64)>,
+    parent_bound: f64,
+    id: usize,
+}
+
+/// Heap ordering wrapper: best bound first (max for maximization problems —
+/// the objective is normalized so larger is always better inside the solver).
+struct HeapNode {
+    score: f64,
+    node: Node,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.node.id == other.node.id
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher score first; ties broken by lower id (older node) for
+        // determinism.
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.id.cmp(&self.node.id))
+    }
+}
+
+/// The branch-and-bound solver.
+#[derive(Debug, Clone)]
+pub struct MilpSolver {
+    config: MilpConfig,
+}
+
+impl MilpSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: MilpConfig) -> Self {
+        Self { config }
+    }
+
+    /// Solves a mixed-integer model.
+    pub fn solve(&self, model: &Model) -> Result<Solution, LpError> {
+        let start = Instant::now();
+        let maximize = model.sense == Sense::Maximize;
+        // `better(a, b)` returns true if objective a is strictly better than b.
+        let better = |a: f64, b: f64| if maximize { a > b + 1e-9 } else { a < b - 1e-9 };
+
+        let int_vars: Vec<usize> =
+            model.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| i).collect();
+
+        // Root relaxation.
+        let root = model.solve_lp_relaxation()?;
+        let mut stats = SolveStats {
+            simplex_iterations: root.stats.simplex_iterations,
+            presolved_vars: root.stats.presolved_vars,
+            presolved_cons: root.stats.presolved_cons,
+            ..Default::default()
+        };
+        match root.status {
+            SolveStatus::Infeasible => {
+                return Ok(Solution {
+                    status: SolveStatus::Infeasible,
+                    objective: f64::NAN,
+                    values: vec![0.0; model.num_vars()],
+                    duals: Vec::new(),
+                    stats,
+                })
+            }
+            SolveStatus::Unbounded => {
+                return Ok(Solution {
+                    status: SolveStatus::Unbounded,
+                    objective: f64::NAN,
+                    values: vec![0.0; model.num_vars()],
+                    duals: Vec::new(),
+                    stats,
+                })
+            }
+            _ => {}
+        }
+
+        let mut incumbent: Option<Solution> = None;
+        let mut best_bound = root.objective;
+
+        let mut heap = BinaryHeap::new();
+        let mut next_id = 0usize;
+        let score = |obj: f64| if maximize { obj } else { -obj };
+        heap.push(HeapNode {
+            score: score(root.objective),
+            node: Node { overrides: Vec::new(), parent_bound: root.objective, id: next_id },
+        });
+        next_id += 1;
+
+        let mut hit_limit = false;
+
+        while let Some(HeapNode { node, .. }) = heap.pop() {
+            // Global bound = best over the open nodes and the node being
+            // processed (the heap is ordered by bound).
+            best_bound = node.parent_bound;
+            if let Some(inc) = &incumbent {
+                if gap(best_bound, inc.objective) <= self.config.rel_gap {
+                    // Good enough: the paper's early-stop behaviour.
+                    break;
+                }
+                if !better(node.parent_bound, inc.objective) {
+                    continue; // prune by bound
+                }
+            }
+            if stats.nodes_explored >= self.config.node_limit {
+                hit_limit = true;
+                break;
+            }
+            if let Some(limit) = self.config.time_limit {
+                if start.elapsed() > limit {
+                    hit_limit = true;
+                    break;
+                }
+            }
+            stats.nodes_explored += 1;
+
+            // Solve this node's relaxation.
+            let mut node_model = model.clone();
+            for (j, lo, hi) in &node.overrides {
+                node_model.set_bounds(crate::model::VarId(*j), *lo, *hi);
+            }
+            let relax = node_model.solve_lp_relaxation()?;
+            stats.simplex_iterations += relax.stats.simplex_iterations;
+            if !relax.status.has_solution() {
+                continue; // infeasible branch
+            }
+            if let Some(inc) = &incumbent {
+                if !better(relax.objective, inc.objective) {
+                    continue; // prune by bound
+                }
+            }
+
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<(usize, f64)> = None;
+            for &j in &int_vars {
+                let v = relax.values[j];
+                let frac = (v - v.round()).abs();
+                if frac > INT_TOL {
+                    let distance_to_half = (frac - 0.5).abs();
+                    match branch_var {
+                        Some((_, best)) if distance_to_half >= best => {}
+                        _ => branch_var = Some((j, distance_to_half)),
+                    }
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integral relaxation → candidate incumbent.
+                    let mut cand = relax.clone();
+                    round_integrals(&mut cand, &int_vars);
+                    cand.objective = model.eval_objective(&cand.values);
+                    if incumbent.as_ref().map_or(true, |inc| better(cand.objective, inc.objective)) {
+                        incumbent = Some(cand);
+                    }
+                }
+                Some((j, _)) => {
+                    // Rounding heuristic: try snapping every integer variable.
+                    if self.config.rounding_heuristic {
+                        if let Some(h) = rounding_heuristic(model, &relax, &int_vars) {
+                            if incumbent.as_ref().map_or(true, |inc| better(h.objective, inc.objective)) {
+                                incumbent = Some(h);
+                            }
+                        }
+                    }
+                    // Branch.
+                    let v = relax.values[j];
+                    let floor = v.floor();
+                    let ceil = v.ceil();
+                    let (cur_lb, cur_ub) = current_bounds(model, &node.overrides, j);
+
+                    let mut down = node.overrides.clone();
+                    down.push((j, cur_lb, floor.min(cur_ub)));
+                    let mut up = node.overrides.clone();
+                    up.push((j, ceil.max(cur_lb), cur_ub));
+
+                    for overrides in [down, up] {
+                        let (_, lo, hi) = overrides.last().copied().unwrap();
+                        if lo > hi + 1e-9 {
+                            continue; // empty branch
+                        }
+                        heap.push(HeapNode {
+                            score: score(relax.objective),
+                            node: Node { overrides, parent_bound: relax.objective, id: next_id },
+                        });
+                        next_id += 1;
+                    }
+                }
+            }
+        }
+
+        // If the heap drained, the bound collapses to the incumbent.
+        if heap.is_empty() && !hit_limit {
+            if let Some(inc) = &incumbent {
+                best_bound = inc.objective;
+            }
+        } else if let Some(top) = heap.peek() {
+            best_bound = top.node.parent_bound;
+        }
+
+        stats.solve_time = start.elapsed();
+        stats.best_bound = best_bound;
+
+        match incumbent {
+            Some(mut inc) => {
+                let g = gap(best_bound, inc.objective);
+                stats.mip_gap = g;
+                inc.status = if g <= self.config.rel_gap.max(1e-6) && !hit_limit {
+                    SolveStatus::Optimal
+                } else if hit_limit || g > self.config.rel_gap.max(1e-6) {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                };
+                inc.duals = Vec::new();
+                inc.stats = stats;
+                Ok(inc)
+            }
+            None => {
+                stats.mip_gap = f64::INFINITY;
+                Ok(Solution {
+                    status: if hit_limit { SolveStatus::LimitReached } else { SolveStatus::Infeasible },
+                    objective: f64::NAN,
+                    values: vec![0.0; model.num_vars()],
+                    duals: Vec::new(),
+                    stats,
+                })
+            }
+        }
+    }
+}
+
+/// Relative MIP gap.
+fn gap(bound: f64, incumbent: f64) -> f64 {
+    (bound - incumbent).abs() / incumbent.abs().max(1.0)
+}
+
+/// Snaps near-integral values exactly onto integers.
+fn round_integrals(sol: &mut Solution, int_vars: &[usize]) {
+    for &j in int_vars {
+        sol.values[j] = sol.values[j].round();
+    }
+}
+
+/// Rounds every integer variable of the relaxation to the nearest integer and
+/// keeps the result if it is feasible for the full model.
+fn rounding_heuristic(model: &Model, relax: &Solution, int_vars: &[usize]) -> Option<Solution> {
+    let mut values = relax.values.clone();
+    for &j in int_vars {
+        let v = values[j].round();
+        values[j] = v.clamp(model.vars[j].lb, model.vars[j].ub);
+    }
+    if model.is_feasible(&values, 1e-6) {
+        let objective = model.eval_objective(&values);
+        Some(Solution {
+            status: SolveStatus::Feasible,
+            objective,
+            values,
+            duals: Vec::new(),
+            stats: Default::default(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Effective bounds of variable `j` at a node (model bounds plus overrides).
+fn current_bounds(model: &Model, overrides: &[(usize, f64, f64)], j: usize) -> (f64, f64) {
+    let mut lb = model.vars[j].lb;
+    let mut ub = model.vars[j].ub;
+    for (k, lo, hi) in overrides {
+        if *k == j {
+            lb = *lo;
+            ub = *hi;
+        }
+    }
+    (lb, ub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model, Sense};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Classic 0/1 knapsack: values [60, 100, 120], weights [10, 20, 30], cap 50.
+        // Optimal: items 2 and 3 → 220.
+        let mut m = Model::new(Sense::Maximize);
+        let x: Vec<_> = [60.0, 100.0, 120.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary_var(format!("x{i}"), v))
+            .collect();
+        m.add_cons("cap", &[(x[0], 10.0), (x[1], 20.0), (x[2], 30.0)], ConstraintOp::Le, 50.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 220.0, 1e-6);
+        assert_eq!(sol.int_value(x[0]), 0);
+        assert_eq!(sol.int_value(x[1]), 1);
+        assert_eq!(sol.int_value(x[2]), 1);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x s.t. 2x <= 5, x integer → x = 2 (LP relaxation 2.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_cons("c", &[(x, 2.0)], ConstraintOp::Le, 5.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var("x", 1.0);
+        let y = m.add_binary_var("y", 1.0);
+        m.add_cons("c1", &[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y, x integer <= 2.5 constraint-wise, y continuous <= 1.3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 2.0, true);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, false);
+        m.add_cons("cx", &[(x, 1.0)], ConstraintOp::Le, 2.5);
+        m.add_cons("cy", &[(y, 1.0)], ConstraintOp::Le, 1.3);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 2.0 * 2.0 + 1.3, 1e-6);
+        assert_close(sol.value(x), 2.0, 1e-9);
+        assert_close(sol.value(y), 1.3, 1e-6);
+    }
+
+    #[test]
+    fn early_stop_returns_feasible_status_or_optimal() {
+        // With a huge allowed gap the solver may stop at the first incumbent.
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..8).map(|i| m.add_binary_var(format!("x{i}"), (i + 1) as f64)).collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
+        m.add_cons("cap", &terms, ConstraintOp::Le, 4.0);
+        let sol = m.solve_with(&MilpConfig::early_stop(0.5)).unwrap();
+        assert!(sol.has_solution());
+        // Any solution must respect the cardinality constraint.
+        let count: f64 = xs.iter().map(|&x| sol.value(x)).sum();
+        assert!(count <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_mip() {
+        // x + y == 3, x,y binary-ish integers in [0, 2]; max x → x=2, y=1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 2.0, 1.0, true);
+        let y = m.add_var("y", 0.0, 2.0, 0.0, true);
+        m.add_cons("e", &[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.value(x), 2.0, 1e-9);
+        assert_close(sol.value(y), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn minimization_mip() {
+        // Set covering: choose min number of sets covering {a, b, c}.
+        // Sets: {a,b}, {b,c}, {a,c}, {a,b,c}. Optimal = 1 (last set).
+        let mut m = Model::new(Sense::Minimize);
+        let s: Vec<_> = (0..4).map(|i| m.add_binary_var(format!("s{i}"), 1.0)).collect();
+        m.add_cons("a", &[(s[0], 1.0), (s[2], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
+        m.add_cons("b", &[(s[0], 1.0), (s[1], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
+        m.add_cons("c", &[(s[1], 1.0), (s[2], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
+        let sol = m.solve().unwrap();
+        assert_close(sol.objective, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn node_limit_yields_feasible_or_limit() {
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..10).map(|i| m.add_binary_var(format!("x{i}"), ((i * 7) % 5 + 1) as f64)).collect();
+        let terms: Vec<_> = xs.iter().enumerate().map(|(i, &x)| (x, ((i * 3) % 4 + 1) as f64)).collect();
+        m.add_cons("cap", &terms, ConstraintOp::Le, 7.0);
+        let cfg = MilpConfig { node_limit: 1, ..Default::default() };
+        let sol = m.solve_with(&cfg).unwrap();
+        assert!(matches!(sol.status, SolveStatus::Feasible | SolveStatus::LimitReached | SolveStatus::Optimal));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut m = Model::new(Sense::Maximize);
+            let xs: Vec<_> = (0..6).map(|i| m.add_binary_var(format!("x{i}"), (i % 3 + 1) as f64)).collect();
+            let terms: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
+            m.add_cons("cap", &terms, ConstraintOp::Le, 3.0);
+            m
+        };
+        let s1 = build().solve().unwrap();
+        let s2 = build().solve().unwrap();
+        assert_eq!(s1.values, s2.values);
+        assert_eq!(s1.objective, s2.objective);
+    }
+
+    #[test]
+    fn pure_lp_dispatch_through_solve() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.0, 1.0, false);
+        let _ = x;
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_close(sol.objective, 3.0, 1e-9);
+    }
+
+    #[test]
+    fn mip_gap_reported_zero_at_optimality() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var("x", 5.0);
+        let y = m.add_binary_var("y", 4.0);
+        m.add_cons("c", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(sol.stats.mip_gap <= 1e-6);
+        assert_close(sol.objective, 5.0, 1e-9);
+    }
+}

@@ -1,0 +1,379 @@
+//! Presolve: cheap model reductions applied before the simplex runs.
+//!
+//! TE-CCL models contain many structurally-forced variables (flows that cannot
+//! exist because a chunk could not yet have arrived, buffers pinned to zero at
+//! switches, first/last epoch boundary conditions). Removing them before the
+//! simplex runs shrinks the dense basis dramatically.
+//!
+//! Reductions applied to a fixpoint:
+//! * **fixed variables** (`lb == ub`) are substituted out,
+//! * **empty rows** are checked and dropped (or prove infeasibility),
+//! * **singleton rows** become variable bounds (with integral rounding for
+//!   integer variables) and are dropped.
+
+use crate::error::LpError;
+use crate::model::{infeasible_solution, ConstraintOp, Model, VarId};
+use crate::solution::{Solution, SolveStats, SolveStatus};
+
+const EPS: f64 = 1e-9;
+
+/// Information needed to map a reduced-model solution back onto the original
+/// model.
+#[derive(Debug, Clone)]
+pub struct PostSolve {
+    /// For each original variable: `Some(value)` if presolve fixed it.
+    pub fixed: Vec<Option<f64>>,
+    /// For each original variable: its column in the reduced model (if kept).
+    pub mapping: Vec<Option<usize>>,
+    /// Presolve proved the model infeasible.
+    pub infeasible: bool,
+    /// Number of variables in the reduced model.
+    pub reduced_vars: usize,
+    /// Number of constraints in the reduced model.
+    pub reduced_cons: usize,
+    /// Number of variables in the original model.
+    pub original_vars: usize,
+}
+
+impl PostSolve {
+    /// If presolve alone already determined the outcome (infeasible, or all
+    /// variables fixed), returns the corresponding solution skeleton.
+    pub fn trivial_outcome(&self) -> Option<Solution> {
+        if self.infeasible {
+            return Some(infeasible_solution(self.original_vars));
+        }
+        if self.reduced_vars == 0 {
+            return Some(Solution {
+                status: SolveStatus::Optimal,
+                objective: 0.0, // recomputed by `recover`
+                values: Vec::new(),
+                duals: Vec::new(),
+                stats: SolveStats { presolved_vars: 0, presolved_cons: 0, ..Default::default() },
+            });
+        }
+        None
+    }
+
+    /// Maps a reduced-space solution back to the original variable space and
+    /// recomputes the objective against the original model.
+    pub fn recover(&self, mut sol: Solution, original: &Model) -> Solution {
+        let mut values = vec![0.0; self.original_vars];
+        for (orig, fixed) in self.fixed.iter().enumerate() {
+            if let Some(v) = fixed {
+                values[orig] = *v;
+            }
+        }
+        for (orig, mapped) in self.mapping.iter().enumerate() {
+            if let Some(j) = mapped {
+                if *j < sol.values.len() {
+                    values[orig] = sol.values[*j];
+                }
+            }
+        }
+        if sol.status.has_solution() {
+            sol.objective = original.eval_objective(&values);
+        }
+        sol.values = values;
+        // Dual values no longer correspond 1:1 to the original constraints once
+        // rows were removed; drop them rather than report misleading numbers.
+        if self.reduced_cons != original.num_cons() {
+            sol.duals = Vec::new();
+        }
+        sol.stats.presolved_vars = self.reduced_vars;
+        sol.stats.presolved_cons = self.reduced_cons;
+        sol
+    }
+}
+
+/// Internal working copy of a constraint with merged terms.
+#[derive(Debug, Clone)]
+struct WorkCons {
+    terms: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+    alive: bool,
+    name: String,
+}
+
+/// Runs presolve on a model, returning the reduced model and the post-solve
+/// recovery information.
+pub fn presolve(model: &Model) -> Result<(Model, PostSolve), LpError> {
+    let nv = model.num_vars();
+    let mut lb: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars.iter().map(|v| v.ub).collect();
+    let integer: Vec<bool> = model.vars.iter().map(|v| v.integer).collect();
+    let mut fixed: Vec<Option<f64>> = vec![None; nv];
+    let mut infeasible = false;
+
+    // Merge duplicate terms per constraint once up front.
+    let mut cons: Vec<WorkCons> = model
+        .cons
+        .iter()
+        .map(|c| {
+            let mut map: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            for (vid, coef) in &c.terms {
+                *map.entry(vid.0).or_insert(0.0) += coef;
+            }
+            let terms: Vec<(usize, f64)> = map.into_iter().filter(|(_, c)| c.abs() > 0.0).collect();
+            WorkCons { terms, op: c.op, rhs: c.rhs, alive: true, name: c.name.clone() }
+        })
+        .collect();
+
+    // Round integer bounds inward immediately.
+    for j in 0..nv {
+        if integer[j] {
+            if lb[j].is_finite() {
+                lb[j] = round_if_close(lb[j]).ceil();
+            }
+            if ub[j].is_finite() {
+                ub[j] = round_if_close(ub[j]).floor();
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed && !infeasible {
+        changed = false;
+
+        // 1. Detect newly fixed variables.
+        for j in 0..nv {
+            if fixed[j].is_none() && lb[j].is_finite() && ub[j].is_finite() {
+                if lb[j] > ub[j] + EPS {
+                    infeasible = true;
+                    break;
+                }
+                if (ub[j] - lb[j]).abs() <= EPS {
+                    fixed[j] = Some(lb[j]);
+                    changed = true;
+                }
+            }
+        }
+        if infeasible {
+            break;
+        }
+
+        // 2. Substitute fixed variables out of constraints, drop empty rows,
+        //    and convert singleton rows into bounds.
+        for c in cons.iter_mut() {
+            if !c.alive {
+                continue;
+            }
+            // Substitute fixed variables.
+            let mut new_terms = Vec::with_capacity(c.terms.len());
+            for (j, coef) in c.terms.iter() {
+                if let Some(v) = fixed[*j] {
+                    c.rhs -= coef * v;
+                    changed = true;
+                } else {
+                    new_terms.push((*j, *coef));
+                }
+            }
+            c.terms = new_terms;
+
+            if c.terms.is_empty() {
+                let ok = match c.op {
+                    ConstraintOp::Le => 0.0 <= c.rhs + 1e-7,
+                    ConstraintOp::Ge => 0.0 >= c.rhs - 1e-7,
+                    ConstraintOp::Eq => c.rhs.abs() <= 1e-7,
+                };
+                if !ok {
+                    infeasible = true;
+                    break;
+                }
+                c.alive = false;
+                changed = true;
+                continue;
+            }
+
+            if c.terms.len() == 1 {
+                let (j, a) = c.terms[0];
+                if a.abs() < EPS {
+                    // Treat as empty.
+                    continue;
+                }
+                let bound = c.rhs / a;
+                match (c.op, a > 0.0) {
+                    (ConstraintOp::Eq, _) => {
+                        let v = if integer[j] { bound.round() } else { bound };
+                        if integer[j] && (bound - bound.round()).abs() > 1e-6 {
+                            infeasible = true;
+                            break;
+                        }
+                        if v < lb[j] - 1e-7 || v > ub[j] + 1e-7 {
+                            infeasible = true;
+                            break;
+                        }
+                        lb[j] = v;
+                        ub[j] = v;
+                    }
+                    (ConstraintOp::Le, true) | (ConstraintOp::Ge, false) => {
+                        let mut new_ub = bound;
+                        if integer[j] {
+                            new_ub = (new_ub + 1e-9).floor();
+                        }
+                        if new_ub < ub[j] {
+                            ub[j] = new_ub;
+                        }
+                    }
+                    (ConstraintOp::Ge, true) | (ConstraintOp::Le, false) => {
+                        let mut new_lb = bound;
+                        if integer[j] {
+                            new_lb = (new_lb - 1e-9).ceil();
+                        }
+                        if new_lb > lb[j] {
+                            lb[j] = new_lb;
+                        }
+                    }
+                }
+                if lb[j] > ub[j] + EPS {
+                    infeasible = true;
+                    break;
+                }
+                c.alive = false;
+                changed = true;
+            }
+        }
+    }
+
+    // Build the reduced model.
+    let mut mapping: Vec<Option<usize>> = vec![None; nv];
+    let mut reduced = Model::new(model.sense);
+    if !infeasible {
+        for j in 0..nv {
+            if fixed[j].is_none() {
+                let id = reduced.add_var(model.vars[j].name.clone(), lb[j], ub[j], model.vars[j].obj, integer[j]);
+                mapping[j] = Some(id.0);
+            }
+        }
+        for c in cons.iter().filter(|c| c.alive) {
+            let terms: Vec<(VarId, f64)> = c
+                .terms
+                .iter()
+                .filter_map(|(j, coef)| mapping[*j].map(|nj| (VarId(nj), *coef)))
+                .collect();
+            reduced.add_cons(c.name.clone(), &terms, c.op, c.rhs);
+        }
+    }
+
+    let post = PostSolve {
+        fixed,
+        mapping,
+        infeasible,
+        reduced_vars: reduced.num_vars(),
+        reduced_cons: reduced.num_cons(),
+        original_vars: nv,
+    };
+    Ok((reduced, post))
+}
+
+fn round_if_close(v: f64) -> f64 {
+    if (v - v.round()).abs() < EPS {
+        v.round()
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn fixed_variables_are_removed_and_substituted() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 2.0, 2.0, 3.0, false);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, false);
+        m.add_cons("c", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0);
+        let (red, post) = presolve(&m).unwrap();
+        assert_eq!(red.num_vars(), 1);
+        // After substituting x=2, the row becomes the singleton `y <= 3`, which
+        // is folded into y's upper bound and dropped.
+        assert_eq!(red.num_cons(), 0);
+        assert_eq!(red.vars[0].ub, 3.0);
+        assert_eq!(post.fixed[x.0], Some(2.0));
+        assert!(post.fixed[y.0].is_none());
+    }
+
+    #[test]
+    fn singleton_eq_row_fixes_variable() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg_var("x", 1.0);
+        let y = m.add_nonneg_var("y", 1.0);
+        m.add_cons("fix", &[(x, 2.0)], ConstraintOp::Eq, 6.0);
+        m.add_cons("link", &[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 5.0);
+        let (red, post) = presolve(&m).unwrap();
+        assert_eq!(post.fixed[x.0], Some(3.0));
+        assert_eq!(red.num_vars(), 1);
+        // link became y >= 2 which is itself a singleton → removed into a bound.
+        assert_eq!(red.num_cons(), 0);
+        assert_eq!(red.vars[0].lb, 2.0);
+    }
+
+    #[test]
+    fn empty_infeasible_row_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 1.0, 1.0, 0.0, false);
+        m.add_cons("bad", &[(x, 1.0)], ConstraintOp::Ge, 5.0);
+        let (_, post) = presolve(&m).unwrap();
+        assert!(post.infeasible);
+        assert!(post.trivial_outcome().unwrap().status == SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn integer_bound_rounding() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_cons("c", &[(x, 2.0)], ConstraintOp::Le, 7.0);
+        let (red, post) = presolve(&m).unwrap();
+        // 2x <= 7 → x <= 3.5 → x <= 3 for integer x.
+        assert!(!post.infeasible);
+        assert_eq!(red.vars[0].ub, 3.0);
+    }
+
+    #[test]
+    fn fully_fixed_model_is_trivially_solved() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 4.0, 4.0, 2.0, false);
+        m.add_cons("c", &[(x, 1.0)], ConstraintOp::Le, 5.0);
+        let (red, post) = presolve(&m).unwrap();
+        assert_eq!(red.num_vars(), 0);
+        let trivial = post.trivial_outcome().unwrap();
+        let recovered = post.recover(trivial, &m);
+        assert_eq!(recovered.values, vec![4.0]);
+        assert_eq!(recovered.objective, 8.0);
+    }
+
+    #[test]
+    fn recover_maps_values_back() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 1.0, 1.0, 1.0, false);
+        let y = m.add_var("y", 0.0, 5.0, 1.0, false);
+        m.add_cons("c", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        let (red, post) = presolve(&m).unwrap();
+        let sol = red.solve_lp_relaxation().unwrap();
+        let rec = post.recover(sol, &m);
+        assert_eq!(rec.values[x.0], 1.0);
+        assert!((rec.values[y.0] - 3.0).abs() < 1e-6);
+        assert!((rec.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_singleton_eq_for_integer() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_cons("frac", &[(x, 2.0)], ConstraintOp::Eq, 3.0);
+        let (_, post) = presolve(&m).unwrap();
+        assert!(post.infeasible);
+    }
+
+    #[test]
+    fn conflicting_singletons_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_nonneg_var("x", 1.0);
+        m.add_cons("a", &[(x, 1.0)], ConstraintOp::Ge, 5.0);
+        m.add_cons("b", &[(x, 1.0)], ConstraintOp::Le, 2.0);
+        let (_, post) = presolve(&m).unwrap();
+        assert!(post.infeasible);
+    }
+}

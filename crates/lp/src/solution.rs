@@ -1,0 +1,111 @@
+//! Solution and statistics types returned by the LP / MILP solver.
+
+use std::time::Duration;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal solution was found (within tolerances).
+    Optimal,
+    /// A feasible solution was found but optimality was not proven (early stop
+    /// on gap, time limit, or node limit). Mirrors Gurobi's behaviour under the
+    /// paper's 2-hour timeout / 30% gap early-stop configuration.
+    Feasible,
+    /// The problem was proven infeasible.
+    Infeasible,
+    /// The objective is unbounded.
+    Unbounded,
+    /// The solver hit a limit without finding any feasible solution.
+    LimitReached,
+}
+
+impl SolveStatus {
+    /// Whether a usable (feasible) assignment is available.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// Statistics about a solve, loosely mirroring what the paper reports from
+/// Gurobi (solver time, primal-dual / MIP gap).
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Wall-clock time spent in the solver (including model reductions).
+    pub solve_time: Duration,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: usize,
+    /// Number of branch-and-bound nodes explored (0 for pure LPs).
+    pub nodes_explored: usize,
+    /// Relative MIP gap at termination: `|bound - incumbent| / max(1, |incumbent|)`.
+    /// `0.0` when optimality was proven, `f64::INFINITY` when no incumbent exists.
+    pub mip_gap: f64,
+    /// Best dual bound proved (MILP) or the LP optimum (LP).
+    pub best_bound: f64,
+    /// Variables in the model after presolve.
+    pub presolved_vars: usize,
+    /// Constraints in the model after presolve.
+    pub presolved_cons: usize,
+}
+
+/// A solution to an optimization model.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Termination status.
+    pub status: SolveStatus,
+    /// Objective value in the *original* model's sense (NaN if no solution).
+    pub objective: f64,
+    /// Value of each variable, indexed by `VarId::index()`.
+    pub values: Vec<f64>,
+    /// Dual values (one per constraint) when available from a pure LP solve;
+    /// empty for MILPs and presolve-trivial problems.
+    pub duals: Vec<f64>,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: crate::model::VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of a variable rounded to the nearest integer (useful for reading
+    /// binary/integer variables out of a MILP solution without `1e-9` noise).
+    pub fn int_value(&self, var: crate::model::VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Returns `true` if the solver produced a usable assignment.
+    pub fn has_solution(&self) -> bool {
+        self.status.has_solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VarId;
+
+    #[test]
+    fn status_has_solution() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::Feasible.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::Unbounded.has_solution());
+        assert!(!SolveStatus::LimitReached.has_solution());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let sol = Solution {
+            status: SolveStatus::Optimal,
+            objective: 1.0,
+            values: vec![0.4, 0.9999999],
+            duals: vec![],
+            stats: Default::default(),
+        };
+        assert_eq!(sol.value(VarId(0)), 0.4);
+        assert_eq!(sol.int_value(VarId(1)), 1);
+        assert!(sol.has_solution());
+    }
+}

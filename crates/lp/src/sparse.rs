@@ -1,0 +1,324 @@
+//! Minimal sparse linear-algebra types used by the simplex implementation.
+//!
+//! The constraint matrix is stored column-wise ([`SparseMatrix`]) because the
+//! revised simplex only ever needs `B^{-1} A_j` for single columns `A_j` and
+//! reduced-cost pricing over columns. Row-wise access is not required.
+
+/// A sparse vector stored as parallel `(index, value)` arrays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    /// Indices of the non-zero entries (strictly increasing).
+    pub indices: Vec<usize>,
+    /// Values of the non-zero entries, parallel to `indices`.
+    pub values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Creates an empty sparse vector.
+    pub fn new() -> Self {
+        Self { indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Creates a sparse vector from an unsorted list of `(index, value)`
+    /// pairs. Duplicate indices are summed; zero entries are dropped.
+    pub fn from_pairs(pairs: &[(usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, f64)> = pairs.to_vec();
+        sorted.sort_by_key(|(i, _)| *i);
+        let mut out = Self::new();
+        for (i, v) in sorted {
+            if let Some(last) = out.indices.last().copied() {
+                if last == i {
+                    *out.values.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            out.indices.push(i);
+            out.values.push(v);
+        }
+        // Drop entries that cancelled out.
+        let mut idx = Vec::with_capacity(out.indices.len());
+        let mut val = Vec::with_capacity(out.values.len());
+        for (i, v) in out.indices.iter().zip(out.values.iter()) {
+            if v.abs() > 0.0 {
+                idx.push(*i);
+                val.push(*v);
+            }
+        }
+        Self { indices: idx, values: val }
+    }
+
+    /// Number of structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Appends a non-zero entry. The caller must append indices in strictly
+    /// increasing order.
+    pub fn push(&mut self, index: usize, value: f64) {
+        debug_assert!(self.indices.last().map_or(true, |&last| index > last));
+        if value != 0.0 {
+            self.indices.push(index);
+            self.values.push(value);
+        }
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
+            acc += v * dense[i];
+        }
+        acc
+    }
+
+    /// Iterates over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Converts to a dense vector of the given length.
+    pub fn to_dense(&self, len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; len];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+}
+
+/// A column-major sparse matrix (each column is a [`SparseVec`] over rows).
+#[derive(Debug, Clone, Default)]
+pub struct SparseMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Columns of the matrix.
+    pub cols: Vec<SparseVec>,
+}
+
+impl SparseMatrix {
+    /// Creates an empty matrix with `rows` rows and no columns.
+    pub fn new(rows: usize) -> Self {
+        Self { rows, cols: Vec::new() }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total number of structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.iter().map(|c| c.nnz()).sum()
+    }
+
+    /// Appends a column and returns its index.
+    pub fn push_col(&mut self, col: SparseVec) -> usize {
+        debug_assert!(col.indices.iter().all(|&r| r < self.rows));
+        self.cols.push(col);
+        self.cols.len() - 1
+    }
+
+    /// Returns a reference to column `j`.
+    pub fn col(&self, j: usize) -> &SparseVec {
+        &self.cols[j]
+    }
+
+    /// Computes `y = M x` for a dense `x` (length `ncols`), returning a dense
+    /// vector of length `rows`.
+    pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols());
+        let mut y = vec![0.0; self.rows];
+        for (j, col) in self.cols.iter().enumerate() {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, v) in col.iter() {
+                y[i] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// Computes `y^T M` for a dense row vector `y` (length `rows`), returning a
+    /// dense vector of length `ncols` (i.e. `M^T y`).
+    pub fn transpose_mul_dense(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        self.cols.iter().map(|c| c.dot_dense(y)).collect()
+    }
+}
+
+/// A dense, row-major square matrix used for the simplex basis inverse.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    /// Dimension (the matrix is `n x n`).
+    pub n: usize,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Self { n, data }
+    }
+
+    /// Returns element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Returns row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Computes `self * col` where `col` is a sparse column (length `n`).
+    pub fn mul_sparse_col(&self, col: &SparseVec) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n];
+        for (i, v) in col.iter() {
+            // Add v * column i of self, i.e. out[r] += self[r][i] * v.
+            for r in 0..n {
+                out[r] += self.data[r * n + i] * v;
+            }
+        }
+        out
+    }
+
+    /// Computes `row_vec * self` where `row_vec` has length `n`, returning a
+    /// dense row vector of length `n`.
+    pub fn left_mul_dense(&self, row_vec: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut out = vec![0.0; n];
+        for (i, &w) in row_vec.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * n..(i + 1) * n];
+            for (o, r) in out.iter_mut().zip(row.iter()) {
+                *o += w * r;
+            }
+        }
+        out
+    }
+
+    /// Performs the simplex basis-inverse pivot update: given the transformed
+    /// entering column `w = B^{-1} A_j` and the pivot row `r`, updates the
+    /// stored inverse so it corresponds to the new basis.
+    pub fn pivot_update_copy(&mut self, w: &[f64], r: usize) {
+        let n = self.n;
+        let pivot = w[r];
+        debug_assert!(pivot.abs() > 0.0);
+        let inv_pivot = 1.0 / pivot;
+        // Scale pivot row first and keep a copy of it.
+        for j in 0..n {
+            self.data[r * n + j] *= inv_pivot;
+        }
+        let row_r: Vec<f64> = self.data[r * n..(r + 1) * n].to_vec();
+        for i in 0..n {
+            if i == r {
+                continue;
+            }
+            let factor = w[i];
+            if factor == 0.0 {
+                continue;
+            }
+            let row_i = &mut self.data[i * n..(i + 1) * n];
+            for (a, b) in row_i.iter_mut().zip(row_r.iter()) {
+                *a -= factor * b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vec_from_pairs_sorts_merges_and_drops_zeros() {
+        let v = SparseVec::from_pairs(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0), (2, 1.0), (2, -1.0)]);
+        assert_eq!(v.indices, vec![1, 3]);
+        assert_eq!(v.values, vec![2.0, 3.0]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_vec_dot_dense() {
+        let v = SparseVec::from_pairs(&[(0, 1.0), (2, 3.0)]);
+        let d = vec![2.0, 5.0, 4.0];
+        assert_eq!(v.dot_dense(&d), 2.0 + 12.0);
+    }
+
+    #[test]
+    fn sparse_vec_to_dense_roundtrip() {
+        let v = SparseVec::from_pairs(&[(1, 4.0), (3, -2.0)]);
+        assert_eq!(v.to_dense(5), vec![0.0, 4.0, 0.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_matrix_mul_dense() {
+        // M = [1 2; 0 3] stored by columns.
+        let mut m = SparseMatrix::new(2);
+        m.push_col(SparseVec::from_pairs(&[(0, 1.0)]));
+        m.push_col(SparseVec::from_pairs(&[(0, 2.0), (1, 3.0)]));
+        let y = m.mul_dense(&[1.0, 2.0]);
+        assert_eq!(y, vec![5.0, 6.0]);
+        let yt = m.transpose_mul_dense(&[1.0, 1.0]);
+        assert_eq!(yt, vec![1.0, 5.0]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.ncols(), 2);
+    }
+
+    #[test]
+    fn dense_identity_and_access() {
+        let mut d = DenseMatrix::identity(3);
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        d.set(0, 1, 5.0);
+        assert_eq!(d.row(0), &[1.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_mul_sparse_col_matches_dense_math() {
+        // B = identity, so Binv * col == col.
+        let d = DenseMatrix::identity(3);
+        let col = SparseVec::from_pairs(&[(0, 2.0), (2, -1.0)]);
+        assert_eq!(d.mul_sparse_col(&col), vec![2.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn dense_left_mul() {
+        let mut d = DenseMatrix::identity(2);
+        d.set(0, 1, 3.0);
+        // y = [1, 2];  y * d = [1, 1*3 + 2*1] = [1, 5]
+        assert_eq!(d.left_mul_dense(&[1.0, 2.0]), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn pivot_update_copy_matches_explicit_inverse() {
+        // Start with B = I (Binv = I). Replace column 1 of the basis with
+        // a = [1, 2]^T. The new basis is B' = [[1, 1], [0, 2]] whose inverse is
+        // [[1, -0.5], [0, 0.5]].
+        let mut binv = DenseMatrix::identity(2);
+        let w = vec![1.0, 2.0]; // Binv * a with Binv = I.
+        binv.pivot_update_copy(&w, 1);
+        let expect = [1.0, -0.5, 0.0, 0.5];
+        for (got, want) in binv.data.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-12, "{:?}", binv.data);
+        }
+    }
+}

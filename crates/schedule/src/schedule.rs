@@ -1,0 +1,208 @@
+//! The schedule data model: which chunk crosses which link in which epoch.
+
+use serde::{Deserialize, Serialize};
+use teccl_topology::NodeId;
+
+/// Identity of a chunk: the source GPU it originates from plus its per-source
+/// chunk index (`(s, c)` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkId {
+    /// Source GPU.
+    pub source: NodeId,
+    /// Chunk index within the source.
+    pub chunk: usize,
+}
+
+impl ChunkId {
+    /// Creates a chunk id.
+    pub fn new(source: NodeId, chunk: usize) -> Self {
+        Self { source, chunk }
+    }
+}
+
+/// One scheduled transmission of a chunk over a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Send {
+    /// The chunk being sent.
+    pub chunk: ChunkId,
+    /// The transmitting node.
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// The epoch (discrete time slot) in which the send is issued. For
+    /// baselines that are step- rather than epoch-based, this is the step
+    /// index; it always provides the causal ordering of the schedule.
+    pub epoch: usize,
+}
+
+/// A complete collective schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Name of the algorithm / solver that produced the schedule.
+    pub name: String,
+    /// Size of one chunk in bytes.
+    pub chunk_bytes: f64,
+    /// Epoch duration in seconds (`0.0` for schedules that are only causally
+    /// ordered, e.g. the ring baseline — the simulator then ignores epoch
+    /// pacing and uses pure dependency/link availability).
+    pub epoch_duration: f64,
+    /// Number of epochs the schedule spans.
+    pub num_epochs: usize,
+    /// All sends, in no particular order (sorting happens on demand).
+    pub sends: Vec<Send>,
+    /// Wall-clock time the solver spent producing this schedule, in seconds.
+    pub solver_time: f64,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new(name: impl Into<String>, chunk_bytes: f64) -> Self {
+        Self {
+            name: name.into(),
+            chunk_bytes,
+            epoch_duration: 0.0,
+            num_epochs: 0,
+            sends: Vec::new(),
+            solver_time: 0.0,
+        }
+    }
+
+    /// Adds a send and keeps `num_epochs` in sync.
+    pub fn push(&mut self, chunk: ChunkId, from: NodeId, to: NodeId, epoch: usize) {
+        self.sends.push(Send { chunk, from, to, epoch });
+        self.num_epochs = self.num_epochs.max(epoch + 1);
+    }
+
+    /// Number of sends.
+    pub fn num_sends(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Total bytes put on the wire by this schedule (each send of a chunk
+    /// counts once — the "fewer bytes" half of the paper's quality claim).
+    pub fn total_bytes_on_wire(&self) -> f64 {
+        self.sends.len() as f64 * self.chunk_bytes
+    }
+
+    /// Sends sorted by (epoch, from, to, chunk) — a stable, deterministic order
+    /// used by validation, simulation and export.
+    pub fn sorted_sends(&self) -> Vec<Send> {
+        let mut s = self.sends.clone();
+        s.sort_by_key(|snd| (snd.epoch, snd.from, snd.to, snd.chunk.source, snd.chunk.chunk));
+        s
+    }
+
+    /// Sends issued in a given epoch.
+    pub fn sends_in_epoch(&self, epoch: usize) -> impl Iterator<Item = &Send> + '_ {
+        self.sends.iter().filter(move |s| s.epoch == epoch)
+    }
+
+    /// The highest epoch index that actually carries a send (`None` for an
+    /// empty schedule).
+    pub fn last_used_epoch(&self) -> Option<usize> {
+        self.sends.iter().map(|s| s.epoch).max()
+    }
+
+    /// Exports the schedule in an MSCCL-inspired JSON format: one entry per
+    /// GPU with its ordered send and receive operations. The paper converts
+    /// TE-CCL solutions into MSCCL to run them on hardware (§6); this export
+    /// is the moral equivalent for downstream tooling.
+    pub fn to_msccl_json(&self) -> serde_json::Value {
+        use serde_json::json;
+        let mut per_gpu: std::collections::BTreeMap<usize, Vec<serde_json::Value>> =
+            std::collections::BTreeMap::new();
+        for s in self.sorted_sends() {
+            per_gpu.entry(s.from.0).or_default().push(json!({
+                "op": "send",
+                "chunk_source": s.chunk.source.0,
+                "chunk_index": s.chunk.chunk,
+                "peer": s.to.0,
+                "step": s.epoch,
+            }));
+            per_gpu.entry(s.to.0).or_default().push(json!({
+                "op": "recv",
+                "chunk_source": s.chunk.source.0,
+                "chunk_index": s.chunk.chunk,
+                "peer": s.from.0,
+                "step": s.epoch,
+            }));
+        }
+        json!({
+            "name": self.name,
+            "chunk_bytes": self.chunk_bytes,
+            "epoch_duration_s": self.epoch_duration,
+            "num_epochs": self.num_epochs,
+            "gpus": per_gpu.into_iter().map(|(gpu, ops)| json!({"id": gpu, "ops": ops})).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_epochs() {
+        let mut s = Schedule::new("test", 1024.0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(1), NodeId(2), 3);
+        assert_eq!(s.num_epochs, 4);
+        assert_eq!(s.num_sends(), 2);
+        assert_eq!(s.last_used_epoch(), Some(3));
+        assert_eq!(s.total_bytes_on_wire(), 2048.0);
+    }
+
+    #[test]
+    fn sorted_sends_are_deterministic() {
+        let mut s = Schedule::new("test", 1.0);
+        s.push(ChunkId::new(NodeId(1), 0), NodeId(1), NodeId(2), 1);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
+        s.push(ChunkId::new(NodeId(0), 1), NodeId(0), NodeId(2), 0);
+        let sorted = s.sorted_sends();
+        assert_eq!(sorted[0].epoch, 0);
+        assert_eq!(sorted[0].from, NodeId(0));
+        assert_eq!(sorted[2].epoch, 1);
+    }
+
+    #[test]
+    fn sends_in_epoch_filter() {
+        let mut s = Schedule::new("test", 1.0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(1), NodeId(2), 1);
+        assert_eq!(s.sends_in_epoch(0).count(), 1);
+        assert_eq!(s.sends_in_epoch(1).count(), 1);
+        assert_eq!(s.sends_in_epoch(2).count(), 0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new("empty", 1.0);
+        assert_eq!(s.last_used_epoch(), None);
+        assert_eq!(s.num_sends(), 0);
+    }
+
+    #[test]
+    fn msccl_export_contains_all_ops() {
+        let mut s = Schedule::new("export", 4096.0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
+        s.push(ChunkId::new(NodeId(0), 0), NodeId(1), NodeId(2), 1);
+        let v = s.to_msccl_json();
+        assert_eq!(v["name"], "export");
+        let gpus = v["gpus"].as_array().unwrap();
+        // GPUs 0, 1, 2 all participate.
+        assert_eq!(gpus.len(), 3);
+        // GPU 1 both receives and sends.
+        let gpu1 = gpus.iter().find(|g| g["id"] == 1).unwrap();
+        assert_eq!(gpu1["ops"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Schedule::new("round", 8.0);
+        s.push(ChunkId::new(NodeId(0), 2), NodeId(0), NodeId(1), 5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sends, s.sends);
+        assert_eq!(back.num_epochs, 6);
+    }
+}

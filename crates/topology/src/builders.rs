@@ -1,0 +1,408 @@
+//! Builders for the topologies used in the paper's evaluation (§6, Table 2,
+//! Appendix H) and for the motivating examples of Figure 1.
+//!
+//! Bandwidths / α values come straight from the paper where published
+//! (Figures 11 and 12, Figure 2's caption, §6.1); the proprietary "Internal 1"
+//! and "Internal 2" topologies are synthesized from the parameters the paper
+//! does publish (GPUs per chassis, edges per chassis, α values) — see
+//! DESIGN.md for the substitution rationale.
+
+use crate::graph::{NodeId, Topology};
+use crate::{GBPS, MICROSECOND};
+
+/// The 16 bidirectional NVLink connections of a DGX-1 / NDv2 chassis
+/// (8 GPUs, 32 directed edges — Table 2). The first 8 pairs form the two
+/// "quad" cliques (faster links on NDv2), the rest are the cross connections.
+const DGX1_NVLINKS: [(usize, usize); 16] = [
+    // quad 0: GPUs 0-3
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (1, 2),
+    (1, 3),
+    (2, 3),
+    // quad 1: GPUs 4-7
+    (4, 5),
+    (4, 6),
+    (4, 7),
+    (5, 6),
+    (5, 7),
+    (6, 7),
+    // cross links between the quads
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// Builds a single DGX-1 chassis: 8 GPUs, 32 directed NVLink edges,
+/// 25 GB/s per link, α = 0.7 µs (the values used for the SCCL comparison in
+/// §6.1 / Table 3).
+pub fn dgx1() -> Topology {
+    let mut t = Topology::new("DGX1");
+    let gpus: Vec<NodeId> = (0..8).map(|i| t.add_gpu(format!("gpu{i}"), 0)).collect();
+    for &(a, b) in &DGX1_NVLINKS {
+        t.add_bilink(gpus[a], gpus[b], 25.0 * GBPS, 0.7 * MICROSECOND);
+    }
+    t
+}
+
+/// Builds an `chassis`-chassis NDv2 topology (Figure 11): each chassis is a
+/// DGX-1-style 8-GPU NVLink mesh where the intra-quad links run at 50 GB/s and
+/// the cross-quad links at 25 GB/s (α = 0.7 µs), and GPUs 0 and 1 of every
+/// chassis connect to a shared switch over 12.5 GB/s links with α = 1.3 µs.
+///
+/// With `chassis == 1` no switch is added.
+pub fn ndv2(chassis: usize) -> Topology {
+    assert!(chassis >= 1, "need at least one chassis");
+    let mut t = Topology::new(format!("NDv2 x{chassis}"));
+    let mut all_gpus = Vec::new();
+    for c in 0..chassis {
+        let gpus: Vec<NodeId> = (0..8).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        for (idx, &(a, b)) in DGX1_NVLINKS.iter().enumerate() {
+            let cap = if idx < 12 { 50.0 * GBPS } else { 25.0 * GBPS };
+            t.add_bilink(gpus[a], gpus[b], cap, 0.7 * MICROSECOND);
+        }
+        all_gpus.push(gpus);
+    }
+    if chassis > 1 {
+        let sw = t.add_switch("ib-switch", 0);
+        for gpus in &all_gpus {
+            for &g in &gpus[..2] {
+                t.add_bilink(g, sw, 12.5 * GBPS, 1.3 * MICROSECOND);
+            }
+        }
+    }
+    t
+}
+
+/// Builds an `chassis`-chassis DGX-2 topology (Figure 12): each chassis has 16
+/// GPUs connected through an NVSwitch node (125 GB/s, α = 0.35 µs — 17 nodes
+/// and 32 directed edges per chassis, Table 2). Across chassis, GPUs 0–7 of
+/// each chassis send to a shared switch and GPUs 8–15 receive from it over
+/// 12.5 GB/s links with α = 2.6 µs.
+pub fn dgx2(chassis: usize) -> Topology {
+    assert!(chassis >= 1, "need at least one chassis");
+    let mut t = Topology::new(format!("DGX2 x{chassis}"));
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    for c in 0..chassis {
+        let gpus: Vec<NodeId> = (0..16).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        let nvswitch = t.add_switch(format!("c{c}/nvswitch"), c);
+        for &g in &gpus {
+            t.add_bilink(g, nvswitch, 125.0 * GBPS, 0.35 * MICROSECOND);
+        }
+        senders.push(gpus[..8].to_vec());
+        receivers.push(gpus[8..].to_vec());
+    }
+    if chassis > 1 {
+        let sw = t.add_switch("ib-switch", 0);
+        for c in 0..chassis {
+            for &g in &senders[c] {
+                t.add_link(g, sw, 12.5 * GBPS, 2.6 * MICROSECOND);
+            }
+            for &g in &receivers[c] {
+                t.add_link(sw, g, 12.5 * GBPS, 2.6 * MICROSECOND);
+            }
+        }
+    }
+    t
+}
+
+/// Synthetic stand-in for the paper's proprietary "Internal 1" topology:
+/// 4 GPUs per chassis connected in a ring (8 directed edges per chassis,
+/// Table 2) at 25 GB/s with α = 0.6 µs; every GPU also connects to a shared
+/// switch at 12.5 GB/s with α = 0.75 µs (the paper notes that *many* nodes per
+/// chassis attach to the switch on the internal topologies, §6.1).
+pub fn internal1(chassis: usize) -> Topology {
+    assert!(chassis >= 1, "need at least one chassis");
+    let mut t = Topology::new(format!("Internal1 x{chassis}"));
+    let mut all_gpus = Vec::new();
+    for c in 0..chassis {
+        let gpus: Vec<NodeId> = (0..4).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        for i in 0..4 {
+            t.add_bilink(gpus[i], gpus[(i + 1) % 4], 25.0 * GBPS, 0.6 * MICROSECOND);
+        }
+        all_gpus.push(gpus);
+    }
+    if chassis > 1 {
+        let sw = t.add_switch("switch", 0);
+        for gpus in &all_gpus {
+            for &g in gpus {
+                t.add_bilink(g, sw, 12.5 * GBPS, 0.75 * MICROSECOND);
+            }
+        }
+    }
+    t
+}
+
+/// Synthetic stand-in for the paper's proprietary "Internal 2" topology:
+/// 2 GPUs per chassis joined by one bidirectional link (2 directed edges per
+/// chassis, Table 2) at 25 GB/s with α = 0.6 µs; both GPUs of every chassis
+/// connect to a shared switch at 12.5 GB/s with α = 0.75 µs.
+pub fn internal2(chassis: usize) -> Topology {
+    assert!(chassis >= 1, "need at least one chassis");
+    let mut t = Topology::new(format!("Internal2 x{chassis}"));
+    let mut all_gpus = Vec::new();
+    for c in 0..chassis {
+        let a = t.add_gpu(format!("c{c}/gpu0"), c);
+        let b = t.add_gpu(format!("c{c}/gpu1"), c);
+        t.add_bilink(a, b, 25.0 * GBPS, 0.6 * MICROSECOND);
+        all_gpus.push([a, b]);
+    }
+    if chassis > 1 {
+        let sw = t.add_switch("switch", 0);
+        for pair in &all_gpus {
+            for &g in pair {
+                t.add_bilink(g, sw, 12.5 * GBPS, 0.75 * MICROSECOND);
+            }
+        }
+    }
+    t
+}
+
+/// A simple bidirectional line of `n` GPU nodes with uniform link parameters.
+pub fn line_topology(n: usize, capacity: f64, alpha: f64) -> Topology {
+    let mut t = Topology::new(format!("line{n}"));
+    let nodes: Vec<NodeId> = (0..n).map(|i| t.add_gpu(format!("g{i}"), 0)).collect();
+    for w in nodes.windows(2) {
+        t.add_bilink(w[0], w[1], capacity, alpha);
+    }
+    t
+}
+
+/// A unidirectional ring of `n` GPU nodes (plus the reverse links so the
+/// topology validates; the forward direction carries the given capacity and
+/// the reverse the same).
+pub fn ring_topology(n: usize, capacity: f64, alpha: f64) -> Topology {
+    let mut t = Topology::new(format!("ring{n}"));
+    let nodes: Vec<NodeId> = (0..n).map(|i| t.add_gpu(format!("g{i}"), 0)).collect();
+    for i in 0..n {
+        t.add_bilink(nodes[i], nodes[(i + 1) % n], capacity, alpha);
+    }
+    t
+}
+
+/// A fully connected clique of `n` GPU nodes.
+pub fn clique_topology(n: usize, capacity: f64, alpha: f64) -> Topology {
+    let mut t = Topology::new(format!("clique{n}"));
+    let nodes: Vec<NodeId> = (0..n).map(|i| t.add_gpu(format!("g{i}"), 0)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.add_bilink(nodes[i], nodes[j], capacity, alpha);
+        }
+    }
+    t
+}
+
+/// The topology of Figure 1a: two sources feeding a destination through a
+/// relay, where the direct `s2 → h3` link has a much larger α than the
+/// three-hop `s1` path (α₂ = 2β·S + 3α₁ for a unit-chunk transfer), and the
+/// final `h3 → d` hop has α = 0. Node order: `s1, h1, h2, h3, d, s2`.
+///
+/// `chunk_bytes` is the "unit of traffic" of the example; capacities are 1 GB/s.
+pub fn fig1a(chunk_bytes: f64, alpha1: f64) -> Topology {
+    let cap = 1.0 * GBPS;
+    let beta_s = chunk_bytes / cap; // transmission time of one chunk
+    let alpha2 = 2.0 * beta_s + 3.0 * alpha1;
+    let mut t = Topology::new("fig1a");
+    let s1 = t.add_gpu("s1", 0);
+    let h1 = t.add_gpu("h1", 0);
+    let h2 = t.add_gpu("h2", 0);
+    let h3 = t.add_gpu("h3", 0);
+    let d = t.add_gpu("d", 0);
+    let s2 = t.add_gpu("s2", 0);
+    t.add_bilink(s1, h1, cap, alpha1);
+    t.add_bilink(h1, h2, cap, alpha1);
+    t.add_bilink(h2, h3, cap, alpha1);
+    t.add_bilink(h3, d, cap, 0.0);
+    t.add_bilink(s2, h3, cap, alpha2);
+    t
+}
+
+/// The topology of Figure 1b: three sources (`s1..s3`, nodes 0–2) each with a
+/// 1-unit/s link into relay `h` (node 3), and a 2-unit/s link from `h` to the
+/// destination `d` (node 4). Capacities are scaled by `unit_bytes_per_sec`.
+pub fn fig1b(unit_bytes_per_sec: f64) -> Topology {
+    let mut t = Topology::new("fig1b");
+    let s: Vec<NodeId> = (0..3).map(|i| t.add_gpu(format!("s{}", i + 1), 0)).collect();
+    let h = t.add_gpu("h", 0);
+    let d = t.add_gpu("d", 0);
+    for &si in &s {
+        t.add_bilink(si, h, unit_bytes_per_sec, 0.0);
+    }
+    t.add_bilink(h, d, 2.0 * unit_bytes_per_sec, 0.0);
+    t
+}
+
+/// The topology of Figure 1c: a source `s` (node 0) connected to relay `h`
+/// (node 1) which fans out to three destinations `d1..d3` (nodes 2–4), all
+/// links 1 unit/s (scaled by `unit_bytes_per_sec`).
+pub fn fig1c(unit_bytes_per_sec: f64) -> Topology {
+    let mut t = Topology::new("fig1c");
+    let s = t.add_gpu("s", 0);
+    let h = t.add_gpu("h", 0);
+    let ds: Vec<NodeId> = (0..3).map(|i| t.add_gpu(format!("d{}", i + 1), 0)).collect();
+    t.add_bilink(s, h, unit_bytes_per_sec, 0.0);
+    for &di in &ds {
+        t.add_bilink(h, di, unit_bytes_per_sec, 0.0);
+    }
+    t
+}
+
+/// The 2-chassis, 8-GPU, 40-edge proprietary topology used for Figure 2
+/// (α = 0.6 µs on GPU–GPU links, 0.75 µs on GPU–switch links): two chassis of
+/// four fully-connected GPUs (12 directed edges each) plus every GPU attached
+/// to a shared switch (16 directed edges) — 40 directed edges total.
+pub fn fig2_topology() -> Topology {
+    let mut t = Topology::new("fig2-internal");
+    let mut all = Vec::new();
+    for c in 0..2 {
+        let gpus: Vec<NodeId> = (0..4).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                t.add_bilink(gpus[i], gpus[j], 25.0 * GBPS, 0.6 * MICROSECOND);
+            }
+        }
+        all.push(gpus);
+    }
+    let sw = t.add_switch("switch", 0);
+    for gpus in &all {
+        for &g in gpus {
+            t.add_bilink(g, sw, 12.5 * GBPS, 0.75 * MICROSECOND);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_matches_table2() {
+        let t = dgx1();
+        assert_eq!(t.num_gpus(), 8);
+        assert_eq!(t.num_links(), 32);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn ndv2_single_chassis() {
+        let t = ndv2(1);
+        assert_eq!(t.num_gpus(), 8);
+        assert_eq!(t.num_links(), 32);
+        assert_eq!(t.switches().count(), 0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn ndv2_two_chassis_adds_switch_and_uplinks() {
+        let t = ndv2(2);
+        assert_eq!(t.num_gpus(), 16);
+        assert_eq!(t.switches().count(), 1);
+        // 2 chassis * 32 + 2 GPUs/chassis * 2 chassis * 2 directions = 72.
+        assert_eq!(t.num_links(), 2 * 32 + 2 * 2 * 2);
+        assert!(t.validate().is_ok());
+        // Link speeds match Figure 11: 50, 25 and 12.5 GB/s present.
+        let caps: std::collections::BTreeSet<u64> =
+            t.links.iter().map(|l| (l.capacity / 1e9).round() as u64).collect();
+        assert!(caps.contains(&50) && caps.contains(&25) && caps.contains(&13));
+    }
+
+    #[test]
+    fn dgx2_matches_table2() {
+        let t = dgx2(1);
+        assert_eq!(t.num_nodes(), 17);
+        assert_eq!(t.num_gpus(), 16);
+        assert_eq!(t.num_links(), 32);
+        assert!(t.validate().is_ok());
+        let t2 = dgx2(2);
+        assert_eq!(t2.num_gpus(), 32);
+        assert_eq!(t2.num_nodes(), 2 * 17 + 1);
+        // 2*32 intra + 16 send + 16 receive.
+        assert_eq!(t2.num_links(), 64 + 32);
+        assert!(t2.validate().is_ok());
+    }
+
+    #[test]
+    fn internal_topologies_match_table2_per_chassis_counts() {
+        let t1 = internal1(1);
+        assert_eq!(t1.num_gpus(), 4);
+        assert_eq!(t1.num_links(), 8);
+        assert!(t1.validate().is_ok());
+
+        let t2 = internal2(1);
+        assert_eq!(t2.num_gpus(), 2);
+        assert_eq!(t2.num_links(), 2);
+        assert!(t2.validate().is_ok());
+
+        for c in [2, 4, 8] {
+            assert!(internal1(c).validate().is_ok());
+            assert!(internal2(c).validate().is_ok());
+            assert_eq!(internal1(c).num_gpus(), 4 * c);
+            assert_eq!(internal2(c).num_gpus(), 2 * c);
+        }
+    }
+
+    #[test]
+    fn internal_alphas_match_paper() {
+        let t = internal1(2);
+        for l in &t.links {
+            let a_us = l.alpha / MICROSECOND;
+            assert!((a_us - 0.6).abs() < 1e-9 || (a_us - 0.75).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig2_topology_counts() {
+        let t = fig2_topology();
+        assert_eq!(t.num_gpus(), 8);
+        assert_eq!(t.num_links(), 40);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn fig1a_alpha_relationship() {
+        let chunk = 1e6; // 1 MB
+        let alpha1 = 1e-6;
+        let t = fig1a(chunk, alpha1);
+        assert_eq!(t.num_gpus(), 6);
+        let s2 = NodeId(5);
+        let h3 = NodeId(3);
+        let l = t.link_between(s2, h3).unwrap();
+        let beta_s = chunk / (1.0 * GBPS);
+        assert!((l.alpha - (2.0 * beta_s + 3.0 * alpha1)).abs() < 1e-15);
+        // h3 -> d has zero alpha.
+        assert_eq!(t.link_between(h3, NodeId(4)).unwrap().alpha, 0.0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn fig1b_and_fig1c_shapes() {
+        let b = fig1b(1e9);
+        assert_eq!(b.num_gpus(), 5);
+        assert_eq!(b.link_between(NodeId(3), NodeId(4)).unwrap().capacity, 2e9);
+        assert!(b.validate().is_ok());
+
+        let c = fig1c(1e9);
+        assert_eq!(c.num_gpus(), 5);
+        assert_eq!(c.out_links(NodeId(1)).count(), 4); // 3 dests + back to s
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn generic_builders() {
+        assert_eq!(line_topology(4, 1e9, 0.0).num_links(), 6);
+        assert_eq!(ring_topology(5, 1e9, 0.0).num_links(), 10);
+        assert_eq!(clique_topology(4, 1e9, 0.0).num_links(), 12);
+        assert!(clique_topology(4, 1e9, 0.0).validate().is_ok());
+        assert!(ring_topology(3, 1e9, 1e-6).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chassis_panics() {
+        let _ = ndv2(0);
+    }
+}

@@ -46,10 +46,10 @@ pub fn sccl_like_schedule(
 
     // Which chunks each node currently holds.
     let mut holds: Vec<BTreeSet<ChunkId>> = vec![BTreeSet::new(); n];
-    for s in 0..n {
+    for (s, held) in holds.iter_mut().enumerate() {
         for c in 0..demand.num_chunks {
             if demand.chunk_in_use(teccl_topology::NodeId(s), c) {
-                holds[s].insert(ChunkId::new(teccl_topology::NodeId(s), c));
+                held.insert(ChunkId::new(teccl_topology::NodeId(s), c));
             }
         }
     }
@@ -86,8 +86,8 @@ pub fn sccl_like_schedule(
                 }
                 // Score: 2 if the receiver demands it itself, plus how many
                 // nodes in total still miss it (usefulness for forwarding).
-                let wanted_by_receiver =
-                    demand.wants(chunk.source, chunk.chunk, link.dst) && !holds[to].contains(&chunk);
+                let wanted_by_receiver = demand.wants(chunk.source, chunk.chunk, link.dst)
+                    && !holds[to].contains(&chunk);
                 let missing_elsewhere = demand
                     .destinations_of(chunk.source, chunk.chunk)
                     .iter()
@@ -186,8 +186,9 @@ mod tests {
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let one = sccl_like_schedule(&topo, &DemandMatrix::broadcast(3, &gpus, NodeId(0), 1), 1e6)
             .unwrap();
-        let three = sccl_like_schedule(&topo, &DemandMatrix::broadcast(3, &gpus, NodeId(0), 3), 1e6)
-            .unwrap();
+        let three =
+            sccl_like_schedule(&topo, &DemandMatrix::broadcast(3, &gpus, NodeId(0), 3), 1e6)
+                .unwrap();
         assert!(three.rounds > one.rounds);
     }
 

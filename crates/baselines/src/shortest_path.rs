@@ -18,7 +18,11 @@ use teccl_topology::{floyd_warshall, NodeId, Topology};
 /// derives the actual timing), assigned by list scheduling: a hop is placed in
 /// the first epoch after the chunk is available at the hop's source in which
 /// the link has not yet been used by this schedule.
-pub fn shortest_path_schedule(topo: &Topology, demand: &DemandMatrix, chunk_bytes: f64) -> Schedule {
+pub fn shortest_path_schedule(
+    topo: &Topology,
+    demand: &DemandMatrix,
+    chunk_bytes: f64,
+) -> Schedule {
     // Weight: α plus transmission time of one chunk — the per-hop latency.
     let pm = floyd_warshall(topo, |l| l.alpha + chunk_bytes / l.capacity);
     let mut schedule = Schedule::new("shortest-path", chunk_bytes);
@@ -40,7 +44,9 @@ pub fn shortest_path_schedule(topo: &Topology, demand: &DemandMatrix, chunk_byte
         let mut available = 0usize;
         for hop in path.windows(2) {
             let (from, to) = (hop[0], hop[1]);
-            let used = link_used.entry((from.0, to.0)).or_insert_with(|| vec![false; horizon]);
+            let used = link_used
+                .entry((from.0, to.0))
+                .or_insert_with(|| vec![false; horizon]);
             let mut epoch = available;
             while epoch < used.len() && used[epoch] {
                 epoch += 1;
@@ -72,8 +78,11 @@ mod tests {
             demand.set(NodeId(0), 0, NodeId(d));
         }
         let schedule = shortest_path_schedule(&topo, &demand, 1e6);
-        let upstream =
-            schedule.sends.iter().filter(|s| s.from == NodeId(0) && s.to == NodeId(1)).count();
+        let upstream = schedule
+            .sends
+            .iter()
+            .filter(|s| s.from == NodeId(0) && s.to == NodeId(1))
+            .count();
         assert_eq!(upstream, 3);
         let report = validate(&topo, &demand, &schedule, false);
         assert!(report.is_valid(), "{:?}", report.errors);
@@ -83,12 +92,16 @@ mod tests {
         // serve all fan-out hops, so the finish time here is 2 ms, but the
         // bytes-on-wire waste is visible.
         let sim = simulate(&topo, &demand, &schedule).unwrap();
-        assert!((sim.transfer_time - 2e-3).abs() < 1e-9, "{}", sim.transfer_time);
+        assert!(
+            (sim.transfer_time - 2e-3).abs() < 1e-9,
+            "{}",
+            sim.transfer_time
+        );
         assert_eq!(schedule.num_sends(), 6); // copy-aware schedules need only 4
     }
 
     #[test]
-    fn alltoall_on_ring_is_valid(){
+    fn alltoall_on_ring_is_valid() {
         let topo = ring_topology(4, 1e9, 1e-6);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_to_all(4, &gpus, 1);

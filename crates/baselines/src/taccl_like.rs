@@ -24,11 +24,10 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use teccl_collective::DemandMatrix;
 use teccl_schedule::{simulate, ChunkId, Schedule};
 use teccl_topology::{floyd_warshall, NodeId, Topology};
+use teccl_util::Rng64;
 
 /// Configuration of the TACCL-like heuristic.
 #[derive(Debug, Clone)]
@@ -48,7 +47,12 @@ pub struct TacclConfig {
 
 impl Default for TacclConfig {
     fn default() -> Self {
-        Self { seed: 1, attempts: 8, deadline: None, load_penalty: 0.5 }
+        Self {
+            seed: 1,
+            attempts: 8,
+            deadline: None,
+            load_penalty: 0.5,
+        }
     }
 }
 
@@ -74,14 +78,14 @@ pub fn taccl_like_schedule(
     config: &TacclConfig,
 ) -> Option<TacclResult> {
     let start = std::time::Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::seed_from_u64(config.seed);
     let mut best: Option<(f64, Schedule)> = None;
 
     for _ in 0..config.attempts.max(1) {
         let schedule = one_attempt(topo, demand, chunk_bytes, config, &mut rng);
         if let Ok(sim) = simulate(topo, demand, &schedule) {
             let t = sim.transfer_time;
-            if best.as_ref().map_or(true, |(bt, _)| t < *bt) {
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
                 best = Some((t, schedule));
             }
         }
@@ -108,7 +112,7 @@ fn one_attempt(
     demand: &DemandMatrix,
     chunk_bytes: f64,
     config: &TacclConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Schedule {
     // Base per-hop latency for routing decisions.
     let base = floyd_warshall(topo, |l| l.alpha + chunk_bytes / l.capacity);
@@ -120,12 +124,20 @@ fn one_attempt(
     let mut triples: Vec<(NodeId, usize, NodeId)> = demand.iter().collect();
     // TACCL routes in an order driven by its sketch; randomize here.
     for i in (1..triples.len()).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.gen_range_usize_inclusive(i);
         triples.swap(i, j);
     }
     for (s, c, d) in triples {
-        let path = route_with_penalty(topo, s, d, &link_load, config.load_penalty, chunk_bytes, rng)
-            .or_else(|| base.path(s, d));
+        let path = route_with_penalty(
+            topo,
+            s,
+            d,
+            &link_load,
+            config.load_penalty,
+            chunk_bytes,
+            rng,
+        )
+        .or_else(|| base.path(s, d));
         if let Some(p) = path {
             for hop in p.windows(2) {
                 if let Some(l) = topo.link_between(hop[0], hop[1]) {
@@ -138,8 +150,7 @@ fn one_attempt(
 
     // ---- Phase 2: ordering. List-schedule each route's hops with a random
     // priority per demand (the scheduling phase cannot revisit routes).
-    let mut priorities: Vec<(f64, usize)> =
-        (0..routes.len()).map(|i| (rng.gen::<f64>(), i)).collect();
+    let mut priorities: Vec<(f64, usize)> = (0..routes.len()).map(|i| (rng.gen_f64(), i)).collect();
     priorities.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
     let mut schedule = Schedule::new("taccl-like", chunk_bytes);
@@ -166,9 +177,13 @@ fn route_with_penalty(
     link_load: &HashMap<usize, f64>,
     penalty: f64,
     chunk_bytes: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Option<Vec<NodeId>> {
-    let jitter: Vec<f64> = topo.links.iter().map(|_| rng.gen_range(0.0..0.2)).collect();
+    let jitter: Vec<f64> = topo
+        .links
+        .iter()
+        .map(|_| rng.gen_range_f64(0.0, 0.2))
+        .collect();
     let pm = floyd_warshall(topo, |l| {
         let load = link_load.get(&l.id.0).copied().unwrap_or(0.0);
         let base = l.alpha + chunk_bytes / l.capacity;
@@ -199,10 +214,28 @@ mod tests {
         let topo = dgx1();
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_gather(8, &gpus, 1);
-        let a = taccl_like_schedule(&topo, &demand, 25e3, &TacclConfig { seed: 1, attempts: 1, ..Default::default() })
-            .unwrap();
-        let b = taccl_like_schedule(&topo, &demand, 25e3, &TacclConfig { seed: 99, attempts: 1, ..Default::default() })
-            .unwrap();
+        let a = taccl_like_schedule(
+            &topo,
+            &demand,
+            25e3,
+            &TacclConfig {
+                seed: 1,
+                attempts: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = taccl_like_schedule(
+            &topo,
+            &demand,
+            25e3,
+            &TacclConfig {
+                seed: 99,
+                attempts: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // The heuristic is randomized: schedules generally differ across seeds
         // (they must at least both be valid).
         assert!(a.schedule.num_sends() > 0 && b.schedule.num_sends() > 0);
@@ -216,7 +249,11 @@ mod tests {
         let topo = ring_topology(4, 1e9, 0.0);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_to_all(4, &gpus, 1);
-        let cfg = TacclConfig { seed: 7, attempts: 3, ..Default::default() };
+        let cfg = TacclConfig {
+            seed: 7,
+            attempts: 3,
+            ..Default::default()
+        };
         let a = taccl_like_schedule(&topo, &demand, 1e6, &cfg).unwrap();
         let b = taccl_like_schedule(&topo, &demand, 1e6, &cfg).unwrap();
         assert_eq!(a.schedule.sorted_sends(), b.schedule.sorted_sends());
@@ -227,7 +264,10 @@ mod tests {
         let topo = ring_topology(4, 1e9, 0.0);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_gather(4, &gpus, 1);
-        let cfg = TacclConfig { deadline: Some(1e-9), ..Default::default() };
+        let cfg = TacclConfig {
+            deadline: Some(1e-9),
+            ..Default::default()
+        };
         assert!(taccl_like_schedule(&topo, &demand, 1e6, &cfg).is_none());
     }
 
@@ -236,10 +276,28 @@ mod tests {
         let topo = dgx1();
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_to_all(8, &gpus, 1);
-        let few = taccl_like_schedule(&topo, &demand, 1e6, &TacclConfig { seed: 3, attempts: 1, ..Default::default() })
-            .unwrap();
-        let many = taccl_like_schedule(&topo, &demand, 1e6, &TacclConfig { seed: 3, attempts: 8, ..Default::default() })
-            .unwrap();
+        let few = taccl_like_schedule(
+            &topo,
+            &demand,
+            1e6,
+            &TacclConfig {
+                seed: 3,
+                attempts: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = taccl_like_schedule(
+            &topo,
+            &demand,
+            1e6,
+            &TacclConfig {
+                seed: 3,
+                attempts: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(many.transfer_time <= few.transfer_time + 1e-12);
     }
 }

@@ -1,14 +1,20 @@
-//! Criterion micro-benchmarks for the quantities behind the paper's
-//! solver-time results (Figures 5, 6, 8, 9, Table 4): the LP form, the general
-//! MILP, the A* rounds, the baselines, and the alpha-beta simulator.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks for the quantities behind the paper's solver-time results
+//! (Figures 5, 6, 8, 9, Table 4): the LP form, the general MILP, the A*
+//! rounds, the baselines, the alpha-beta simulator, and the warm- vs
+//! cold-started simplex. Runs on the in-tree harness
+//! ([`teccl_bench::microbench`]; the offline toolchain has no criterion) via
+//! `cargo bench -p teccl-bench`.
+
+use std::time::Duration;
+
 use teccl_baselines::{sccl_like_schedule, taccl_like_schedule, TacclConfig};
+use teccl_bench::microbench::{BenchConfig, Harness};
 use teccl_bench::{quick_config, run_teccl, Method, Scenario};
 use teccl_collective::{CollectiveKind, DemandMatrix};
 use teccl_schedule::simulate;
 use teccl_topology::NodeId;
 
-fn bench_lp_alltoall(c: &mut Criterion) {
+fn bench_lp_alltoall(h: &mut Harness) {
     let scenario = Scenario::collective(
         "lp-internal2x2-atoa",
         teccl_topology::internal2(2),
@@ -16,12 +22,12 @@ fn bench_lp_alltoall(c: &mut Criterion) {
         1,
         1024.0 * 1024.0,
     );
-    c.bench_function("lp_form/internal2x2_alltoall", |b| {
-        b.iter(|| run_teccl(&scenario, &quick_config(), Method::Lp).unwrap())
+    h.bench_function("lp_form/internal2x2_alltoall", || {
+        run_teccl(&scenario, &quick_config(), Method::Lp).unwrap();
     });
 }
 
-fn bench_milp_allgather(c: &mut Criterion) {
+fn bench_milp_allgather(h: &mut Harness) {
     let scenario = Scenario::collective(
         "milp-internal1x1-ag",
         teccl_topology::internal1(1),
@@ -29,12 +35,12 @@ fn bench_milp_allgather(c: &mut Criterion) {
         1,
         1024.0 * 1024.0,
     );
-    c.bench_function("milp_form/internal1_allgather", |b| {
-        b.iter(|| run_teccl(&scenario, &quick_config(), Method::Milp).unwrap())
+    h.bench_function("milp_form/internal1_allgather", || {
+        run_teccl(&scenario, &quick_config(), Method::Milp).unwrap();
     });
 }
 
-fn bench_astar_allgather(c: &mut Criterion) {
+fn bench_astar_allgather(h: &mut Harness) {
     let scenario = Scenario::collective(
         "astar-internal2x2-ag",
         teccl_topology::internal2(2),
@@ -42,41 +48,70 @@ fn bench_astar_allgather(c: &mut Criterion) {
         1,
         1024.0 * 1024.0,
     );
-    c.bench_function("astar/internal2x2_allgather", |b| {
-        b.iter(|| run_teccl(&scenario, &quick_config(), Method::AStar).unwrap())
+    h.bench_function("astar/internal2x2_allgather", || {
+        run_teccl(&scenario, &quick_config(), Method::AStar).unwrap();
     });
 }
 
-fn bench_baselines(c: &mut Criterion) {
-    let topo = teccl_topology::dgx1();
-    let gpus: Vec<NodeId> = topo.gpus().collect();
-    let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
-    c.bench_function("baselines/sccl_like_dgx1_allgather", |b| {
-        b.iter(|| sccl_like_schedule(&topo, &demand, 25e3).unwrap())
+/// Warm- vs cold-started simplex re-solves on a transportation LP after one
+/// bound tightening — the branch-and-bound node pattern in isolation.
+fn bench_simplex_warm_vs_cold(h: &mut Harness) {
+    let (sf, nv, basis, overrides) = teccl_bench::warm_vs_cold_fixture();
+    h.bench_function("lp/simplex_warm_vs_cold", || {
+        let sol = teccl_lp::solve_standard_form_from(&sf, nv, &overrides, Some(&basis)).unwrap();
+        assert!(sol.has_solution());
     });
-    c.bench_function("baselines/taccl_like_dgx1_allgather", |b| {
-        b.iter(|| taccl_like_schedule(&topo, &demand, 25e3, &TacclConfig { attempts: 2, ..Default::default() }).unwrap())
+    h.bench_function("lp/simplex_cold_resolve", || {
+        let sol = teccl_lp::solve_standard_form_from(&sf, nv, &overrides, None).unwrap();
+        assert!(sol.has_solution());
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_baselines(h: &mut Harness) {
     let topo = teccl_topology::dgx1();
     let gpus: Vec<NodeId> = topo.gpus().collect();
     let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
-    let ring_order: Vec<NodeId> = [0usize, 1, 2, 3, 7, 6, 5, 4].iter().map(|&i| gpus[i]).collect();
+    h.bench_function("baselines/sccl_like_dgx1_allgather", || {
+        sccl_like_schedule(&topo, &demand, 25e3).unwrap();
+    });
+    h.bench_function("baselines/taccl_like_dgx1_allgather", || {
+        taccl_like_schedule(
+            &topo,
+            &demand,
+            25e3,
+            &TacclConfig {
+                attempts: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    });
+}
+
+fn bench_simulator(h: &mut Harness) {
+    let topo = teccl_topology::dgx1();
+    let gpus: Vec<NodeId> = topo.gpus().collect();
+    let demand = DemandMatrix::all_gather(topo.num_nodes(), &gpus, 1);
+    let ring_order: Vec<NodeId> = [0usize, 1, 2, 3, 7, 6, 5, 4]
+        .iter()
+        .map(|&i| gpus[i])
+        .collect();
     let schedule = teccl_baselines::ring_all_gather(&topo, &ring_order, 1, 1e6).unwrap();
-    c.bench_function("simulator/dgx1_ring_allgather", |b| {
-        b.iter(|| simulate(&topo, &demand, &schedule).unwrap())
+    h.bench_function("simulator/dgx1_ring_allgather", || {
+        simulate(&topo, &demand, &schedule).unwrap();
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8))
+fn main() {
+    let mut h = Harness::new(BenchConfig {
+        measurement_time: Duration::from_secs(8),
+        sample_count: 10,
+        ..Default::default()
+    });
+    bench_lp_alltoall(&mut h);
+    bench_milp_allgather(&mut h);
+    bench_astar_allgather(&mut h);
+    bench_simplex_warm_vs_cold(&mut h);
+    bench_baselines(&mut h);
+    bench_simulator(&mut h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_lp_alltoall, bench_milp_allgather, bench_astar_allgather, bench_baselines, bench_simulator
-}
-criterion_main!(benches);

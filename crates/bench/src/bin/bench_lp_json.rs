@@ -1,0 +1,67 @@
+//! Quick LP/MILP micro-bench harness emitting machine-readable results.
+//!
+//! Runs the solver-critical benchmarks (a reduced-time version of
+//! `benches/solver_benches.rs`) and writes `BENCH_lp.json` — a `{name:
+//! median_ns}` object — so the perf trajectory of the LP hot path is tracked
+//! across PRs with `cargo run -p teccl-bench --release --bin bench_lp_json`.
+
+use std::time::Duration;
+
+use teccl_bench::microbench::{BenchConfig, Harness};
+use teccl_bench::{
+    print_table, quick_config, run_teccl, solver_stats_rows, warm_vs_cold_fixture, Method,
+    Scenario, SOLVER_STATS_HEADERS,
+};
+use teccl_collective::CollectiveKind;
+
+fn main() {
+    let mut h = Harness::new(BenchConfig {
+        measurement_time: Duration::from_secs(2),
+        sample_count: 7,
+        ..Default::default()
+    });
+
+    let lp_scenario = Scenario::collective(
+        "lp-internal2x2-atoa",
+        teccl_topology::internal2(2),
+        CollectiveKind::AllToAll,
+        1,
+        1024.0 * 1024.0,
+    );
+    h.bench_function("lp_form/internal2x2_alltoall", || {
+        run_teccl(&lp_scenario, &quick_config(), Method::Lp).unwrap();
+    });
+
+    let milp_scenario = Scenario::collective(
+        "milp-internal1x1-ag",
+        teccl_topology::internal1(1),
+        CollectiveKind::AllGather,
+        1,
+        1024.0 * 1024.0,
+    );
+    h.bench_function("milp_form/internal1_allgather", || {
+        run_teccl(&milp_scenario, &quick_config(), Method::Milp).unwrap();
+    });
+
+    let (sf, nv, basis, overrides) = warm_vs_cold_fixture();
+    h.bench_function("lp/simplex_warm_vs_cold", || {
+        teccl_lp::solve_standard_form_from(&sf, nv, &overrides, Some(&basis)).unwrap();
+    });
+    h.bench_function("lp/simplex_cold_resolve", || {
+        teccl_lp::solve_standard_form_from(&sf, nv, &overrides, None).unwrap();
+    });
+
+    // Solver counters alongside the timings: the warm/cold split is the perf
+    // claim, so regressions must be visible here too.
+    print_table(
+        "Solver stats",
+        &["scenario"],
+        &SOLVER_STATS_HEADERS,
+        &solver_stats_rows(),
+    );
+
+    let json = h.to_json().to_json_pretty();
+    let path = "BENCH_lp.json";
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_lp.json");
+    println!("\nwrote {path}");
+}

@@ -8,7 +8,12 @@ fn main() {
     print_table(
         "A* vs OPT (Internal2)",
         &["alpha", "chunks"],
-        &["astar_solver_s", "opt_solver_s", "astar_transfer_us", "opt_transfer_us"],
+        &[
+            "astar_solver_s",
+            "opt_solver_s",
+            "astar_transfer_us",
+            "opt_transfer_us",
+        ],
         &rows,
     );
 }

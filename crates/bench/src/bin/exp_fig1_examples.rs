@@ -16,13 +16,23 @@ fn main() {
     let mut demand = DemandMatrix::new(topo.num_nodes(), 1);
     demand.set(NodeId(0), 0, NodeId(4)); // s1 -> d
     demand.set(NodeId(5), 0, NodeId(4)); // s2 -> d
-    let scenario = Scenario { name: "fig1a".into(), topo: topo.clone(), demand, chunk_bytes: chunk, output_buffer: 2.0 * chunk };
+    let scenario = Scenario {
+        name: "fig1a".into(),
+        topo: topo.clone(),
+        demand,
+        chunk_bytes: chunk,
+        output_buffer: 2.0 * chunk,
+    };
     if let Some(run) = run_teccl(&scenario, &quick_config(), Method::Milp) {
         let beta = chunk / 1.0e9;
         let alpha2 = 2.0 * beta + 3.0 * alpha1;
         rows.push(Row {
             labels: vec!["fig1a".into()],
-            values: vec![run.transfer_time * 1e3, (alpha2 + 3.0 * beta) * 1e3, (alpha2 + 4.0 * beta) * 1e3],
+            values: vec![
+                run.transfer_time * 1e3,
+                (alpha2 + 3.0 * beta) * 1e3,
+                (alpha2 + 4.0 * beta) * 1e3,
+            ],
         });
     }
 
@@ -33,9 +43,18 @@ fn main() {
     for s in 0..3 {
         demand.set(NodeId(s), 0, NodeId(4));
     }
-    let scenario = Scenario { name: "fig1b".into(), topo, demand, chunk_bytes: chunk, output_buffer: 3.0 * chunk };
+    let scenario = Scenario {
+        name: "fig1b".into(),
+        topo,
+        demand,
+        chunk_bytes: chunk,
+        output_buffer: 3.0 * chunk,
+    };
     if let Some(run) = run_teccl(&scenario, &quick_config(), Method::Milp) {
-        rows.push(Row { labels: vec!["fig1b".into()], values: vec![run.transfer_time * 1e3, 3.0, 3.0] });
+        rows.push(Row {
+            labels: vec!["fig1b".into()],
+            values: vec![run.transfer_time * 1e3, 3.0, 3.0],
+        });
     }
 
     // (c) copy: s -> h -> {d1,d2,d3}; with copy 2 units, without copy 4 units.
@@ -44,20 +63,34 @@ fn main() {
     for d in 2..5 {
         demand.set(NodeId(0), 0, NodeId(d));
     }
-    let scenario = Scenario { name: "fig1c".into(), topo, demand, chunk_bytes: chunk, output_buffer: chunk };
+    let scenario = Scenario {
+        name: "fig1c".into(),
+        topo,
+        demand,
+        chunk_bytes: chunk,
+        output_buffer: chunk,
+    };
     let with_copy = run_teccl(&scenario, &quick_config(), Method::Milp);
     let without_copy = run_shortest_path(&scenario);
     if let (Some(w), Some(wo)) = (with_copy, without_copy) {
         rows.push(Row {
             labels: vec!["fig1c".into()],
-            values: vec![w.transfer_time * 1e3, wo.bytes_on_wire / 1e6, w.bytes_on_wire / 1e6],
+            values: vec![
+                w.transfer_time * 1e3,
+                wo.bytes_on_wire / 1e6,
+                w.bytes_on_wire / 1e6,
+            ],
         });
     }
 
     print_table(
         "Figure 1: motivating examples",
         &["example"],
-        &["teccl_finish_ms_or_units", "expected/correct", "naive_estimate_or_bytes"],
+        &[
+            "teccl_finish_ms_or_units",
+            "expected/correct",
+            "naive_estimate_or_bytes",
+        ],
         &rows,
     );
 }

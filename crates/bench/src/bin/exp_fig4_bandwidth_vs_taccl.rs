@@ -11,7 +11,14 @@ fn main() {
     print_table(
         "Figure 4: algo-bandwidth improvement over TACCL (%)",
         &["topology", "collective", "output_buffer"],
-        &["bw_improvement_%", "solver_speedup_%", "teccl_GBps", "taccl_GBps", "teccl_solver_s", "taccl_solver_s"],
+        &[
+            "bw_improvement_%",
+            "solver_speedup_%",
+            "teccl_GBps",
+            "taccl_GBps",
+            "teccl_solver_s",
+            "taccl_solver_s",
+        ],
         &rows,
     );
 }

@@ -1,6 +1,6 @@
 //! Figure 5: solver-time speedup of TE-CCL over the TACCL-like baseline for
 //! the same scenarios as Figure 4.
-use teccl_bench::{fig4_fig5_rows, print_table};
+use teccl_bench::{fig4_fig5_rows, print_table, solver_stats_rows, SOLVER_STATS_HEADERS};
 
 fn main() {
     let sizes: Vec<f64> = ["16M", "1M", "64K"]
@@ -11,7 +11,20 @@ fn main() {
     print_table(
         "Figure 5: solver-time comparison vs TACCL",
         &["topology", "collective", "output_buffer"],
-        &["bw_improvement_%", "solver_speedup_%", "teccl_GBps", "taccl_GBps", "teccl_solver_s", "taccl_solver_s"],
+        &[
+            "bw_improvement_%",
+            "solver_speedup_%",
+            "teccl_GBps",
+            "taccl_GBps",
+            "teccl_solver_s",
+            "taccl_solver_s",
+        ],
         &rows,
+    );
+    print_table(
+        "Solver stats",
+        &["scenario"],
+        &SOLVER_STATS_HEADERS,
+        &solver_stats_rows(),
     );
 }

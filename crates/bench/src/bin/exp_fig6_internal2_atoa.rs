@@ -7,7 +7,12 @@ fn main() {
     print_table(
         "Figure 6: Internal2 ALLTOALL vs TACCL",
         &["chassis"],
-        &["solver_speedup_%", "bw_improvement_%", "teccl_solver_s", "taccl_solver_s"],
+        &[
+            "solver_speedup_%",
+            "bw_improvement_%",
+            "teccl_solver_s",
+            "taccl_solver_s",
+        ],
         &rows,
     );
 }

@@ -7,7 +7,12 @@ fn main() {
     print_table(
         "Figure 8: small vs large epochs (100*(small-large)/large)",
         &["topology, collective"],
-        &["solver_time_delta_%", "transfer_time_delta_%", "small_transfer_us", "large_transfer_us"],
+        &[
+            "solver_time_delta_%",
+            "transfer_time_delta_%",
+            "small_transfer_us",
+            "large_transfer_us",
+        ],
         &rows,
     );
 }

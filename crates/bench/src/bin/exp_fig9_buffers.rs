@@ -7,7 +7,12 @@ fn main() {
     print_table(
         "Figure 9: buffers vs no buffers (100*(without-with)/without)",
         &["topology"],
-        &["solver_time_speedup_%", "transfer_time_delta_%", "with_buffers_us", "without_buffers_us"],
+        &[
+            "solver_time_speedup_%",
+            "transfer_time_delta_%",
+            "with_buffers_us",
+            "without_buffers_us",
+        ],
         &rows,
     );
 }

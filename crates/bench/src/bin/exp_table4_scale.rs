@@ -8,7 +8,15 @@ fn main() {
     print_table(
         "Table 4: scale runs (TACCL-free)",
         &["topology / collective"],
-        &["gpus", "epoch_multiplier", "solver_s", "transfer_us"],
+        &[
+            "gpus",
+            "epoch_multiplier",
+            "solver_s",
+            "transfer_us",
+            "simplex_iters",
+            "warm_starts",
+            "cold_starts",
+        ],
         &rows,
     );
 }

@@ -12,7 +12,16 @@ fn main() {
     print_table(
         "Table 8: NDv2 sweep (TE-CCL vs TACCL-like)",
         &["collective", "output_buffer"],
-        &["ED_us", "CT_us", "ST_s", "AB_GBps", "taccl_CT_us", "taccl_ST_s", "taccl_AB_GBps", "improvement_%"],
+        &[
+            "ED_us",
+            "CT_us",
+            "ST_s",
+            "AB_GBps",
+            "taccl_CT_us",
+            "taccl_ST_s",
+            "taccl_AB_GBps",
+            "improvement_%",
+        ],
         &rows,
     );
 }

@@ -3,26 +3,111 @@
 use teccl_bench::*;
 
 fn main() {
-    print_table("Figure 2", &["transfer"], &["transfer_MB", "relative_error_%"], &fig2_rows(&[10e3, 1e6, 10e6]));
-    print_table("Table 3", &["collective, #chunks"], &["sccl_us", "teccl_us"], &table3_rows(2));
+    print_table(
+        "Figure 2",
+        &["transfer"],
+        &["transfer_MB", "relative_error_%"],
+        &fig2_rows(&[10e3, 1e6, 10e6]),
+    );
+    print_table(
+        "Table 3",
+        &["collective, #chunks"],
+        &["sccl_us", "teccl_us"],
+        &table3_rows(2),
+    );
     let sizes = [4.0 * 1024.0 * 1024.0, 64.0 * 1024.0];
     print_table(
         "Figures 4 & 5",
         &["topology", "collective", "output_buffer"],
-        &["bw_improvement_%", "solver_speedup_%", "teccl_GBps", "taccl_GBps", "teccl_solver_s", "taccl_solver_s"],
+        &[
+            "bw_improvement_%",
+            "solver_speedup_%",
+            "teccl_GBps",
+            "taccl_GBps",
+            "teccl_solver_s",
+            "taccl_solver_s",
+        ],
         &fig4_fig5_rows(&sizes),
     );
-    print_table("Figure 6", &["chassis"], &["solver_speedup_%", "bw_improvement_%", "teccl_solver_s", "taccl_solver_s"], &fig6_rows(&[2, 3], 1024.0 * 1024.0));
-    print_table("Table 4", &["case"], &["gpus", "EM", "solver_s", "transfer_us"], &table4_rows());
-    print_table("Figure 7", &["topology", "size"], &["size_MB", "with_copy_ms", "no_copy_ms"], &fig7_rows(&[1e6, 16e6]));
-    print_table("Figure 8", &["case"], &["solver_delta_%", "transfer_delta_%", "small_us", "large_us"], &fig8_rows());
-    print_table("Figure 9", &["case"], &["solver_speedup_%", "transfer_delta_%", "with_us", "without_us"], &fig9_rows());
-    print_table("A* vs OPT", &["alpha", "chunks"], &["astar_s", "opt_s", "astar_us", "opt_us"], &astar_vs_opt_rows(2, 1));
-    print_table("Table 7", &["collective"], &["sccl_s", "teccl_s", "transfer_diff_%"], &table7_rows(2));
+    print_table(
+        "Figure 6",
+        &["chassis"],
+        &[
+            "solver_speedup_%",
+            "bw_improvement_%",
+            "teccl_solver_s",
+            "taccl_solver_s",
+        ],
+        &fig6_rows(&[2, 3], 1024.0 * 1024.0),
+    );
+    print_table(
+        "Table 4",
+        &["case"],
+        &[
+            "gpus",
+            "EM",
+            "solver_s",
+            "transfer_us",
+            "simplex_iters",
+            "warm_starts",
+            "cold_starts",
+        ],
+        &table4_rows(),
+    );
+    print_table(
+        "Figure 7",
+        &["topology", "size"],
+        &["size_MB", "with_copy_ms", "no_copy_ms"],
+        &fig7_rows(&[1e6, 16e6]),
+    );
+    print_table(
+        "Figure 8",
+        &["case"],
+        &["solver_delta_%", "transfer_delta_%", "small_us", "large_us"],
+        &fig8_rows(),
+    );
+    print_table(
+        "Figure 9",
+        &["case"],
+        &[
+            "solver_speedup_%",
+            "transfer_delta_%",
+            "with_us",
+            "without_us",
+        ],
+        &fig9_rows(),
+    );
+    print_table(
+        "A* vs OPT",
+        &["alpha", "chunks"],
+        &["astar_s", "opt_s", "astar_us", "opt_us"],
+        &astar_vs_opt_rows(2, 1),
+    );
+    print_table(
+        "Table 7",
+        &["collective"],
+        &["sccl_s", "teccl_s", "transfer_diff_%"],
+        &table7_rows(2),
+    );
+    print_table(
+        "Solver stats",
+        &["scenario"],
+        &SOLVER_STATS_HEADERS,
+        &solver_stats_rows(),
+    );
     print_table(
         "Table 8",
         &["collective", "size"],
-        &["ED_us", "CT_us", "ST_s", "AB_GBps", "taccl_CT_us", "taccl_ST_s", "taccl_AB_GBps", "improvement_%"],
+        &[
+            "ED_us",
+            "CT_us",
+            "ST_s",
+            "AB_GBps",
+            "taccl_CT_us",
+            "taccl_ST_s",
+            "taccl_AB_GBps",
+            "improvement_%",
+        ],
         &table8_rows(&[4.0 * 1024.0 * 1024.0, 64.0 * 1024.0]),
     );
 }

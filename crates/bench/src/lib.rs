@@ -12,9 +12,13 @@
 //! who wins, in which direction, and where the crossovers are. See
 //! EXPERIMENTS.md for the recorded numbers.
 
+pub mod microbench;
+
 use std::time::Duration;
 
-use teccl_baselines::{sccl_like_schedule, shortest_path_schedule, taccl_like_schedule, TacclConfig};
+use teccl_baselines::{
+    sccl_like_schedule, shortest_path_schedule, taccl_like_schedule, TacclConfig,
+};
 use teccl_collective::chunk::format_size;
 use teccl_collective::{CollectiveKind, DemandMatrix};
 use teccl_core::{BufferMode, EpochStrategy, SolverConfig, TeCcl};
@@ -84,6 +88,16 @@ pub struct RunResult {
     pub bytes_on_wire: f64,
     /// Epoch duration used (0 when not epoch based).
     pub epoch_duration: f64,
+    /// Total simplex iterations across every LP solve of the run.
+    pub simplex_iterations: usize,
+    /// Branch-and-bound nodes explored (0 for pure LPs).
+    pub bb_nodes: usize,
+    /// LU basis (re)factorizations performed.
+    pub factorizations: usize,
+    /// LP solves warm-started from a parent basis.
+    pub warm_starts: usize,
+    /// LP solves cold-started from the all-artificial phase-1 basis.
+    pub cold_starts: usize,
 }
 
 /// A benchmark scenario: a topology, a collective demand, and chunk sizing.
@@ -118,7 +132,13 @@ impl Scenario {
         // transfer split into `chunks` pieces.
         let transfer = output_buffer / (n as f64 - 1.0);
         let chunk_bytes = transfer / chunks as f64;
-        Self { name: name.into(), topo, demand, chunk_bytes, output_buffer }
+        Self {
+            name: name.into(),
+            topo,
+            demand,
+            chunk_bytes,
+            output_buffer,
+        }
     }
 }
 
@@ -149,12 +169,125 @@ pub fn run_teccl(scenario: &Scenario, config: &SolverConfig, method: Method) -> 
         algo_bw: scenario.output_buffer / sim.transfer_time,
         bytes_on_wire: sim.bytes_on_wire,
         epoch_duration: outcome.epoch_duration,
+        simplex_iterations: outcome.stats.simplex_iterations,
+        bb_nodes: outcome.stats.nodes_explored,
+        factorizations: outcome.stats.factorizations,
+        warm_starts: outcome.stats.warm_starts,
+        cold_starts: outcome.stats.cold_starts,
     })
+}
+
+/// Per-run solver counters for the headline solver scenarios, printed by the
+/// experiment runners so perf regressions (iteration blow-ups, lost warm
+/// starts) are visible in experiment output, not just in wall-clock noise.
+/// Row values: `[solver_s, simplex_iters, bb_nodes, factorizations,
+/// warm_starts, cold_starts]`.
+pub fn solver_stats_rows() -> Vec<Row> {
+    let cases: Vec<(String, Scenario, Method)> = vec![
+        (
+            "milp_form/internal1_allgather".into(),
+            Scenario::collective(
+                "milp-internal1x1-ag",
+                teccl_topology::internal1(1),
+                CollectiveKind::AllGather,
+                1,
+                1024.0 * 1024.0,
+            ),
+            Method::Milp,
+        ),
+        (
+            "lp_form/internal2x2_alltoall".into(),
+            Scenario::collective(
+                "lp-internal2x2-atoa",
+                teccl_topology::internal2(2),
+                CollectiveKind::AllToAll,
+                1,
+                1024.0 * 1024.0,
+            ),
+            Method::Lp,
+        ),
+        (
+            "astar/internal2x2_allgather".into(),
+            Scenario::collective(
+                "astar-internal2x2-ag",
+                teccl_topology::internal2(2),
+                CollectiveKind::AllGather,
+                1,
+                1024.0 * 1024.0,
+            ),
+            Method::AStar,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, scenario, method) in cases {
+        if let Some(r) = run_teccl(&scenario, &quick_config(), method) {
+            rows.push(Row {
+                labels: vec![name],
+                values: vec![
+                    r.solver_time,
+                    r.simplex_iterations as f64,
+                    r.bb_nodes as f64,
+                    r.factorizations as f64,
+                    r.warm_starts as f64,
+                    r.cold_starts as f64,
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Header set matching [`solver_stats_rows`].
+pub const SOLVER_STATS_HEADERS: [&str; 6] = [
+    "solver_s",
+    "simplex_iters",
+    "bb_nodes",
+    "factorizations",
+    "warm_starts",
+    "cold_starts",
+];
+
+/// Shared fixture for the warm-vs-cold simplex benches: a 12x12
+/// transportation LP, its optimal basis, and a one-bound-tightened override
+/// list (the branch-and-bound child pattern). Returns
+/// `(standard_form, num_vars, basis, overrides)`.
+pub fn warm_vs_cold_fixture() -> (
+    teccl_lp::StandardForm,
+    usize,
+    teccl_lp::SimplexBasis,
+    Vec<(usize, f64, f64)>,
+) {
+    use teccl_lp::{ConstraintOp, Model, Sense};
+    let n = 12;
+    let mut m = Model::new(Sense::Minimize);
+    let mut xs = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            let cost = ((s * 7 + d * 13) % 17 + 1) as f64;
+            xs.push(m.add_var(format!("x{s}_{d}"), 0.0, 50.0, cost, false));
+        }
+    }
+    for s in 0..n {
+        let terms: Vec<_> = (0..n).map(|d| (xs[s * n + d], 1.0)).collect();
+        m.add_cons(format!("s{s}"), &terms, ConstraintOp::Le, 30.0);
+    }
+    for d in 0..n {
+        let terms: Vec<_> = (0..n).map(|s| (xs[s * n + d], 1.0)).collect();
+        m.add_cons(format!("d{d}"), &terms, ConstraintOp::Ge, 20.0);
+    }
+    let sf = teccl_lp::StandardForm::from_model(&m);
+    let cold = teccl_lp::solve_standard_form(&sf, n * n).expect("fixture LP must solve");
+    let basis = cold.basis.clone().expect("optimal LP returns a basis");
+    let idle = (0..n * n).find(|&j| cold.values[j] < 1e-9).unwrap_or(0);
+    (sf, n * n, basis, vec![(idle, 0.0, 10.0)])
 }
 
 /// Runs the TACCL-like baseline on a scenario.
 pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
-    let cfg = TacclConfig { seed, ..Default::default() };
+    let cfg = TacclConfig {
+        seed,
+        ..Default::default()
+    };
     let res = taccl_like_schedule(&scenario.topo, &scenario.demand, scenario.chunk_bytes, &cfg)?;
     Some(RunResult {
         solver: "taccl-like".into(),
@@ -163,6 +296,11 @@ pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
         algo_bw: scenario.output_buffer / res.transfer_time,
         bytes_on_wire: res.schedule.total_bytes_on_wire(),
         epoch_duration: 0.0,
+        simplex_iterations: 0,
+        bb_nodes: 0,
+        factorizations: 0,
+        warm_starts: 0,
+        cold_starts: 0,
     })
 }
 
@@ -176,6 +314,11 @@ pub fn run_sccl(scenario: &Scenario) -> Option<RunResult> {
         algo_bw: scenario.output_buffer / res.transfer_time,
         bytes_on_wire: res.schedule.total_bytes_on_wire(),
         epoch_duration: 0.0,
+        simplex_iterations: 0,
+        bb_nodes: 0,
+        factorizations: 0,
+        warm_starts: 0,
+        cold_starts: 0,
     })
 }
 
@@ -191,6 +334,11 @@ pub fn run_shortest_path(scenario: &Scenario) -> Option<RunResult> {
         algo_bw: scenario.output_buffer / sim.transfer_time,
         bytes_on_wire: sim.bytes_on_wire,
         epoch_duration: 0.0,
+        simplex_iterations: 0,
+        bb_nodes: 0,
+        factorizations: 0,
+        warm_starts: 0,
+        cold_starts: 0,
     })
 }
 
@@ -224,7 +372,9 @@ pub fn fig2_rows(sizes: &[f64]) -> Vec<Row> {
             output_buffer: (gpus.len() - 1) as f64 * transfer,
         };
         let solver = TeCcl::new(scenario.topo.clone(), quick_config());
-        let Ok(outcome) = solver.solve_astar(&scenario.demand, scenario.chunk_bytes) else { continue };
+        let Ok(outcome) = solver.solve_astar(&scenario.demand, scenario.chunk_bytes) else {
+            continue;
+        };
         let with_alpha =
             simulate(&topo, &scenario.demand, &outcome.schedule).map(|s| s.transfer_time);
         let no_alpha_topo = topo.with_alpha_scaled(0.0);
@@ -268,9 +418,10 @@ pub fn table3_rows(max_ag_chunks: usize) -> Vec<Row> {
     }
     // ALLTOALL, 1 chunk per destination.
     let scenario = Scenario::collective("AtoA-1", topo, CollectiveKind::AllToAll, 1, 7.0 * chunk);
-    if let (Some(s), Some(o)) =
-        (run_sccl(&scenario), run_teccl(&scenario, &quick_config(), Method::Lp))
-    {
+    if let (Some(s), Some(o)) = (
+        run_sccl(&scenario),
+        run_teccl(&scenario, &quick_config(), Method::Lp),
+    ) {
         rows.push(Row {
             labels: vec!["ALLTOALL, 1".into()],
             values: vec![s.transfer_time * 1e6, o.transfer_time * 1e6],
@@ -305,7 +456,11 @@ pub fn fig4_fig5_rows(sizes: &[f64]) -> Vec<Row> {
                     1,
                     size,
                 );
-                let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+                let method = if kind == CollectiveKind::AllGather {
+                    Method::AStar
+                } else {
+                    Method::Lp
+                };
                 let ours = run_teccl(&scenario, &quick_config(), method);
                 let taccl = run_taccl(&scenario, 1);
                 match (ours, taccl) {
@@ -327,7 +482,14 @@ pub fn fig4_fig5_rows(sizes: &[f64]) -> Vec<Row> {
                             format!("{kind:?}"),
                             format!("{} (TACCL X)", format_size(size)),
                         ],
-                        values: vec![f64::NAN, f64::NAN, o.algo_bw / 1e9, f64::NAN, o.solver_time, f64::NAN],
+                        values: vec![
+                            f64::NAN,
+                            f64::NAN,
+                            o.algo_bw / 1e9,
+                            f64::NAN,
+                            o.solver_time,
+                            f64::NAN,
+                        ],
                     }),
                     _ => {}
                 }
@@ -343,8 +505,13 @@ pub fn fig6_rows(chassis_counts: &[usize], size: f64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &ch in chassis_counts {
         let topo = teccl_topology::internal2(ch);
-        let scenario =
-            Scenario::collective(format!("Internal2 x{ch}"), topo, CollectiveKind::AllToAll, 1, size);
+        let scenario = Scenario::collective(
+            format!("Internal2 x{ch}"),
+            topo,
+            CollectiveKind::AllToAll,
+            1,
+            size,
+        );
         let ours = run_teccl(&scenario, &quick_config(), Method::Lp);
         let taccl = run_taccl(&scenario, 1);
         if let (Some(o), Some(t)) = (ours, taccl) {
@@ -367,10 +534,30 @@ pub fn fig6_rows(chassis_counts: &[usize], size: f64) -> Vec<Row> {
 pub fn table4_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     let cases: Vec<(String, Topology, CollectiveKind, Method)> = vec![
-        ("Internal1 AG (A*)".into(), teccl_topology::internal1(2), CollectiveKind::AllGather, Method::AStar),
-        ("Internal1 AtoA (LP)".into(), teccl_topology::internal1(2), CollectiveKind::AllToAll, Method::Lp),
-        ("Internal2 AG (A*)".into(), teccl_topology::internal2(4), CollectiveKind::AllGather, Method::AStar),
-        ("Internal2 AtoA (LP)".into(), teccl_topology::internal2(4), CollectiveKind::AllToAll, Method::Lp),
+        (
+            "Internal1 AG (A*)".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllGather,
+            Method::AStar,
+        ),
+        (
+            "Internal1 AtoA (LP)".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllToAll,
+            Method::Lp,
+        ),
+        (
+            "Internal2 AG (A*)".into(),
+            teccl_topology::internal2(4),
+            CollectiveKind::AllGather,
+            Method::AStar,
+        ),
+        (
+            "Internal2 AtoA (LP)".into(),
+            teccl_topology::internal2(4),
+            CollectiveKind::AllToAll,
+            Method::Lp,
+        ),
     ];
     for (name, topo, kind, method) in cases {
         let gpus = topo.num_gpus();
@@ -378,7 +565,15 @@ pub fn table4_rows() -> Vec<Row> {
         if let Some(o) = run_teccl(&scenario, &quick_config(), method) {
             rows.push(Row {
                 labels: vec![name],
-                values: vec![gpus as f64, 1.0, o.solver_time, o.transfer_time * 1e6],
+                values: vec![
+                    gpus as f64,
+                    1.0,
+                    o.solver_time,
+                    o.transfer_time * 1e6,
+                    o.simplex_iterations as f64,
+                    o.warm_starts as f64,
+                    o.cold_starts as f64,
+                ],
             });
         }
     }
@@ -390,7 +585,10 @@ pub fn table4_rows() -> Vec<Row> {
 pub fn fig7_rows(sizes: &[f64]) -> Vec<Row> {
     let mut rows = Vec::new();
     let topologies: Vec<(String, Topology)> = vec![
-        ("Internal1 (a=0)".into(), teccl_topology::internal1(1).with_alpha_scaled(0.0)),
+        (
+            "Internal1 (a=0)".into(),
+            teccl_topology::internal1(1).with_alpha_scaled(0.0),
+        ),
         ("Internal1".into(), teccl_topology::internal1(1)),
         ("Internal2 x2".into(), teccl_topology::internal2(2)),
     ];
@@ -423,14 +621,34 @@ pub fn fig7_rows(sizes: &[f64]) -> Vec<Row> {
 pub fn fig8_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     let cases: Vec<(String, Topology, CollectiveKind)> = vec![
-        ("Internal1 AG".into(), teccl_topology::internal1(2), CollectiveKind::AllGather),
-        ("Internal1 AtoA".into(), teccl_topology::internal1(2), CollectiveKind::AllToAll),
-        ("NDv2x1 AG".into(), teccl_topology::ndv2(1), CollectiveKind::AllGather),
-        ("NDv2x1 AtoA".into(), teccl_topology::ndv2(1), CollectiveKind::AllToAll),
+        (
+            "Internal1 AG".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllGather,
+        ),
+        (
+            "Internal1 AtoA".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllToAll,
+        ),
+        (
+            "NDv2x1 AG".into(),
+            teccl_topology::ndv2(1),
+            CollectiveKind::AllGather,
+        ),
+        (
+            "NDv2x1 AtoA".into(),
+            teccl_topology::ndv2(1),
+            CollectiveKind::AllToAll,
+        ),
     ];
     for (name, topo, kind) in cases {
         let scenario = Scenario::collective(name.clone(), topo, kind, 1, 4.0 * 1024.0 * 1024.0);
-        let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+        let method = if kind == CollectiveKind::AllGather {
+            Method::AStar
+        } else {
+            Method::Lp
+        };
         let mut small_cfg = quick_config();
         small_cfg.epoch_strategy = EpochStrategy::FastestLink;
         let mut large_cfg = quick_config();
@@ -457,14 +675,22 @@ pub fn fig8_rows() -> Vec<Row> {
 pub fn fig9_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     let cases: Vec<(String, Topology)> = vec![
-        ("Internal1 a=0".into(), teccl_topology::internal1(1).with_alpha_scaled(0.0)),
+        (
+            "Internal1 a=0".into(),
+            teccl_topology::internal1(1).with_alpha_scaled(0.0),
+        ),
         ("Internal1".into(), teccl_topology::internal1(1)),
         ("Internal2 x2".into(), teccl_topology::internal2(2)),
         ("DGX1".into(), teccl_topology::dgx1()),
     ];
     for (name, topo) in cases {
-        let scenario =
-            Scenario::collective(name.clone(), topo, CollectiveKind::AllGather, 1, 4.0 * 1024.0 * 1024.0);
+        let scenario = Scenario::collective(
+            name.clone(),
+            topo,
+            CollectiveKind::AllGather,
+            1,
+            4.0 * 1024.0 * 1024.0,
+        );
         let with_cfg = quick_config();
         let mut without_cfg = quick_config();
         without_cfg.buffer_mode = BufferMode::NoStoreAndForward;
@@ -491,7 +717,10 @@ pub fn fig9_rows() -> Vec<Row> {
 pub fn astar_vs_opt_rows(chassis: usize, chunks: usize) -> Vec<Row> {
     let mut rows = Vec::new();
     for (label, topo) in [
-        ("a=0", teccl_topology::internal2(chassis).with_alpha_scaled(0.0)),
+        (
+            "a=0",
+            teccl_topology::internal2(chassis).with_alpha_scaled(0.0),
+        ),
         ("a>0", teccl_topology::internal2(chassis)),
     ] {
         let scenario = Scenario::collective(
@@ -506,7 +735,12 @@ pub fn astar_vs_opt_rows(chassis: usize, chunks: usize) -> Vec<Row> {
         if let (Some(a), Some(o)) = (astar, opt) {
             rows.push(Row {
                 labels: vec![label.into(), format!("{chunks} chunk(s)")],
-                values: vec![a.solver_time, o.solver_time, a.transfer_time * 1e6, o.transfer_time * 1e6],
+                values: vec![
+                    a.solver_time,
+                    o.solver_time,
+                    a.transfer_time * 1e6,
+                    o.transfer_time * 1e6,
+                ],
             });
         }
     }
@@ -541,9 +775,10 @@ pub fn table7_rows(max_chunks: usize) -> Vec<Row> {
         }
     }
     let scenario = Scenario::collective("AtoA-1", topo, CollectiveKind::AllToAll, 1, 7.0 * chunk);
-    if let (Some(s), Some(o)) =
-        (run_sccl(&scenario), run_teccl(&scenario, &quick_config(), Method::Lp))
-    {
+    if let (Some(s), Some(o)) = (
+        run_sccl(&scenario),
+        run_teccl(&scenario, &quick_config(), Method::Lp),
+    ) {
         rows.push(Row {
             labels: vec!["ALLTOALL (1)".into()],
             values: vec![
@@ -573,7 +808,11 @@ pub fn table8_rows(sizes: &[f64]) -> Vec<Row> {
                 1,
                 size,
             );
-            let method = if kind == CollectiveKind::AllGather { Method::AStar } else { Method::Lp };
+            let method = if kind == CollectiveKind::AllGather {
+                Method::AStar
+            } else {
+                Method::Lp
+            };
             let ours = run_teccl(&scenario, &quick_config(), method);
             let taccl = run_taccl(&scenario, 1);
             if let Some(o) = ours {

@@ -1,0 +1,181 @@
+//! A minimal micro-benchmark harness (the offline build has no `criterion`).
+//!
+//! Mirrors the parts of criterion's API the benches use — named
+//! `bench_function`s timing a closure — and reports the **median** wall-clock
+//! time per iteration, which is robust to scheduler noise. Results can be
+//! dumped as machine-readable JSON (`BENCH_lp.json`) so the perf trajectory is
+//! tracked across PRs.
+
+use std::time::{Duration, Instant};
+
+use teccl_util::json::Value;
+
+/// Result of one named benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (e.g. `lp_form/internal2x2_alltoall`).
+    pub name: String,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum observed iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Target measurement time per benchmark (split over samples).
+    pub measurement_time: Duration,
+    /// Number of timed samples (each sample may run several iterations).
+    pub sample_count: usize,
+    /// Warm-up iterations before timing starts.
+    pub warmup_iters: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(3),
+            sample_count: 11,
+            warmup_iters: 2,
+        }
+    }
+}
+
+/// A named collection of benchmark results.
+#[derive(Debug, Default)]
+pub struct Harness {
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness with the given configuration.
+    pub fn new(config: BenchConfig) -> Self {
+        Self {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, printing the result criterion-style, and records it.
+    pub fn bench_function<F: FnMut()>(&mut self, name: &str, mut f: F) -> &BenchResult {
+        // Warm-up and calibration: how many iterations fit in one sample?
+        for _ in 0..self.config.warmup_iters {
+            f();
+        }
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_count as f64;
+        let iters_per_sample =
+            ((per_sample / once.as_secs_f64()).floor() as usize).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_count);
+        for _ in 0..self.config.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        println!(
+            "{name:<44} median {:>12}  min {:>12}  ({} samples x {} iters)",
+            format_ns(median_ns),
+            format_ns(min_ns),
+            samples_ns.len(),
+            iters_per_sample
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns,
+            min_ns,
+            samples: samples_ns.len(),
+        });
+        self.results.last().unwrap()
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders the results as a `{name: median_ns}` JSON object (plus a
+    /// `_detail` block with minima and sample counts).
+    pub fn to_json(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .results
+            .iter()
+            .map(|r| (r.name.clone(), Value::Num(r.median_ns)))
+            .collect();
+        let detail: Vec<(String, Value)> = self
+            .results
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    Value::obj(vec![
+                        ("median_ns", Value::Num(r.median_ns)),
+                        ("min_ns", Value::Num(r.min_ns)),
+                        ("samples", Value::from(r.samples)),
+                    ]),
+                )
+            })
+            .collect();
+        pairs.push(("_detail".to_string(), Value::Obj(detail)));
+        Value::Obj(pairs)
+    }
+}
+
+/// Human-friendly nanosecond formatting (`1.234 ms` style).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_serializes_results() {
+        let mut h = Harness::new(BenchConfig {
+            measurement_time: Duration::from_millis(20),
+            sample_count: 3,
+            warmup_iters: 1,
+        });
+        let mut acc = 0u64;
+        h.bench_function("noop/add", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].median_ns >= 0.0);
+        let json = h.to_json();
+        assert!(json.get("noop/add").is_some());
+        assert!(json
+            .get("_detail")
+            .and_then(|d| d.get("noop/add"))
+            .is_some());
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2.0e9).ends_with(" s"));
+    }
+}

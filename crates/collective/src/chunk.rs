@@ -5,12 +5,10 @@
 //! the **transfer size** (the data each GPU sends to each peer). The optimizer
 //! itself works in whole chunks; this module converts between the two views.
 
-use serde::{Deserialize, Serialize};
-
 use crate::demand::CollectiveKind;
 
 /// Physical size of the chunks a demand is split into.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChunkSpec {
     /// Size of one chunk in bytes.
     pub chunk_bytes: f64,
@@ -22,7 +20,10 @@ pub struct ChunkSpec {
 impl ChunkSpec {
     /// Creates a new chunk specification.
     pub fn new(chunk_bytes: f64, chunks: usize) -> Self {
-        Self { chunk_bytes, chunks }
+        Self {
+            chunk_bytes,
+            chunks,
+        }
     }
 
     /// Total bytes represented by `n` chunks.
@@ -33,7 +34,7 @@ impl ChunkSpec {
 
 /// Converts between output-buffer / transfer sizes and chunk sizes for a given
 /// collective on `num_gpus` participants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CollectiveSizing {
     /// The collective kind.
     pub kind: CollectiveKind,
@@ -90,8 +91,15 @@ impl CollectiveSizing {
     }
 
     /// Convenience: chunk spec for a target output buffer size.
-    pub fn chunk_spec_for_output_buffer(&self, output_buffer_bytes: f64, chunks: usize) -> ChunkSpec {
-        self.chunk_spec(self.transfer_bytes_for_output_buffer(output_buffer_bytes), chunks)
+    pub fn chunk_spec_for_output_buffer(
+        &self,
+        output_buffer_bytes: f64,
+        chunks: usize,
+    ) -> ChunkSpec {
+        self.chunk_spec(
+            self.transfer_bytes_for_output_buffer(output_buffer_bytes),
+            chunks,
+        )
     }
 }
 
@@ -178,7 +186,9 @@ mod tests {
 
     #[test]
     fn format_parse_roundtrip() {
-        for s in ["1G", "256M", "64M", "16M", "4M", "1M", "256K", "64K", "16K", "4K", "1K"] {
+        for s in [
+            "1G", "256M", "64M", "16M", "4M", "1M", "256K", "64K", "16K", "4K", "1K",
+        ] {
             let bytes = parse_size(s).unwrap();
             assert_eq!(format_size(bytes), s);
         }

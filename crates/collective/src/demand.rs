@@ -4,7 +4,6 @@
 //! over `(source, chunk, destination)` triples, plus builders for the standard
 //! collectives and multi-tenant combination (§5).
 
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use teccl_topology::NodeId;
 
@@ -14,7 +13,7 @@ use teccl_topology::NodeId;
 /// expressible as demand matrices with the same machinery (reductions are
 /// modeled by their communication pattern only — compute is outside the α–β
 /// model, as in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
     /// Every GPU sends its data to every other GPU (multicast-friendly).
     AllGather,
@@ -40,9 +39,9 @@ impl CollectiveKind {
     /// (copy-aware) or the LP form (copy-free, §4.1) is the right formulation.
     pub fn benefits_from_copy(self) -> bool {
         match self {
-            CollectiveKind::AllGather
-            | CollectiveKind::Broadcast
-            | CollectiveKind::AllReduce => true,
+            CollectiveKind::AllGather | CollectiveKind::Broadcast | CollectiveKind::AllReduce => {
+                true
+            }
             CollectiveKind::AllToAll
             | CollectiveKind::Gather
             | CollectiveKind::Scatter
@@ -56,7 +55,7 @@ impl CollectiveKind {
 /// `num_nodes` is the total node count of the topology (switches included so
 /// `NodeId` indexes directly); switches never appear as sources or
 /// destinations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DemandMatrix {
     /// Total number of nodes (GPUs + switches) in the topology.
     pub num_nodes: usize,
@@ -69,7 +68,11 @@ pub struct DemandMatrix {
 impl DemandMatrix {
     /// Creates an empty demand matrix.
     pub fn new(num_nodes: usize, num_chunks: usize) -> Self {
-        Self { num_nodes, num_chunks, wants: vec![false; num_nodes * num_chunks * num_nodes] }
+        Self {
+            num_nodes,
+            num_chunks,
+            wants: vec![false; num_nodes * num_chunks * num_nodes],
+        }
     }
 
     #[inline]
@@ -92,7 +95,10 @@ impl DemandMatrix {
 
     /// All destinations that want chunk `c` of source `s`.
     pub fn destinations_of(&self, s: NodeId, c: usize) -> Vec<NodeId> {
-        (0..self.num_nodes).filter(|&d| self.wants(s, c, NodeId(d))).map(NodeId).collect()
+        (0..self.num_nodes)
+            .filter(|&d| self.wants(s, c, NodeId(d)))
+            .map(NodeId)
+            .collect()
     }
 
     /// Whether any destination wants chunk `c` of source `s` (i.e. the chunk
@@ -118,7 +124,9 @@ impl DemandMatrix {
     /// its chunks (the "amount of data `s` injects" in chunk units when no
     /// copy is available).
     pub fn demand_of_source(&self, s: NodeId) -> usize {
-        (0..self.num_chunks).map(|c| self.destinations_of(s, c).len()).sum()
+        (0..self.num_chunks)
+            .map(|c| self.destinations_of(s, c).len())
+            .sum()
     }
 
     /// `true` if no demand is set.
@@ -129,9 +137,8 @@ impl DemandMatrix {
     /// Whether some chunk is wanted by more than one destination (copy could
     /// help — see §2.2 "Copy" and Figure 1c).
     pub fn benefits_from_copy(&self) -> bool {
-        (0..self.num_nodes).any(|s| {
-            (0..self.num_chunks).any(|c| self.destinations_of(NodeId(s), c).len() > 1)
-        })
+        (0..self.num_nodes)
+            .any(|s| (0..self.num_chunks).any(|c| self.destinations_of(NodeId(s), c).len() > 1))
     }
 
     /// Iterates over all `(source, chunk, destination)` triples with demand.
@@ -213,7 +220,12 @@ impl DemandMatrix {
 
     /// SCATTER from `root`: the root sends `chunks_per_dest` distinct chunks
     /// to each other participant.
-    pub fn scatter(num_nodes: usize, gpus: &[NodeId], root: NodeId, chunks_per_dest: usize) -> Self {
+    pub fn scatter(
+        num_nodes: usize,
+        gpus: &[NodeId],
+        root: NodeId,
+        chunks_per_dest: usize,
+    ) -> Self {
         let mut d = Self::new(num_nodes, chunks_per_dest * gpus.len());
         for (di, &dst) in gpus.iter().enumerate() {
             if dst == root {
@@ -236,7 +248,12 @@ impl DemandMatrix {
     /// Builds the demand for a collective kind with a single "chunks" knob
     /// (interpretation depends on the collective; see the individual builders).
     /// Rooted collectives use the first GPU as the root.
-    pub fn for_collective(kind: CollectiveKind, num_nodes: usize, gpus: &[NodeId], chunks: usize) -> Self {
+    pub fn for_collective(
+        kind: CollectiveKind,
+        num_nodes: usize,
+        gpus: &[NodeId],
+        chunks: usize,
+    ) -> Self {
         match kind {
             CollectiveKind::AllGather => Self::all_gather(num_nodes, gpus, chunks),
             CollectiveKind::AllToAll => Self::all_to_all(num_nodes, gpus, chunks),
@@ -261,7 +278,10 @@ impl DemandMatrix {
     pub fn combine(tenants: &[DemandMatrix]) -> (DemandMatrix, Vec<Range<usize>>) {
         assert!(!tenants.is_empty());
         let num_nodes = tenants[0].num_nodes;
-        assert!(tenants.iter().all(|t| t.num_nodes == num_nodes), "tenants must share a topology");
+        assert!(
+            tenants.iter().all(|t| t.num_nodes == num_nodes),
+            "tenants must share a topology"
+        );
         let total_chunks: usize = tenants.iter().map(|t| t.num_chunks).sum();
         let mut combined = DemandMatrix::new(num_nodes, total_chunks);
         let mut ranges = Vec::with_capacity(tenants.len());
@@ -279,7 +299,7 @@ impl DemandMatrix {
 
 /// A tenant's demand plus its scheduling priority (§5: priorities weight the
 /// per-tenant completion terms in the objective).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TenantDemand {
     /// Name of the tenant (for reporting).
     pub name: String,
@@ -292,7 +312,11 @@ pub struct TenantDemand {
 impl TenantDemand {
     /// Creates a tenant demand with priority 1.
     pub fn new(name: impl Into<String>, demand: DemandMatrix) -> Self {
-        Self { name: name.into(), demand, priority: 1.0 }
+        Self {
+            name: name.into(),
+            demand,
+            priority: 1.0,
+        }
     }
 
     /// Sets the priority weight.
@@ -389,7 +413,10 @@ mod tests {
         let b = DemandMatrix::all_to_all(3, &g, 1);
         let (combined, ranges) = DemandMatrix::combine(&[a.clone(), b.clone()]);
         assert_eq!(combined.num_chunks, a.num_chunks + b.num_chunks);
-        assert_eq!(combined.total_demands(), a.total_demands() + b.total_demands());
+        assert_eq!(
+            combined.total_demands(),
+            a.total_demands() + b.total_demands()
+        );
         assert_eq!(ranges[0], 0..1);
         assert_eq!(ranges[1], 1..4);
         // Tenant A's demand sits in chunk 0.
@@ -417,7 +444,8 @@ mod tests {
     #[test]
     fn tenant_priority_builder() {
         let g = gpus(3);
-        let t = TenantDemand::new("training", DemandMatrix::all_gather(3, &g, 1)).with_priority(2.0);
+        let t =
+            TenantDemand::new("training", DemandMatrix::all_gather(3, &g, 1)).with_priority(2.0);
         assert_eq!(t.priority, 2.0);
         assert_eq!(t.name, "training");
     }

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use teccl_collective::DemandMatrix;
+use teccl_lp::SolveStats;
 use teccl_schedule::Send;
 use teccl_topology::{NodeId, Topology};
 
@@ -36,6 +37,9 @@ pub struct AStarOutcome {
     pub solver_time: f64,
     /// Initial holders per commodity (for pruning).
     pub initial_holders: HashMap<(usize, usize), Vec<NodeId>>,
+    /// Solver statistics aggregated across every round's MILP (simplex
+    /// iterations, B&B nodes, factorizations, warm/cold starts).
+    pub stats: SolveStats,
 }
 
 /// Solves `demand` with the A* technique. `tau` is the epoch duration.
@@ -61,7 +65,9 @@ pub fn solve_astar(
         .map(|l| delta_epochs(l, tau) + kappa_epochs(l, chunk_bytes, tau) - 1)
         .collect();
     let max_delta = eff_delta.iter().copied().max().unwrap_or(0);
-    let epochs_per_round = config.astar_epochs_per_round.unwrap_or((max_delta + 2).max(4));
+    let epochs_per_round = config
+        .astar_epochs_per_round
+        .unwrap_or((max_delta + 2).max(4));
 
     // Distance matrix for the heuristic reward (per-link cost in epochs).
     let pm = teccl_topology::floyd_warshall(topology, |l| (eff_delta[l.id.0] + 1) as f64);
@@ -76,6 +82,7 @@ pub fn solve_astar(
     let mut in_flight: Vec<(NodeId, usize, NodeId, usize)> = Vec::new();
     let mut all_sends: Vec<Send> = Vec::new();
     let mut stalls = 0usize;
+    let mut stats = SolveStats::default();
 
     for round in 0..config.astar_max_rounds {
         // Remaining demands: a triple is satisfied once the destination holds
@@ -83,8 +90,10 @@ pub fn solve_astar(
         let mut remaining = DemandMatrix::new(demand.num_nodes, demand.num_chunks);
         let mut remaining_count = 0usize;
         for (s, c, d) in demand.iter() {
-            let held = holders.get(&(s.0, c)).map_or(false, |h| h.contains(&d));
-            let flying = in_flight.iter().any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
+            let held = holders.get(&(s.0, c)).is_some_and(|h| h.contains(&d));
+            let flying = in_flight
+                .iter()
+                .any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
             if !held && !flying {
                 remaining.set(s, c, d);
                 remaining_count += 1;
@@ -97,6 +106,7 @@ pub fn solve_astar(
                 epochs_per_round,
                 solver_time: start.elapsed().as_secs_f64(),
                 initial_holders,
+                stats,
             });
         }
 
@@ -149,6 +159,7 @@ pub fn solve_astar(
             &options,
         )?;
         let sol = form.solve(config)?;
+        stats.absorb(&sol.stats);
         let round_sends = form.sends(&sol);
 
         if round_sends.is_empty() {
@@ -173,10 +184,14 @@ pub fn solve_astar(
             }
         }
         for snd in &round_sends {
-            let link = topology.link_between(snd.from, snd.to).expect("send uses a topology link");
+            let link = topology
+                .link_between(snd.from, snd.to)
+                .expect("send uses a topology link");
             let arrival = snd.epoch + eff_delta[link.id.0] + 1;
             if arrival <= epochs_per_round {
-                let h = holders.entry((snd.chunk.source.0, snd.chunk.chunk)).or_default();
+                let h = holders
+                    .entry((snd.chunk.source.0, snd.chunk.chunk))
+                    .or_default();
                 if !h.contains(&snd.to) {
                     h.push(snd.to);
                 }
@@ -201,8 +216,10 @@ pub fn solve_astar(
     // Final check after exhausting rounds.
     let mut remaining_count = 0usize;
     for (s, c, d) in demand.iter() {
-        let held = holders.get(&(s.0, c)).map_or(false, |h| h.contains(&d));
-        let flying = in_flight.iter().any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
+        let held = holders.get(&(s.0, c)).is_some_and(|h| h.contains(&d));
+        let flying = in_flight
+            .iter()
+            .any(|(fs, fc, fd, _)| *fs == s && *fc == c && *fd == d);
         if !held && !flying {
             remaining_count += 1;
         }
@@ -214,6 +231,7 @@ pub fn solve_astar(
             epochs_per_round,
             solver_time: start.elapsed().as_secs_f64(),
             initial_holders,
+            stats,
         })
     } else {
         Err(TeCclError::AStarDidNotConverge {
@@ -235,13 +253,22 @@ mod tests {
         let topo = line_topology(4, 1e9, 0.0);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::broadcast(4, &gpus, NodeId(0), 1);
-        let mut config = SolverConfig::default();
-        config.astar_epochs_per_round = Some(2);
+        let config = SolverConfig {
+            astar_epochs_per_round: Some(2),
+            ..Default::default()
+        };
         let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
-        assert!(out.rounds >= 2, "expected at least 2 rounds, got {}", out.rounds);
+        assert!(
+            out.rounds >= 2,
+            "expected at least 2 rounds, got {}",
+            out.rounds
+        );
         // Every destination received the chunk.
         for d in 1..4 {
-            assert!(out.sends.iter().any(|s| s.to == NodeId(d) && s.chunk.source == NodeId(0)));
+            assert!(out
+                .sends
+                .iter()
+                .any(|s| s.to == NodeId(d) && s.chunk.source == NodeId(0)));
         }
         // Global epochs grow across rounds.
         let max_epoch = out.sends.iter().map(|s| s.epoch).max().unwrap();
@@ -263,13 +290,19 @@ mod tests {
         let topo = line_topology(4, 1e9, 0.0);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_gather(4, &gpus, 1);
-        let mut config = SolverConfig::default();
-        config.astar_epochs_per_round = Some(3);
+        let config = SolverConfig {
+            astar_epochs_per_round: Some(3),
+            ..Default::default()
+        };
         let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
-        let pruned = crate::extract::prune_sends(&out.sends, &demand, &out.initial_holders, |a, b| {
-            topo.link_between(a, b).map(|l| delta_epochs(l, 1e-3)).unwrap_or(0)
-        });
-        let schedule = crate::extract::schedule_from_sends("astar", 1e6, 1e-3, pruned, out.solver_time);
+        let pruned =
+            crate::extract::prune_sends(&out.sends, &demand, &out.initial_holders, |a, b| {
+                topo.link_between(a, b)
+                    .map(|l| delta_epochs(l, 1e-3))
+                    .unwrap_or(0)
+            });
+        let schedule =
+            crate::extract::schedule_from_sends("astar", 1e6, 1e-3, pruned, out.solver_time);
         let report = teccl_schedule::validate(&topo, &demand, &schedule, false);
         assert!(report.is_valid(), "{:?}", report.errors);
     }

@@ -1,11 +1,10 @@
 //! Solver configuration: the knobs §5 of the paper exposes.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// How the epoch duration is derived from the topology (§5 "Epoch durations
 /// and chunk sizes").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EpochStrategy {
     /// Option (a): epoch = time for the *slowest* link to transmit one chunk.
     /// Every link can carry at least one chunk per epoch; coarser schedules.
@@ -17,7 +16,7 @@ pub enum EpochStrategy {
 }
 
 /// How switches are modeled (§3.1 "Modeling switches", Appendix C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchModel {
     /// Switches can copy chunks (SHArP-style in-network multicast); they still
     /// have no buffer.
@@ -33,7 +32,7 @@ pub enum SwitchModel {
 }
 
 /// Store-and-forward buffer handling (§3.1 buffers, Appendix B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BufferMode {
     /// Unlimited buffering at GPUs (the paper's default: ALLGATHER-style
     /// collectives need all the data anyway).
@@ -48,7 +47,7 @@ pub enum BufferMode {
 }
 
 /// Full solver configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Epoch-duration strategy.
     pub epoch_strategy: EpochStrategy,
@@ -79,6 +78,10 @@ pub struct SolverConfig {
     /// Per-chunk objective weights for multi-tenant priorities (§5); indexed
     /// by chunk id, missing entries default to 1.0.
     pub chunk_priorities: Option<Vec<f64>>,
+    /// Whether branch-and-bound nodes re-solve from their parent's simplex
+    /// basis (Gurobi-style warm starts). On by default; disable only to
+    /// measure the cold-start cost.
+    pub warm_start: bool,
 }
 
 impl Default for SolverConfig {
@@ -95,6 +98,7 @@ impl Default for SolverConfig {
             astar_gamma: 0.5,
             astar_max_rounds: 64,
             chunk_priorities: None,
+            warm_start: true,
         }
     }
 }
@@ -102,13 +106,19 @@ impl Default for SolverConfig {
 impl SolverConfig {
     /// The paper's "early stop" configuration (30% optimality gap allowed).
     pub fn early_stop() -> Self {
-        Self { early_stop_gap: Some(0.3), ..Default::default() }
+        Self {
+            early_stop_gap: Some(0.3),
+            ..Default::default()
+        }
     }
 
     /// Configuration matching the TACCL-fair comparison: hyper-edge switch
     /// model so a chunk pays a single transmission delay across a switch.
     pub fn taccl_comparable() -> Self {
-        Self { switch_model: SwitchModel::HyperEdge, ..Default::default() }
+        Self {
+            switch_model: SwitchModel::HyperEdge,
+            ..Default::default()
+        }
     }
 
     /// Sets the maximum number of epochs.
@@ -205,6 +215,9 @@ mod tests {
 
     #[test]
     fn taccl_comparable_uses_hyperedges() {
-        assert_eq!(SolverConfig::taccl_comparable().switch_model, SwitchModel::HyperEdge);
+        assert_eq!(
+            SolverConfig::taccl_comparable().switch_model,
+            SwitchModel::HyperEdge
+        );
     }
 }

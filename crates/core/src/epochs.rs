@@ -73,8 +73,10 @@ pub fn estimate_num_epochs(
         if needed == 0.0 {
             continue;
         }
-        let in_cap: f64 =
-            topo.in_links(d).map(|l| capacity_chunks_per_epoch(l, chunk_bytes, tau)).sum();
+        let in_cap: f64 = topo
+            .in_links(d)
+            .map(|l| capacity_chunks_per_epoch(l, chunk_bytes, tau))
+            .sum();
         if in_cap > 0.0 {
             worst_bw_epochs = worst_bw_epochs.max(needed / in_cap);
         }
@@ -85,8 +87,10 @@ pub fn estimate_num_epochs(
         if injected == 0.0 {
             continue;
         }
-        let out_cap: f64 =
-            topo.out_links(s).map(|l| capacity_chunks_per_epoch(l, chunk_bytes, tau)).sum();
+        let out_cap: f64 = topo
+            .out_links(s)
+            .map(|l| capacity_chunks_per_epoch(l, chunk_bytes, tau))
+            .sum();
         if out_cap > 0.0 {
             worst_bw_epochs = worst_bw_epochs.max(injected / out_cap);
         }
@@ -185,7 +189,11 @@ mod tests {
     fn epoch_multiplier_scales_duration() {
         let topo = line_topology(3, 1e9, 0.0);
         let base = epoch_duration(&topo, 1e6, &SolverConfig::default());
-        let doubled = epoch_duration(&topo, 1e6, &SolverConfig::default().with_epoch_multiplier(2.0));
+        let doubled = epoch_duration(
+            &topo,
+            1e6,
+            &SolverConfig::default().with_epoch_multiplier(2.0),
+        );
         assert!((doubled - 2.0 * base).abs() < 1e-15);
     }
 
@@ -238,7 +246,9 @@ mod tests {
         let demand = DemandMatrix::broadcast(3, &gpus, NodeId(0), 1);
         let tau_opt = 1e-3;
         // Oracle: feasible as soon as the total time is at least 4 ms.
-        let k = algorithm1_num_epochs(&topo, &demand, 1e6, tau_opt, |tau, ne| tau * ne as f64 >= 4e-3);
+        let k = algorithm1_num_epochs(&topo, &demand, 1e6, tau_opt, |tau, ne| {
+            tau * ne as f64 >= 4e-3
+        });
         assert!(k >= 4);
         // Oracle that always fails → falls back to the analytic estimate.
         let k2 = algorithm1_num_epochs(&topo, &demand, 1e6, tau_opt, |_, _| false);

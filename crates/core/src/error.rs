@@ -21,7 +21,10 @@ pub enum TeCclError {
     /// switch.
     InvalidDemand(String),
     /// The A* solver did not satisfy all demands within its round limit.
-    AStarDidNotConverge { rounds: usize, remaining_demands: usize },
+    AStarDidNotConverge {
+        rounds: usize,
+        remaining_demands: usize,
+    },
 }
 
 impl fmt::Display for TeCclError {
@@ -58,12 +61,19 @@ mod tests {
     fn display_and_from() {
         let e: TeCclError = LpError::IterationLimit(10).into();
         assert!(e.to_string().contains("LP solver error"));
-        assert!(TeCclError::InfeasibleWithEpochs(5).to_string().contains("5 epochs"));
-        assert!(TeCclError::EmptyDemand.to_string().contains("empty"));
-        assert!(TeCclError::AStarDidNotConverge { rounds: 3, remaining_demands: 2 }
+        assert!(TeCclError::InfeasibleWithEpochs(5)
             .to_string()
-            .contains("3 rounds"));
-        assert!(TeCclError::InvalidDemand("x".into()).to_string().contains("x"));
+            .contains("5 epochs"));
+        assert!(TeCclError::EmptyDemand.to_string().contains("empty"));
+        assert!(TeCclError::AStarDidNotConverge {
+            rounds: 3,
+            remaining_demands: 2
+        }
+        .to_string()
+        .contains("3 rounds"));
+        assert!(TeCclError::InvalidDemand("x".into())
+            .to_string()
+            .contains("x"));
         assert!(TeCclError::NoSolution.to_string().contains("feasible"));
     }
 }

@@ -129,10 +129,22 @@ pub fn decompose_source_flow(
     for &dest in dests {
         for &chunk in &chunks_for_dest[&dest] {
             // Greedy DFS from (source, epoch 0) to `dest` over positive flows.
-            if let Some(path) = find_path(source, dest, &remaining, link_endpoints, &delta_of, num_epochs) {
+            if let Some(path) = find_path(
+                source,
+                dest,
+                &remaining,
+                link_endpoints,
+                &delta_of,
+                num_epochs,
+            ) {
                 for &(link, k) in &path {
                     let (from, to) = link_endpoints[&link];
-                    sends.push(Send { chunk: ChunkId::new(source, chunk), from, to, epoch: k });
+                    sends.push(Send {
+                        chunk: ChunkId::new(source, chunk),
+                        from,
+                        to,
+                        epoch: k,
+                    });
                     if let Some(f) = remaining.get_mut(&(link, k)) {
                         *f -= 1.0;
                     }
@@ -153,8 +165,9 @@ fn find_path(
     delta_of: &impl Fn(usize) -> usize,
     num_epochs: usize,
 ) -> Option<Vec<(usize, usize)>> {
-    // DFS over (node, earliest epoch the chunk is available there).
-    let mut stack: Vec<(NodeId, usize, Vec<(usize, usize)>)> = vec![(source, 0, Vec::new())];
+    // DFS over (node, earliest epoch the chunk is available there, hops so far).
+    type DfsEntry = (NodeId, usize, Vec<(usize, usize)>);
+    let mut stack: Vec<DfsEntry> = vec![(source, 0, Vec::new())];
     let mut visited: HashSet<(NodeId, usize)> = HashSet::new();
     while let Some((node, avail, path)) = stack.pop() {
         if node == dest {
@@ -171,12 +184,17 @@ fn find_path(
                 f > 1e-6
                     && k >= avail
                     && k < num_epochs
-                    && link_endpoints.get(&link).map_or(false, |(from, _)| *from == node)
+                    && link_endpoints
+                        .get(&link)
+                        .is_some_and(|(from, _)| *from == node)
             })
             .map(|(&(link, k), &f)| (link, k, f))
             .collect();
         candidates.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2).unwrap().then(a.1.cmp(&b.1)).then(a.0.cmp(&b.0))
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.1.cmp(&b.1))
+                .then(a.0.cmp(&b.0))
         });
         // Push in reverse so the best candidate is explored first.
         for (link, k, _) in candidates.into_iter().rev() {
@@ -208,9 +226,24 @@ mod tests {
         let demand = DemandMatrix::broadcast(3, &gpus, NodeId(0), 1);
         let ch = ChunkId::new(NodeId(0), 0);
         let sends = vec![
-            Send { chunk: ch, from: NodeId(0), to: NodeId(1), epoch: 0 },
-            Send { chunk: ch, from: NodeId(1), to: NodeId(2), epoch: 1 },
-            Send { chunk: ch, from: NodeId(1), to: NodeId(0), epoch: 1 }, // useless
+            Send {
+                chunk: ch,
+                from: NodeId(0),
+                to: NodeId(1),
+                epoch: 0,
+            },
+            Send {
+                chunk: ch,
+                from: NodeId(1),
+                to: NodeId(2),
+                epoch: 1,
+            },
+            Send {
+                chunk: ch,
+                from: NodeId(1),
+                to: NodeId(0),
+                epoch: 1,
+            }, // useless
         ];
         let pruned = prune_sends(&sends, &demand, &holders_of(NodeId(0), 0), |_, _| 0);
         assert_eq!(pruned.len(), 2);
@@ -225,9 +258,24 @@ mod tests {
         demand.set(NodeId(0), 0, NodeId(2));
         let ch = ChunkId::new(NodeId(0), 0);
         let sends = vec![
-            Send { chunk: ch, from: NodeId(0), to: NodeId(2), epoch: 0 },
-            Send { chunk: ch, from: NodeId(0), to: NodeId(1), epoch: 0 },
-            Send { chunk: ch, from: NodeId(1), to: NodeId(2), epoch: 1 },
+            Send {
+                chunk: ch,
+                from: NodeId(0),
+                to: NodeId(2),
+                epoch: 0,
+            },
+            Send {
+                chunk: ch,
+                from: NodeId(0),
+                to: NodeId(1),
+                epoch: 0,
+            },
+            Send {
+                chunk: ch,
+                from: NodeId(1),
+                to: NodeId(2),
+                epoch: 1,
+            },
         ];
         let pruned = prune_sends(&sends, &demand, &holders_of(NodeId(0), 0), |_, _| 0);
         assert_eq!(pruned.len(), 1);
@@ -245,9 +293,24 @@ mod tests {
         demand.set(NodeId(0), 0, NodeId(2));
         let ch = ChunkId::new(NodeId(0), 0);
         let sends = vec![
-            Send { chunk: ch, from: NodeId(1), to: NodeId(2), epoch: 0 }, // impossible support
-            Send { chunk: ch, from: NodeId(0), to: NodeId(1), epoch: 2 },
-            Send { chunk: ch, from: NodeId(0), to: NodeId(2), epoch: 3 },
+            Send {
+                chunk: ch,
+                from: NodeId(1),
+                to: NodeId(2),
+                epoch: 0,
+            }, // impossible support
+            Send {
+                chunk: ch,
+                from: NodeId(0),
+                to: NodeId(1),
+                epoch: 2,
+            },
+            Send {
+                chunk: ch,
+                from: NodeId(0),
+                to: NodeId(2),
+                epoch: 3,
+            },
         ];
         let pruned = prune_sends(&sends, &demand, &holders_of(NodeId(0), 0), |_, _| 0);
         // The impossible chain keeps the 1->2 send (it is the earliest arrival
@@ -270,10 +333,30 @@ mod tests {
             holders.insert((1, c), vec![NodeId(1)]);
         }
         let sends = vec![
-            Send { chunk: ChunkId::new(NodeId(0), 0), from: NodeId(0), to: NodeId(1), epoch: 0 },
-            Send { chunk: ChunkId::new(NodeId(0), 1), from: NodeId(0), to: NodeId(1), epoch: 1 },
-            Send { chunk: ChunkId::new(NodeId(1), 0), from: NodeId(1), to: NodeId(0), epoch: 0 },
-            Send { chunk: ChunkId::new(NodeId(1), 1), from: NodeId(1), to: NodeId(0), epoch: 1 },
+            Send {
+                chunk: ChunkId::new(NodeId(0), 0),
+                from: NodeId(0),
+                to: NodeId(1),
+                epoch: 0,
+            },
+            Send {
+                chunk: ChunkId::new(NodeId(0), 1),
+                from: NodeId(0),
+                to: NodeId(1),
+                epoch: 1,
+            },
+            Send {
+                chunk: ChunkId::new(NodeId(1), 0),
+                from: NodeId(1),
+                to: NodeId(0),
+                epoch: 0,
+            },
+            Send {
+                chunk: ChunkId::new(NodeId(1), 1),
+                from: NodeId(1),
+                to: NodeId(0),
+                epoch: 1,
+            },
         ];
         let pruned = prune_sends(&sends, &demand, &holders, |_, _| 0);
         assert_eq!(pruned.len(), 4); // everything is needed
@@ -305,8 +388,14 @@ mod tests {
         flows.insert((1usize, 1usize), 1.0);
         let mut chunks_for_dest = HashMap::new();
         chunks_for_dest.insert(NodeId(2), vec![0usize]);
-        let sends =
-            decompose_source_flow(NodeId(0), &chunks_for_dest, &flows, &link_endpoints, |_| 0, 4);
+        let sends = decompose_source_flow(
+            NodeId(0),
+            &chunks_for_dest,
+            &flows,
+            &link_endpoints,
+            |_| 0,
+            4,
+        );
         assert_eq!(sends.len(), 2);
         assert_eq!(sends[0].from, NodeId(0));
         assert_eq!(sends[1].to, NodeId(2));
@@ -327,8 +416,14 @@ mod tests {
         }
         let mut chunks_for_dest = HashMap::new();
         chunks_for_dest.insert(NodeId(3), vec![0usize, 1usize]);
-        let sends =
-            decompose_source_flow(NodeId(0), &chunks_for_dest, &flows, &link_endpoints, |_| 0, 4);
+        let sends = decompose_source_flow(
+            NodeId(0),
+            &chunks_for_dest,
+            &flows,
+            &link_endpoints,
+            |_| 0,
+            4,
+        );
         assert_eq!(sends.len(), 4);
         // Both relays are used (each path has capacity for one chunk).
         let via1 = sends.iter().any(|s| s.to == NodeId(1));
@@ -342,8 +437,14 @@ mod tests {
         let flows = HashMap::new();
         let mut chunks_for_dest = HashMap::new();
         chunks_for_dest.insert(NodeId(1), vec![0usize]);
-        let sends =
-            decompose_source_flow(NodeId(0), &chunks_for_dest, &flows, &link_endpoints, |_| 0, 4);
+        let sends = decompose_source_flow(
+            NodeId(0),
+            &chunks_for_dest,
+            &flows,
+            &link_endpoints,
+            |_| 0,
+            4,
+        );
         assert!(sends.is_empty());
     }
 }

@@ -76,11 +76,17 @@ impl LpFormulation {
         }
 
         let k_max = num_epochs;
-        let delta: Vec<usize> = topology.links.iter().map(|l| delta_epochs(l, tau)).collect();
+        let delta: Vec<usize> = topology
+            .links
+            .iter()
+            .map(|l| delta_epochs(l, tau))
+            .collect();
 
         // Sources with anything to send.
-        let sources: Vec<NodeId> =
-            topology.gpus().filter(|&s| demand.demand_of_source(s) > 0).collect();
+        let sources: Vec<NodeId> = topology
+            .gpus()
+            .filter(|&s| demand.demand_of_source(s) > 0)
+            .collect();
 
         let mut model = Model::new(Sense::Maximize);
         let mut f_vars = HashMap::new();
@@ -114,24 +120,32 @@ impl LpFormulation {
                     continue;
                 }
                 for k in 0..=k_max {
-                    let v = model.add_var(format!("B[{s},{n},{k}]"), 0.0, f64::INFINITY, 0.0, false);
+                    let v =
+                        model.add_var(format!("B[{s},{n},{k}]"), 0.0, f64::INFINITY, 0.0, false);
                     b_vars.insert((s.0, n.0, k), v);
                 }
             }
             for d in topology.gpus() {
-                let wanted = (0..demand.num_chunks).filter(|&c| demand.wants(s, c, d)).count();
+                let wanted = (0..demand.num_chunks)
+                    .filter(|&c| demand.wants(s, c, d))
+                    .count();
                 if wanted == 0 {
                     continue;
                 }
                 for k in 0..k_max {
                     let weight = 1.0 / (k as f64 + 1.0);
-                    let v = model.add_var(format!("r[{s},{d},{k}]"), 0.0, f64::INFINITY, weight, false);
+                    let v =
+                        model.add_var(format!("r[{s},{d},{k}]"), 0.0, f64::INFINITY, weight, false);
                     r_vars.insert((s.0, d.0, k), v);
                 }
             }
         }
 
-        let fv = |f: &HashMap<(usize, usize, usize), VarId>, s: usize, l: usize, k: i64| -> Option<VarId> {
+        let fv = |f: &HashMap<(usize, usize, usize), VarId>,
+                  s: usize,
+                  l: usize,
+                  k: i64|
+         -> Option<VarId> {
             if k < 0 || k as usize >= k_max {
                 None
             } else {
@@ -174,7 +188,9 @@ impl LpFormulation {
                     let mut terms: Vec<(VarId, f64)> = Vec::new();
                     // Inflow arriving by end of epoch k.
                     for inl in topology.in_links(n) {
-                        if let Some(v) = fv(&f_vars, s.0, inl.id.0, k as i64 - delta[inl.id.0] as i64) {
+                        if let Some(v) =
+                            fv(&f_vars, s.0, inl.id.0, k as i64 - delta[inl.id.0] as i64)
+                        {
                             terms.push((v, 1.0));
                         }
                     }
@@ -205,7 +221,9 @@ impl LpFormulation {
                 for k in 0..k_max {
                     let mut terms: Vec<(VarId, f64)> = Vec::new();
                     for inl in topology.in_links(sw) {
-                        if let Some(v) = fv(&f_vars, s.0, inl.id.0, k as i64 - delta[inl.id.0] as i64) {
+                        if let Some(v) =
+                            fv(&f_vars, s.0, inl.id.0, k as i64 - delta[inl.id.0] as i64)
+                        {
                             terms.push((v, 1.0));
                         }
                     }
@@ -217,7 +235,12 @@ impl LpFormulation {
                     if terms.is_empty() {
                         continue;
                     }
-                    model.add_cons(format!("swflow[{s},{sw},{k}]"), &terms, ConstraintOp::Eq, 0.0);
+                    model.add_cons(
+                        format!("swflow[{s},{sw},{k}]"),
+                        &terms,
+                        ConstraintOp::Eq,
+                        0.0,
+                    );
                 }
             }
         }
@@ -264,7 +287,9 @@ impl LpFormulation {
         // ----- Destination totals ---------------------------------------------------
         for &s in &sources {
             for d in topology.gpus() {
-                let wanted = (0..demand.num_chunks).filter(|&c| demand.wants(s, c, d)).count();
+                let wanted = (0..demand.num_chunks)
+                    .filter(|&c| demand.wants(s, c, d))
+                    .count();
                 if wanted == 0 {
                     continue;
                 }
@@ -296,6 +321,7 @@ impl LpFormulation {
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, TeCclError> {
         let milp_config = MilpConfig {
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
+            warm_start: config.warm_start,
             ..Default::default()
         };
         let sol = self.model.solve_with(&milp_config)?;
@@ -321,26 +347,39 @@ impl LpFormulation {
 
     /// Amount of source-`s` data node `d` reads in epoch `k` (chunk units).
     pub fn read_value(&self, solution: &Solution, s: NodeId, d: NodeId, k: usize) -> f64 {
-        self.r_vars.get(&(s.0, d.0, k)).map(|v| solution.values[v.index()]).unwrap_or(0.0)
+        self.r_vars
+            .get(&(s.0, d.0, k))
+            .map(|v| solution.values[v.index()])
+            .unwrap_or(0.0)
     }
 
     /// Flow of source-`s` data on a link at epoch `k` (chunk units).
     pub fn flow_value(&self, solution: &Solution, s: NodeId, link: usize, k: usize) -> f64 {
-        self.f_vars.get(&(s.0, link, k)).map(|v| solution.values[v.index()]).unwrap_or(0.0)
+        self.f_vars
+            .get(&(s.0, link, k))
+            .map(|v| solution.values[v.index()])
+            .unwrap_or(0.0)
     }
 
     /// Amount of source-`s` data buffered at node `n` at the start of epoch
     /// `k` (chunk units).
     pub fn buffer_value(&self, solution: &Solution, s: NodeId, n: NodeId, k: usize) -> f64 {
-        self.b_vars.get(&(s.0, n.0, k)).map(|v| solution.values[v.index()]).unwrap_or(0.0)
+        self.b_vars
+            .get(&(s.0, n.0, k))
+            .map(|v| solution.values[v.index()])
+            .unwrap_or(0.0)
     }
 
     /// Converts the LP rate solution into an executable per-chunk schedule by
     /// decomposing each source's time-expanded flow into paths and assigning
     /// each demanded chunk to one path (§4.1's rate-to-schedule step).
     pub fn extract_sends(&self, solution: &Solution, demand: &DemandMatrix) -> Vec<Send> {
-        let link_endpoints: HashMap<usize, (NodeId, NodeId)> =
-            self.topology.links.iter().map(|l| (l.id.0, (l.src, l.dst))).collect();
+        let link_endpoints: HashMap<usize, (NodeId, NodeId)> = self
+            .topology
+            .links
+            .iter()
+            .map(|l| (l.id.0, (l.src, l.dst)))
+            .collect();
         let mut all = Vec::new();
         for s in self.topology.gpus() {
             if demand.demand_of_source(s) == 0 {
@@ -357,8 +396,9 @@ impl LpFormulation {
             }
             let mut chunks_for_dest: HashMap<NodeId, Vec<usize>> = HashMap::new();
             for d in self.topology.gpus() {
-                let chunks: Vec<usize> =
-                    (0..demand.num_chunks).filter(|&c| demand.wants(s, c, d)).collect();
+                let chunks: Vec<usize> = (0..demand.num_chunks)
+                    .filter(|&c| demand.wants(s, c, d))
+                    .collect();
                 if !chunks.is_empty() {
                     chunks_for_dest.insert(d, chunks);
                 }
@@ -378,7 +418,10 @@ impl LpFormulation {
 
     /// The α-delay (in epochs) of the link `from -> to`.
     pub fn delta_of(&self, from: NodeId, to: NodeId) -> usize {
-        self.topology.link_between(from, to).map(|l| self.delta[l.id.0]).unwrap_or(0)
+        self.topology
+            .link_between(from, to)
+            .map(|l| self.delta[l.id.0])
+            .unwrap_or(0)
     }
 }
 
@@ -404,7 +447,9 @@ mod tests {
             .flat_map(|s| (0..3).map(move |d| (s, d)))
             .filter(|(s, d)| s != d)
             .map(|(s, d)| {
-                (0..3).map(|k| form.read_value(&sol, NodeId(s), NodeId(d), k)).sum::<f64>()
+                (0..3)
+                    .map(|k| form.read_value(&sol, NodeId(s), NodeId(d), k))
+                    .sum::<f64>()
             })
             .sum();
         assert!((total_read - 6.0).abs() < 1e-5);
@@ -426,7 +471,11 @@ mod tests {
         assert!(completion >= 2, "completion epoch {completion} too early");
         // All 3 chunks eventually read.
         let total: f64 = (1..4)
-            .map(|d| (0..8).map(|k| form.read_value(&sol, NodeId(0), NodeId(d), k)).sum::<f64>())
+            .map(|d| {
+                (0..8)
+                    .map(|k| form.read_value(&sol, NodeId(0), NodeId(d), k))
+                    .sum::<f64>()
+            })
             .sum();
         assert!((total - 3.0).abs() < 1e-5);
     }
@@ -439,7 +488,10 @@ mod tests {
         let config = SolverConfig::default();
         // 6 chunks over a 1-chunk/epoch bottleneck cannot finish in 2 epochs.
         let form = LpFormulation::build(&topo, &demand, 1e6, &config, 2, 1e-3).unwrap();
-        assert!(matches!(form.solve(&config), Err(TeCclError::InfeasibleWithEpochs(2))));
+        assert!(matches!(
+            form.solve(&config),
+            Err(TeCclError::InfeasibleWithEpochs(2))
+        ));
     }
 
     #[test]
@@ -483,8 +535,8 @@ mod tests {
     fn empty_demand_rejected() {
         let topo = line_topology(2, 1e9, 0.0);
         let demand = DemandMatrix::new(2, 1);
-        let err =
-            LpFormulation::build(&topo, &demand, 1e6, &SolverConfig::default(), 2, 1e-3).unwrap_err();
+        let err = LpFormulation::build(&topo, &demand, 1e6, &SolverConfig::default(), 2, 1e-3)
+            .unwrap_err();
         assert_eq!(err, TeCclError::EmptyDemand);
     }
 

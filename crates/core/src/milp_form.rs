@@ -143,7 +143,10 @@ impl MilpFormulation {
         };
 
         let init_buffer = |s: NodeId, c: usize, n: NodeId| -> f64 {
-            if initial_holders.get(&(s.0, c)).map_or(false, |h| h.contains(&n)) {
+            if initial_holders
+                .get(&(s.0, c))
+                .is_some_and(|h| h.contains(&n))
+            {
                 1.0
             } else {
                 0.0
@@ -177,7 +180,13 @@ impl MilpFormulation {
                     continue;
                 }
                 for k in e0..k_max {
-                    let v = model.add_var(format!("F[{s},{c},{}->{},{k}]", link.src, link.dst), 0.0, 1.0, 0.0, true);
+                    let v = model.add_var(
+                        format!("F[{s},{c},{}->{},{k}]", link.src, link.dst),
+                        0.0,
+                        1.0,
+                        0.0,
+                        true,
+                    );
                     f_vars.insert((s.0, c, link.id.0, k), v);
                 }
             }
@@ -190,7 +199,13 @@ impl MilpFormulation {
                     continue;
                 }
                 for k in e0.max(1)..=k_max {
-                    let v = model.add_var(format!("B[{s},{c},{n},{k}]"), 0.0, f64::INFINITY, 0.0, false);
+                    let v = model.add_var(
+                        format!("B[{s},{c},{n},{k}]"),
+                        0.0,
+                        f64::INFINITY,
+                        0.0,
+                        false,
+                    );
                     b_vars.insert((s.0, c, n.0, k), v);
                 }
                 if let BufferMode::LimitedChunks(_) = config.buffer_mode {
@@ -217,7 +232,12 @@ impl MilpFormulation {
             }
         }
 
-        let fvar = |f: &HashMap<(usize, usize, usize, usize), VarId>, s: usize, c: usize, l: usize, k: i64| -> Option<VarId> {
+        let fvar = |f: &HashMap<(usize, usize, usize, usize), VarId>,
+                    s: usize,
+                    c: usize,
+                    l: usize,
+                    k: i64|
+         -> Option<VarId> {
             if k < 0 {
                 None
             } else {
@@ -321,7 +341,7 @@ impl MilpFormulation {
                                 // Only counts when no buffer variable already
                                 // carries it (buffered nodes absorb arrivals in
                                 // the buffer-evolution constraint below).
-                                if b_vars.get(&(s.0, c, node.0, k.max(1))).is_none() {
+                                if !b_vars.contains_key(&(s.0, c, node.0, k.max(1))) {
                                     rhs -= 1.0;
                                 }
                             }
@@ -380,7 +400,12 @@ impl MilpFormulation {
                             rhs += 1.0;
                         }
                     }
-                    model.add_cons(format!("buf[{s},{c},{node},{k}]"), &terms, ConstraintOp::Eq, rhs);
+                    model.add_cons(
+                        format!("buf[{s},{c},{node},{k}]"),
+                        &terms,
+                        ConstraintOp::Eq,
+                        rhs,
+                    );
                 }
             }
         }
@@ -468,7 +493,9 @@ impl MilpFormulation {
                         .flat_map(|l| {
                             commodities
                                 .iter()
-                                .filter_map(|&(s, c)| f_vars.get(&(s.0, c, l.0, k)).map(|&v| (v, 1.0)))
+                                .filter_map(|&(s, c)| {
+                                    f_vars.get(&(s.0, c, l.0, k)).map(|&v| (v, 1.0))
+                                })
                                 .collect::<Vec<_>>()
                         })
                         .collect();
@@ -487,7 +514,9 @@ impl MilpFormulation {
                         .flat_map(|l| {
                             commodities
                                 .iter()
-                                .filter_map(|&(s, c)| f_vars.get(&(s.0, c, l.0, k)).map(|&v| (v, 1.0)))
+                                .filter_map(|&(s, c)| {
+                                    f_vars.get(&(s.0, c, l.0, k)).map(|&v| (v, 1.0))
+                                })
                                 .collect::<Vec<_>>()
                         })
                         .collect();
@@ -527,6 +556,7 @@ impl MilpFormulation {
         let milp_config = MilpConfig {
             rel_gap: config.early_stop_gap.unwrap_or(1e-6),
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
+            warm_start: config.warm_start,
             ..Default::default()
         };
         let sol = self.model.solve_with(&milp_config)?;
@@ -565,7 +595,14 @@ impl MilpFormulation {
     }
 
     /// Value of a buffer variable (0 if not modeled).
-    pub fn buffer_value(&self, solution: &Solution, s: NodeId, c: usize, n: NodeId, k: usize) -> f64 {
+    pub fn buffer_value(
+        &self,
+        solution: &Solution,
+        s: NodeId,
+        c: usize,
+        n: NodeId,
+        k: usize,
+    ) -> f64 {
         self.b_vars
             .get(&(s.0, c, n.0, k))
             .map(|v| solution.values[v.index()])
@@ -609,15 +646,26 @@ mod tests {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
         let tau = 1e-3; // 1 MB chunks over 1 GB/s
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, tau, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            4,
+            tau,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         let sol = form.solve(&config).unwrap();
         let sends = form.sends(&sol);
         // The chunk must cross 0->1 and 1->2 (it may also be copied elsewhere,
         // pruning happens later).
-        assert!(sends.iter().any(|s| s.from == NodeId(0) && s.to == NodeId(1)));
-        assert!(sends.iter().any(|s| s.from == NodeId(1) && s.to == NodeId(2)));
+        assert!(sends
+            .iter()
+            .any(|s| s.from == NodeId(0) && s.to == NodeId(1)));
+        assert!(sends
+            .iter()
+            .any(|s| s.from == NodeId(1) && s.to == NodeId(2)));
         // Both destinations eventually read the chunk.
         assert!(form.read_value(&sol, NodeId(0), 0, NodeId(1), 3) > 0.5);
         assert!(form.read_value(&sol, NodeId(0), 0, NodeId(2), 3) > 0.5);
@@ -628,10 +676,20 @@ mod tests {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
         // One epoch cannot deliver over two hops.
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 1, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
-        assert!(matches!(form.solve(&config), Err(TeCclError::InfeasibleWithEpochs(1))));
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            1,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            form.solve(&config),
+            Err(TeCclError::InfeasibleWithEpochs(1))
+        ));
     }
 
     #[test]
@@ -644,19 +702,31 @@ mod tests {
             demand.set(NodeId(0), 0, NodeId(d));
         }
         let config = SolverConfig::default();
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            4,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         let sol = form.solve(&config).unwrap();
         let sends = form.sends(&sol);
-        let upstream = sends.iter().filter(|s| s.from == NodeId(0) && s.to == NodeId(1)).count();
+        let upstream = sends
+            .iter()
+            .filter(|s| s.from == NodeId(0) && s.to == NodeId(1))
+            .count();
         // Copy means the s->h link only needs to carry the chunk once (the raw
         // solution may contain additional no-op sends — those are removed by
         // the reverse-DFS pruning in `extract`, tested there).
         assert!(upstream >= 1);
         // And the relay fans it out to all three destinations.
         for d in 2..5 {
-            assert!(sends.iter().any(|s| s.from == NodeId(1) && s.to == NodeId(d)));
+            assert!(sends
+                .iter()
+                .any(|s| s.from == NodeId(1) && s.to == NodeId(d)));
         }
     }
 
@@ -730,38 +800,64 @@ mod tests {
         let mut demand = DemandMatrix::new(3, 1);
         demand.set(a, 0, c);
         let config = SolverConfig::default();
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 6, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            6,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         let sol = form.solve(&config).unwrap();
         let sends = form.sends(&sol);
         let hop2 = sends.iter().find(|s| s.from == b && s.to == c).unwrap();
         let hop1 = sends.iter().find(|s| s.from == a && s.to == b).unwrap();
-        assert!(hop2.epoch >= hop1.epoch + 3, "second hop at {} after first at {}", hop2.epoch, hop1.epoch);
+        assert!(
+            hop2.epoch >= hop1.epoch + 3,
+            "second hop at {} after first at {}",
+            hop2.epoch,
+            hop1.epoch
+        );
     }
 
     #[test]
     fn buffer_values_follow_flows() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            4,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         let sol = form.solve(&config).unwrap();
         // The middle node eventually buffers the chunk (it demands it).
         assert!(form.buffer_value(&sol, NodeId(0), 0, NodeId(1), 4) > 0.5);
         // The source always holds its own chunk implicitly (not modeled as a
         // variable at epoch 0); buffer_value returns 0 for missing vars.
-        assert_eq!(form.buffer_value(&sol, NodeId(0), 0, NodeId(5.min(2)), 0), 0.0);
+        assert_eq!(form.buffer_value(&sol, NodeId(0), 0, NodeId(2), 0), 0.0);
     }
 
     #[test]
     fn limited_buffer_mode_builds_and_solves() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default().with_buffer_mode(BufferMode::LimitedChunks(1));
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 5, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            5,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         let sol = form.solve(&config).unwrap();
         assert!(form.read_value(&sol, NodeId(0), 0, NodeId(2), 4) > 0.5);
     }
@@ -770,9 +866,16 @@ mod tests {
     fn no_store_and_forward_mode_still_relays() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default().with_buffer_mode(BufferMode::NoStoreAndForward);
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            4,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         // Node 1 demands the chunk itself, so it may hold it; node 2 receives
         // it relayed. The problem stays feasible.
         let sol = form.solve(&config).unwrap();
@@ -783,7 +886,10 @@ mod tests {
     fn relaxed_completion_never_infeasible() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
-        let options = MilpBuildOptions { relax_completion: true, ..Default::default() };
+        let options = MilpBuildOptions {
+            relax_completion: true,
+            ..Default::default()
+        };
         // Even with 1 epoch (not enough to deliver), the relaxed model solves.
         let form = MilpFormulation::build(&topo, &demand, 1e6, &config, 1, 1e-3, &options).unwrap();
         let sol = form.solve(&config).unwrap();
@@ -808,16 +914,25 @@ mod tests {
     fn model_size_reduction_skips_unreachable_epochs() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
-        let form =
-            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &MilpBuildOptions::default())
-                .unwrap();
+        let form = MilpFormulation::build(
+            &topo,
+            &demand,
+            1e6,
+            &config,
+            4,
+            1e-3,
+            &MilpBuildOptions::default(),
+        )
+        .unwrap();
         // The 2->1 direction can carry source-0 chunks only from epoch 2 on
         // (node 2 cannot hold the chunk earlier); epoch-0/1 variables on that
         // link must not exist.
-        assert!(form.f_vars.get(&(0, 0, 3, 0)).is_none() || {
-            // link ids depend on insertion order; check semantically instead:
-            true
-        });
+        assert!(
+            !form.f_vars.contains_key(&(0, 0, 3, 0)) || {
+                // link ids depend on insertion order; check semantically instead:
+                true
+            }
+        );
         assert!(form.num_integer_vars() < 4 * 4); // fewer than links * epochs
     }
 }

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use teccl_collective::{DemandMatrix, TenantDemand};
-use teccl_lp::SolveStatus;
+use teccl_lp::{SolveStats, SolveStatus};
 use teccl_schedule::Schedule;
 use teccl_topology::Topology;
 
@@ -48,6 +48,10 @@ pub struct SolveOutcome {
     pub epoch_duration: f64,
     /// Relative MIP gap at termination (0 for LPs / proven optima).
     pub mip_gap: f64,
+    /// Underlying solver statistics (simplex iterations, B&B nodes, LU
+    /// factorizations, warm/cold starts) aggregated over the whole solve —
+    /// across rounds for A*.
+    pub stats: SolveStats,
 }
 
 /// The TE-CCL collective communication optimizer.
@@ -105,7 +109,11 @@ impl TeCcl {
     /// Solves a demand, automatically choosing the formulation:
     /// copy-free demands use the LP; copy-friendly demands use the MILP on
     /// small topologies and A* on larger ones.
-    pub fn solve(&self, demand: &DemandMatrix, chunk_bytes: f64) -> Result<SolveOutcome, TeCclError> {
+    pub fn solve(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+    ) -> Result<SolveOutcome, TeCclError> {
         if !demand.benefits_from_copy() {
             self.solve_lp(demand, chunk_bytes)
         } else if self.topology.num_gpus() > ASTAR_GPU_THRESHOLD {
@@ -117,19 +125,29 @@ impl TeCcl {
 
     /// Solves with the general MILP formulation (§3.1). Retries with a larger
     /// epoch budget if the first attempt is infeasible.
-    pub fn solve_milp(&self, demand: &DemandMatrix, chunk_bytes: f64) -> Result<SolveOutcome, TeCclError> {
+    pub fn solve_milp(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+    ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, groups, tau, k0) = self.prepare(demand, chunk_bytes);
-        let options = MilpBuildOptions { hyperedge_groups: groups, ..Default::default() };
+        let options = MilpBuildOptions {
+            hyperedge_groups: groups,
+            ..Default::default()
+        };
 
         let mut k = k0.max(2);
         let mut last_err = TeCclError::NoSolution;
         for _attempt in 0..3 {
-            let form = MilpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau, &options)?;
+            let form =
+                MilpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau, &options)?;
             match form.solve(&self.config) {
                 Ok(sol) => {
                     let sends = form.sends(&sol);
-                    let pruned = prune_sends(&sends, demand, form.initial_holders(), |a, b| form.delta_of(a, b));
+                    let pruned = prune_sends(&sends, demand, form.initial_holders(), |a, b| {
+                        form.delta_of(a, b)
+                    });
                     let mut schedule = schedule_from_sends(
                         "te-ccl-milp",
                         chunk_bytes,
@@ -147,6 +165,7 @@ impl TeCcl {
                         num_epochs: k,
                         epoch_duration: tau,
                         mip_gap: sol.stats.mip_gap,
+                        stats: sol.stats.clone(),
                     });
                 }
                 Err(TeCclError::InfeasibleWithEpochs(_)) => {
@@ -160,7 +179,11 @@ impl TeCcl {
     }
 
     /// Solves with the LP formulation (§4.1) — intended for copy-free demands.
-    pub fn solve_lp(&self, demand: &DemandMatrix, chunk_bytes: f64) -> Result<SolveOutcome, TeCclError> {
+    pub fn solve_lp(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+    ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, _groups, tau, k0) = self.prepare(demand, chunk_bytes);
 
@@ -188,6 +211,7 @@ impl TeCcl {
                         num_epochs: k,
                         epoch_duration: tau,
                         mip_gap: 0.0,
+                        stats: sol.stats.clone(),
                     });
                 }
                 Err(TeCclError::InfeasibleWithEpochs(_)) => {
@@ -201,7 +225,11 @@ impl TeCcl {
     }
 
     /// Solves with the A* technique (§4.2).
-    pub fn solve_astar(&self, demand: &DemandMatrix, chunk_bytes: f64) -> Result<SolveOutcome, TeCclError> {
+    pub fn solve_astar(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+    ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, _groups, tau, _k) = self.prepare(demand, chunk_bytes);
         let out = solve_astar(&topo, demand, chunk_bytes, &self.config, tau)?;
@@ -227,6 +255,7 @@ impl TeCcl {
             num_epochs: out.rounds * out.epochs_per_round,
             epoch_duration: tau,
             mip_gap: f64::NAN,
+            stats: out.stats.clone(),
         })
     }
 
@@ -308,8 +337,10 @@ mod tests {
         let topo = line_topology(4, 1e9, 0.0);
         let gpus: Vec<NodeId> = topo.gpus().collect();
         let demand = DemandMatrix::all_gather(4, &gpus, 1);
-        let mut config = SolverConfig::default();
-        config.astar_epochs_per_round = Some(3);
+        let config = SolverConfig {
+            astar_epochs_per_round: Some(3),
+            ..Default::default()
+        };
         let solver = TeCcl::new(topo, config);
         let out = solver.solve_astar(&demand, 1e6).unwrap();
         assert_eq!(out.formulation, FormulationKind::AStar);
@@ -378,6 +409,9 @@ mod tests {
     fn empty_tenant_list_rejected() {
         let topo = line_topology(2, 1e9, 0.0);
         let solver = TeCcl::new(topo, SolverConfig::default());
-        assert!(matches!(solver.solve_multi_tenant(&[], 1e6), Err(TeCclError::EmptyDemand)));
+        assert!(matches!(
+            solver.solve_multi_tenant(&[], 1e6),
+            Err(TeCclError::EmptyDemand)
+        ));
     }
 }

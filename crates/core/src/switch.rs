@@ -60,8 +60,14 @@ pub fn hyperedge_transform(topo: &Topology) -> (Topology, Vec<HyperEdgeGroup>) {
     // Replace each switch by hyper-edges.
     let mut groups = Vec::new();
     for sw in topo.switches() {
-        let in_links: Vec<_> = topo.in_links(sw).filter(|l| !topo.is_switch(l.src)).collect();
-        let out_links: Vec<_> = topo.out_links(sw).filter(|l| !topo.is_switch(l.dst)).collect();
+        let in_links: Vec<_> = topo
+            .in_links(sw)
+            .filter(|l| !topo.is_switch(l.src))
+            .collect();
+        let out_links: Vec<_> = topo
+            .out_links(sw)
+            .filter(|l| !topo.is_switch(l.dst))
+            .collect();
         let mut links = Vec::new();
         let mut out_edges_of: std::collections::BTreeMap<NodeId, Vec<LinkId>> = Default::default();
         let mut in_edges_of: std::collections::BTreeMap<NodeId, Vec<LinkId>> = Default::default();

@@ -1,0 +1,456 @@
+//! Sparse LU factorization of the simplex basis with product-form (eta)
+//! updates.
+//!
+//! The revised simplex needs two linear solves per iteration against the basis
+//! matrix `B` (one column of `A` per basic variable):
+//!
+//! * **FTRAN** — `B w = a` (the transformed entering column),
+//! * **BTRAN** — `yᵀ B = c_Bᵀ` (the simplex multipliers / duals).
+//!
+//! Instead of maintaining a dense `B⁻¹` (`O(m²)` memory, `O(m²)` per pivot),
+//! this module factorizes `B = L·U` with partial pivoting, stores `L` and `U`
+//! sparsely, and absorbs basis changes with *eta* vectors (the product form of
+//! the inverse): after a pivot on row `r` with transformed column `w`,
+//! `B_new⁻¹ = E(w, r) · B_old⁻¹` where `E` is an identity matrix whose `r`-th
+//! column is replaced. Solves replay the factors and then the etas; the eta
+//! file is folded back into a fresh factorization every
+//! [`REFACTOR_INTERVAL`] pivots (or sooner on numerical trouble), which bounds
+//! both fill-in and drift.
+
+use crate::error::LpError;
+use crate::sparse::SparseVec;
+
+/// Number of eta updates accumulated before the basis is refactorized.
+pub const REFACTOR_INTERVAL: usize = 100;
+
+/// Absolute pivot threshold: elements at or below this magnitude are rejected
+/// (TE-CCL's matrices are unit-scaled, so an absolute test suffices; switch to
+/// a column-relative test if badly scaled models ever show up).
+const PIVOT_TOL: f64 = 1e-10;
+
+/// Status of a variable (standard-form column) in a simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis.
+    Basic,
+    /// Non-basic at its lower bound.
+    AtLower,
+    /// Non-basic at its upper bound.
+    AtUpper,
+    /// Non-basic free variable sitting at value 0.
+    Free,
+}
+
+/// A snapshot of a simplex basis, sufficient to warm-start a later solve on
+/// the same [`crate::standard::StandardForm`] (possibly with changed bounds —
+/// the branch-and-bound use case).
+///
+/// `basic[r]` is the column occupying row `r`. Columns `>= num_cols` denote
+/// the phase-1 artificial of row `col - num_cols`; these can linger in a
+/// degenerate optimal basis and are reconstructed on warm start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexBasis {
+    /// Basic column per row (length `m`).
+    pub basic: Vec<usize>,
+    /// Status of every standard-form column (length `n`, artificials excluded).
+    pub status: Vec<VarStatus>,
+}
+
+/// One product-form update: pivot row `r`, pivot value `w[r]`, and the other
+/// non-zeros of the transformed entering column `w`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    /// `(row, w[row])` for rows other than `r` with `w[row] != 0`.
+    col: Vec<(usize, f64)>,
+}
+
+/// A sparse LU factorization `B = L·U` (with row permutation) plus an eta file.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    /// `pivot_row[k]` — the original row eliminated at step `k`.
+    pivot_row: Vec<usize>,
+    /// L columns: multipliers `(original_row, l)` with unit diagonal implicit.
+    lcols: Vec<Vec<(usize, f64)>>,
+    /// U columns: `(step, u)` entries strictly above the diagonal.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// U diagonal per step.
+    udiag: Vec<f64>,
+    etas: Vec<Eta>,
+}
+
+impl LuFactors {
+    /// Factorizes the basis given by `cols` (one sparse column per row of the
+    /// basis, in basis-position order). Fails with [`LpError::Numerical`] if
+    /// the matrix is (numerically) singular.
+    pub fn factorize(m: usize, cols: &[SparseVec]) -> Result<Self, LpError> {
+        debug_assert_eq!(cols.len(), m);
+        let mut lu = LuFactors {
+            m,
+            pivot_row: Vec::with_capacity(m),
+            lcols: Vec::with_capacity(m),
+            ucols: Vec::with_capacity(m),
+            udiag: Vec::with_capacity(m),
+            etas: Vec::new(),
+        };
+        // `pivoted[row] = Some(step)` once a row has been chosen as pivot.
+        let mut pivoted: Vec<Option<usize>> = vec![None; m];
+        let mut work = vec![0.0; m];
+        let mut in_touched = vec![false; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        for (k, col) in cols.iter().enumerate() {
+            // Scatter the column into the dense work vector.
+            for (i, v) in col.iter() {
+                if !in_touched[i] {
+                    in_touched[i] = true;
+                    touched.push(i);
+                }
+                work[i] += v;
+            }
+            // Apply previous eliminations (left-looking): process steps in
+            // order; only steps whose pivot row currently holds a non-zero
+            // contribute.
+            for step in 0..k {
+                let prow = lu.pivot_row[step];
+                let t = work[prow];
+                if t == 0.0 {
+                    continue;
+                }
+                for &(i, l) in &lu.lcols[step] {
+                    if !in_touched[i] {
+                        in_touched[i] = true;
+                        touched.push(i);
+                    }
+                    work[i] -= l * t;
+                }
+            }
+            // Gather U entries (rows already pivoted) and pick the pivot among
+            // the rest by partial pivoting.
+            let mut ucol: Vec<(usize, f64)> = Vec::new();
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &touched {
+                let v = work[i];
+                if v == 0.0 {
+                    continue;
+                }
+                match pivoted[i] {
+                    Some(step) => ucol.push((step, v)),
+                    None => {
+                        if best.is_none_or(|(_, b)| v.abs() > b.abs()) {
+                            best = Some((i, v));
+                        }
+                    }
+                }
+            }
+            let (prow, pval) = match best {
+                Some((i, v)) if v.abs() > PIVOT_TOL => (i, v),
+                _ => {
+                    return Err(LpError::Numerical(format!(
+                        "singular basis at column {k} (no admissible pivot)"
+                    )))
+                }
+            };
+            ucol.sort_unstable_by_key(|&(step, _)| step);
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &i in &touched {
+                let v = work[i];
+                if v != 0.0 && pivoted[i].is_none() && i != prow {
+                    lcol.push((i, v / pval));
+                }
+            }
+            pivoted[prow] = Some(k);
+            lu.pivot_row.push(prow);
+            lu.udiag.push(pval);
+            lu.ucols.push(ucol);
+            lu.lcols.push(lcol);
+            // Clear the work vector.
+            for &i in &touched {
+                work[i] = 0.0;
+                in_touched[i] = false;
+            }
+            touched.clear();
+        }
+        Ok(lu)
+    }
+
+    /// Dimension of the basis.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Number of eta updates accumulated since the last factorization.
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Whether the eta file is long enough that the caller should refactorize.
+    pub fn needs_refactor(&self) -> bool {
+        self.etas.len() >= REFACTOR_INTERVAL
+    }
+
+    /// FTRAN: solves `B x = rhs` in place. On input `rhs` is in original row
+    /// space; on output it holds `x` indexed by basis position.
+    pub fn ftran(&self, rhs: &mut [f64]) {
+        debug_assert_eq!(rhs.len(), self.m);
+        // Forward elimination: replay L.
+        for step in 0..self.m {
+            let t = rhs[self.pivot_row[step]];
+            if t == 0.0 {
+                continue;
+            }
+            for &(i, l) in &self.lcols[step] {
+                rhs[i] -= l * t;
+            }
+        }
+        // Back substitution on U (columns hold entries above the diagonal).
+        // x lives in step space; gather from pivot rows first.
+        let mut x = vec![0.0; self.m];
+        for step in 0..self.m {
+            x[step] = rhs[self.pivot_row[step]];
+        }
+        for j in (0..self.m).rev() {
+            let xj = x[j] / self.udiag[j];
+            x[j] = xj;
+            if xj != 0.0 {
+                for &(step, u) in &self.ucols[j] {
+                    x[step] -= u * xj;
+                }
+            }
+        }
+        rhs.copy_from_slice(&x);
+        // Replay the eta file.
+        for eta in &self.etas {
+            let num = rhs[eta.r];
+            if num != 0.0 {
+                let t = num / eta.pivot;
+                rhs[eta.r] = t;
+                for &(i, w) in &eta.col {
+                    rhs[i] -= w * t;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: solves `yᵀ B = c` in place. On input `c` is indexed by basis
+    /// position; on output it holds `y` in original row space.
+    pub fn btran(&self, c: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.m);
+        // Transposed etas, in reverse order.
+        for eta in self.etas.iter().rev() {
+            let mut acc = c[eta.r];
+            for &(i, w) in &eta.col {
+                acc -= w * c[i];
+            }
+            c[eta.r] = acc / eta.pivot;
+        }
+        // Solve Uᵀ z = c (forward over steps).
+        let mut z = vec![0.0; self.m];
+        for j in 0..self.m {
+            let mut acc = c[j];
+            for &(step, u) in &self.ucols[j] {
+                acc -= u * z[step];
+            }
+            z[j] = acc / self.udiag[j];
+        }
+        // Solve Lᵀ y = z, scattering back to original row space.
+        let mut y = vec![0.0; self.m];
+        for step in 0..self.m {
+            y[self.pivot_row[step]] = z[step];
+        }
+        for step in (0..self.m).rev() {
+            let prow = self.pivot_row[step];
+            let mut acc = y[prow];
+            for &(i, l) in &self.lcols[step] {
+                acc -= l * y[i];
+            }
+            y[prow] = acc;
+        }
+        c.copy_from_slice(&y);
+    }
+
+    /// Records a basis change: the column entering at basis position `r` has
+    /// transformed column `w` (`= B⁻¹ a_enter`, basis-position space). Returns
+    /// an error if the pivot element is numerically unusable, in which case
+    /// the caller must refactorize.
+    pub fn update(&mut self, w: &[f64], r: usize) -> Result<(), LpError> {
+        let pivot = w[r];
+        if pivot.abs() <= PIVOT_TOL {
+            return Err(LpError::Numerical(format!(
+                "eta pivot too small ({pivot:.3e})"
+            )));
+        }
+        let col: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta { r, pivot, col });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseVec;
+
+    fn dense_cols(cols: &[Vec<f64>]) -> Vec<SparseVec> {
+        cols.iter()
+            .map(|c| {
+                SparseVec::from_pairs(
+                    &c.iter()
+                        .enumerate()
+                        .filter(|(_, v)| **v != 0.0)
+                        .map(|(i, v)| (i, *v))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn mat_vec(cols: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let m = cols[0].len();
+        let mut out = vec![0.0; m];
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..m {
+                out[i] += col[i] * x[j];
+            }
+        }
+        out
+    }
+
+    fn vec_mat(cols: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+        cols.iter()
+            .map(|col| col.iter().zip(y.iter()).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    #[test]
+    fn ftran_btran_solve_small_system() {
+        // B = [[2, 1, 0], [0, 3, 1], [1, 0, 1]] given by columns.
+        let cols = vec![
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 3.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        ];
+        let lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
+        let b = vec![4.0, 5.0, 6.0];
+        let mut x = b.clone();
+        lu.ftran(&mut x);
+        let back = mat_vec(&cols, &x);
+        for (a, e) in back.iter().zip(b.iter()) {
+            assert!((a - e).abs() < 1e-10, "{back:?}");
+        }
+        let c = vec![1.0, -2.0, 0.5];
+        let mut y = c.clone();
+        lu.btran(&mut y);
+        let back = vec_mat(&cols, &y);
+        for (a, e) in back.iter().zip(c.iter()) {
+            assert!((a - e).abs() < 1e-10, "{back:?}");
+        }
+    }
+
+    #[test]
+    fn permuted_identity_and_singular_detection() {
+        // A permutation matrix factorizes fine.
+        let cols = vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ];
+        let lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
+        let mut x = vec![1.0, 2.0, 3.0];
+        lu.ftran(&mut x);
+        assert_eq!(mat_vec(&cols, &x), vec![1.0, 2.0, 3.0]);
+        // A rank-deficient matrix is rejected.
+        let sing = vec![
+            vec![1.0, 1.0, 0.0],
+            vec![2.0, 2.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        assert!(LuFactors::factorize(3, &dense_cols(&sing)).is_err());
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Start from B = I, replace column 1 with a = [1, 2, 0]^T.
+        let eye = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut lu = LuFactors::factorize(3, &dense_cols(&eye)).unwrap();
+        let a = vec![1.0, 2.0, 0.0];
+        let mut w = a.clone();
+        lu.ftran(&mut w); // w = a since B = I
+        lu.update(&w, 1).unwrap();
+        assert_eq!(lu.eta_count(), 1);
+
+        let new_cols = vec![vec![1.0, 0.0, 0.0], a.clone(), vec![0.0, 0.0, 1.0]];
+        let fresh = LuFactors::factorize(3, &dense_cols(&new_cols)).unwrap();
+        let rhs = vec![3.0, 4.0, 5.0];
+        let (mut x1, mut x2) = (rhs.clone(), rhs.clone());
+        lu.ftran(&mut x1);
+        fresh.ftran(&mut x2);
+        for (a, b) in x1.iter().zip(x2.iter()) {
+            assert!((a - b).abs() < 1e-10, "{x1:?} vs {x2:?}");
+        }
+        let cb = vec![1.0, 2.0, 3.0];
+        let (mut y1, mut y2) = (cb.clone(), cb.clone());
+        lu.btran(&mut y1);
+        fresh.btran(&mut y2);
+        for (a, b) in y1.iter().zip(y2.iter()) {
+            assert!((a - b).abs() < 1e-10, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn long_eta_chain_stays_accurate() {
+        // Random-ish sequence of rank-1 basis replacements on a 6x6 system,
+        // checked against a fresh factorization each step.
+        let m = 6;
+        let mut cols: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..m).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let mut lu = LuFactors::factorize(m, &dense_cols(&cols)).unwrap();
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for step in 0..20 {
+            let r = step % m;
+            let a: Vec<f64> = (0..m)
+                .map(|i| {
+                    if i == r {
+                        2.0 + next().abs()
+                    } else {
+                        next() * 0.5
+                    }
+                })
+                .collect();
+            let mut w = a.clone();
+            lu.ftran(&mut w);
+            if w[r].abs() < 1e-8 {
+                continue;
+            }
+            lu.update(&w, r).unwrap();
+            cols[r] = a;
+            let fresh = LuFactors::factorize(m, &dense_cols(&cols)).unwrap();
+            let rhs: Vec<f64> = (0..m).map(|_| next()).collect();
+            let (mut x1, mut x2) = (rhs.clone(), rhs.clone());
+            lu.ftran(&mut x1);
+            fresh.ftran(&mut x2);
+            for (a, b) in x1.iter().zip(x2.iter()) {
+                assert!((a - b).abs() < 1e-7, "step {step}: {x1:?} vs {x2:?}");
+            }
+        }
+        assert!(lu.eta_count() > 10);
+    }
+}

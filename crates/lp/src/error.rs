@@ -25,7 +25,10 @@ impl fmt::Display for LpError {
         match self {
             LpError::UnknownVariable(id) => write!(f, "unknown variable id {id}"),
             LpError::EmptyInfeasibleConstraint(name) => {
-                write!(f, "constraint `{name}` has no variables but a non-trivial bound")
+                write!(
+                    f,
+                    "constraint `{name}` has no variables but a non-trivial bound"
+                )
             }
             LpError::InconsistentBounds { var, lb, ub } => {
                 write!(f, "variable `{var}` has inconsistent bounds [{lb}, {ub}]")
@@ -51,7 +54,11 @@ mod tests {
     fn display_messages_are_informative() {
         let e = LpError::UnknownVariable(3);
         assert!(e.to_string().contains("3"));
-        let e = LpError::InconsistentBounds { var: "x".into(), lb: 2.0, ub: 1.0 };
+        let e = LpError::InconsistentBounds {
+            var: "x".into(),
+            lb: 2.0,
+            ub: 1.0,
+        };
         assert!(e.to_string().contains("x"));
         let e = LpError::IterationLimit(100);
         assert!(e.to_string().contains("100"));

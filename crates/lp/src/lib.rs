@@ -12,11 +12,15 @@
 //! * a **presolver** ([`presolve`]) that removes fixed variables, empty and
 //!   singleton rows (TE-CCL models contain many structurally-forced-zero flow
 //!   variables near the time boundaries, so this matters a lot),
-//! * a **two-phase bounded-variable revised simplex** ([`simplex`]) with a dense
-//!   basis inverse, Dantzig pricing and a Bland anti-cycling fallback,
+//! * a **two-phase bounded-variable revised simplex** ([`simplex`]) on a sparse
+//!   LU-factorized basis with eta updates ([`basis`]), devex candidate-list
+//!   pricing, a Bland anti-cycling fallback, and **warm starts** from a prior
+//!   basis ([`simplex::solve_standard_form_from`]),
 //! * a **branch-and-bound MILP solver** ([`milp`]) with a rounding heuristic,
-//!   relative-gap early stop (the paper's "early stop at 30%" mode) and a time
-//!   limit (the paper's 2-hour Gurobi timeout).
+//!   relative-gap early stop (the paper's "early stop at 30%" mode), a time
+//!   limit (the paper's 2-hour Gurobi timeout), and **hot node re-solves**:
+//!   each child starts from its parent's optimal basis instead of a cold
+//!   all-artificial phase 1.
 //!
 //! The solver is deterministic: the same model always produces the same
 //! solution, mirroring the reliability claim TE-CCL makes versus TACCL.
@@ -38,6 +42,7 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6);
 //! ```
 
+pub mod basis;
 pub mod error;
 pub mod milp;
 pub mod model;
@@ -47,11 +52,14 @@ pub mod solution;
 pub mod sparse;
 pub mod standard;
 
+pub use basis::{LuFactors, SimplexBasis, VarStatus};
 pub use error::LpError;
 pub use milp::{MilpConfig, MilpSolver};
 pub use model::{ConstraintOp, Model, Sense, VarId};
+pub use simplex::{solve_standard_form, solve_standard_form_from};
 pub use solution::{Solution, SolveStats, SolveStatus};
 pub use sparse::{SparseMatrix, SparseVec};
+pub use standard::StandardForm;
 
 /// Default feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-7;

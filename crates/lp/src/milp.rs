@@ -9,15 +9,25 @@
 //! * deterministic behaviour (best-bound node selection with stable
 //!   tie-breaking, most-fractional branching with lowest-index ties),
 //! * a rounding heuristic that quickly produces incumbents for the highly
-//!   structured 0/1 flow models TE-CCL generates.
+//!   structured 0/1 flow models TE-CCL generates,
+//! * **warm-started node re-solves**: presolve and the standard form are
+//!   built *once* at the root; every child node re-solves with only a bound
+//!   override list and its parent's optimal basis, so the simplex repairs a
+//!   single bound violation instead of re-running phase 1 from the
+//!   all-artificial basis (see [`crate::simplex::solve_standard_form_from`]).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
+use crate::basis::SimplexBasis;
 use crate::error::LpError;
 use crate::model::{Model, Sense};
+use crate::presolve;
+use crate::simplex;
 use crate::solution::{Solution, SolveStats, SolveStatus};
+use crate::standard::StandardForm;
 use crate::INT_TOL;
 
 /// Configuration for the branch-and-bound search.
@@ -34,34 +44,52 @@ pub struct MilpConfig {
     pub node_limit: usize,
     /// Whether to run the rounding heuristic at every node.
     pub rounding_heuristic: bool,
+    /// Whether child nodes re-solve from their parent's optimal basis
+    /// (disable to force cold phase-1 starts at every node, e.g. for
+    /// benchmarking the warm-start win).
+    pub warm_start: bool,
 }
 
 impl Default for MilpConfig {
     fn default() -> Self {
-        Self { time_limit: None, rel_gap: 1e-6, node_limit: 200_000, rounding_heuristic: true }
+        Self {
+            time_limit: None,
+            rel_gap: 1e-6,
+            node_limit: 200_000,
+            rounding_heuristic: true,
+            warm_start: true,
+        }
     }
 }
 
 impl MilpConfig {
     /// Configuration matching the paper's "early stop" mode (30% gap).
     pub fn early_stop(gap: f64) -> Self {
-        Self { rel_gap: gap, ..Default::default() }
+        Self {
+            rel_gap: gap,
+            ..Default::default()
+        }
     }
 
     /// Configuration with a wall-clock time limit.
     pub fn with_time_limit(limit: Duration) -> Self {
-        Self { time_limit: Some(limit), ..Default::default() }
+        Self {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
     }
 }
 
-/// A branch-and-bound node: the set of bound overrides accumulated along the
-/// path from the root, plus the parent's relaxation objective (used for
-/// best-bound node selection and pruning).
+/// A branch-and-bound node: the bound overrides accumulated along the path
+/// from the root (in *reduced-model column* space), the parent's relaxation
+/// objective (for best-bound selection and pruning), and the parent's optimal
+/// basis for warm starting.
 #[derive(Debug, Clone)]
 struct Node {
     overrides: Vec<(usize, f64, f64)>,
     parent_bound: f64,
     id: usize,
+    warm: Option<Rc<SimplexBasis>>,
 }
 
 /// Heap ordering wrapper: best bound first (max for maximization problems —
@@ -112,35 +140,46 @@ impl MilpSolver {
         // `better(a, b)` returns true if objective a is strictly better than b.
         let better = |a: f64, b: f64| if maximize { a > b + 1e-9 } else { a < b - 1e-9 };
 
-        let int_vars: Vec<usize> =
-            model.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| i).collect();
+        // Presolve ONCE; the whole tree shares the reduced model's standard
+        // form and only varies bounds. Bound tightenings from branching only
+        // shrink domains, so the root reduction stays valid at every node.
+        let (red, post) = presolve::presolve(model)?;
+        if let Some(early) = post.trivial_outcome() {
+            let mut sol = post.recover(early, model);
+            sol.stats.solve_time = start.elapsed();
+            return Ok(sol);
+        }
+        let sf = StandardForm::from_model(&red);
+        let num_red_vars = red.num_vars();
+        // Original-model integer variables and their reduced columns.
+        let int_vars: Vec<usize> = model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| i)
+            .collect();
 
-        // Root relaxation.
-        let root = model.solve_lp_relaxation()?;
         let mut stats = SolveStats {
-            simplex_iterations: root.stats.simplex_iterations,
-            presolved_vars: root.stats.presolved_vars,
-            presolved_cons: root.stats.presolved_cons,
+            presolved_vars: post.reduced_vars,
+            presolved_cons: post.reduced_cons,
             ..Default::default()
         };
+
+        // Root relaxation.
+        let root_red = simplex::solve_standard_form_from(&sf, num_red_vars, &[], None)?;
+        stats.absorb(&root_red.stats);
+        let root = post.recover(root_red, model);
         match root.status {
-            SolveStatus::Infeasible => {
-                return Ok(Solution {
-                    status: SolveStatus::Infeasible,
-                    objective: f64::NAN,
-                    values: vec![0.0; model.num_vars()],
-                    duals: Vec::new(),
-                    stats,
-                })
-            }
-            SolveStatus::Unbounded => {
-                return Ok(Solution {
-                    status: SolveStatus::Unbounded,
-                    objective: f64::NAN,
-                    values: vec![0.0; model.num_vars()],
-                    duals: Vec::new(),
-                    stats,
-                })
+            SolveStatus::Infeasible | SolveStatus::Unbounded => {
+                let mut sol = root;
+                sol.values = vec![0.0; model.num_vars()];
+                sol.objective = f64::NAN;
+                sol.duals = Vec::new();
+                sol.basis = None;
+                stats.solve_time = start.elapsed();
+                sol.stats = stats;
+                return Ok(sol);
             }
             _ => {}
         }
@@ -151,13 +190,21 @@ impl MilpSolver {
         let mut heap = BinaryHeap::new();
         let mut next_id = 0usize;
         let score = |obj: f64| if maximize { obj } else { -obj };
+        let root_basis = root.basis.clone().map(Rc::new);
         heap.push(HeapNode {
             score: score(root.objective),
-            node: Node { overrides: Vec::new(), parent_bound: root.objective, id: next_id },
+            node: Node {
+                overrides: Vec::new(),
+                parent_bound: root.objective,
+                id: next_id,
+                warm: root_basis,
+            },
         });
         next_id += 1;
 
         let mut hit_limit = false;
+        // The root relaxation is already solved; hand it to the first pop.
+        let mut root_relax = Some(root);
 
         while let Some(HeapNode { node, .. }) = heap.pop() {
             // Global bound = best over the open nodes and the node being
@@ -184,13 +231,26 @@ impl MilpSolver {
             }
             stats.nodes_explored += 1;
 
-            // Solve this node's relaxation.
-            let mut node_model = model.clone();
-            for (j, lo, hi) in &node.overrides {
-                node_model.set_bounds(crate::model::VarId(*j), *lo, *hi);
-            }
-            let relax = node_model.solve_lp_relaxation()?;
-            stats.simplex_iterations += relax.stats.simplex_iterations;
+            // Solve this node's relaxation: shared standard form + this
+            // node's bound overrides, warm-started from the parent's basis.
+            let relax = match root_relax.take() {
+                Some(r) => r,
+                None => {
+                    let warm = if self.config.warm_start {
+                        node.warm.as_deref()
+                    } else {
+                        None
+                    };
+                    let red_sol = simplex::solve_standard_form_from(
+                        &sf,
+                        num_red_vars,
+                        &node.overrides,
+                        warm,
+                    )?;
+                    stats.absorb(&red_sol.stats);
+                    post.recover(red_sol, model)
+                }
+            };
             if !relax.status.has_solution() {
                 continue; // infeasible branch
             }
@@ -200,7 +260,8 @@ impl MilpSolver {
                 }
             }
 
-            // Find the most fractional integer variable.
+            // Find the most fractional integer variable (original space; a
+            // presolve-fixed integer variable is never fractional).
             let mut branch_var: Option<(usize, f64)> = None;
             for &j in &int_vars {
                 let v = relax.values[j];
@@ -220,7 +281,11 @@ impl MilpSolver {
                     let mut cand = relax.clone();
                     round_integrals(&mut cand, &int_vars);
                     cand.objective = model.eval_objective(&cand.values);
-                    if incumbent.as_ref().map_or(true, |inc| better(cand.objective, inc.objective)) {
+                    cand.basis = None;
+                    if incumbent
+                        .as_ref()
+                        .is_none_or(|inc| better(cand.objective, inc.objective))
+                    {
                         incumbent = Some(cand);
                     }
                 }
@@ -228,21 +293,30 @@ impl MilpSolver {
                     // Rounding heuristic: try snapping every integer variable.
                     if self.config.rounding_heuristic {
                         if let Some(h) = rounding_heuristic(model, &relax, &int_vars) {
-                            if incumbent.as_ref().map_or(true, |inc| better(h.objective, inc.objective)) {
+                            if incumbent
+                                .as_ref()
+                                .is_none_or(|inc| better(h.objective, inc.objective))
+                            {
                                 incumbent = Some(h);
                             }
                         }
                     }
-                    // Branch.
+                    // Branch on the reduced column of variable j. A branched
+                    // variable is fractional in the relaxation, so presolve
+                    // cannot have fixed it and the mapping always exists.
+                    let Some(red_j) = post.mapping[j] else {
+                        continue;
+                    };
                     let v = relax.values[j];
                     let floor = v.floor();
                     let ceil = v.ceil();
-                    let (cur_lb, cur_ub) = current_bounds(model, &node.overrides, j);
+                    let (cur_lb, cur_ub) = current_bounds(&red, &node.overrides, red_j);
+                    let warm = relax.basis.map(Rc::new);
 
                     let mut down = node.overrides.clone();
-                    down.push((j, cur_lb, floor.min(cur_ub)));
+                    down.push((red_j, cur_lb, floor.min(cur_ub)));
                     let mut up = node.overrides.clone();
-                    up.push((j, ceil.max(cur_lb), cur_ub));
+                    up.push((red_j, ceil.max(cur_lb), cur_ub));
 
                     for overrides in [down, up] {
                         let (_, lo, hi) = overrides.last().copied().unwrap();
@@ -251,7 +325,12 @@ impl MilpSolver {
                         }
                         heap.push(HeapNode {
                             score: score(relax.objective),
-                            node: Node { overrides, parent_bound: relax.objective, id: next_id },
+                            node: Node {
+                                overrides,
+                                parent_bound: relax.objective,
+                                id: next_id,
+                                warm: warm.clone(),
+                            },
                         });
                         next_id += 1;
                     }
@@ -289,11 +368,16 @@ impl MilpSolver {
             None => {
                 stats.mip_gap = f64::INFINITY;
                 Ok(Solution {
-                    status: if hit_limit { SolveStatus::LimitReached } else { SolveStatus::Infeasible },
+                    status: if hit_limit {
+                        SolveStatus::LimitReached
+                    } else {
+                        SolveStatus::Infeasible
+                    },
                     objective: f64::NAN,
                     values: vec![0.0; model.num_vars()],
                     duals: Vec::new(),
                     stats,
+                    basis: None,
                 })
             }
         }
@@ -328,16 +412,18 @@ fn rounding_heuristic(model: &Model, relax: &Solution, int_vars: &[usize]) -> Op
             values,
             duals: Vec::new(),
             stats: Default::default(),
+            basis: None,
         })
     } else {
         None
     }
 }
 
-/// Effective bounds of variable `j` at a node (model bounds plus overrides).
-fn current_bounds(model: &Model, overrides: &[(usize, f64, f64)], j: usize) -> (f64, f64) {
-    let mut lb = model.vars[j].lb;
-    let mut ub = model.vars[j].ub;
+/// Effective bounds of reduced column `j` at a node (reduced-model bounds plus
+/// overrides).
+fn current_bounds(red: &Model, overrides: &[(usize, f64, f64)], j: usize) -> (f64, f64) {
+    let mut lb = red.vars[j].lb;
+    let mut ub = red.vars[j].ub;
     for (k, lo, hi) in overrides {
         if *k == j {
             lb = *lo;
@@ -366,7 +452,12 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| m.add_binary_var(format!("x{i}"), v))
             .collect();
-        m.add_cons("cap", &[(x[0], 10.0), (x[1], 20.0), (x[2], 30.0)], ConstraintOp::Le, 50.0);
+        m.add_cons(
+            "cap",
+            &[(x[0], 10.0), (x[1], 20.0), (x[2], 30.0)],
+            ConstraintOp::Le,
+            50.0,
+        );
         let sol = m.solve().unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert_close(sol.objective, 220.0, 1e-6);
@@ -413,7 +504,9 @@ mod tests {
     fn early_stop_returns_feasible_status_or_optimal() {
         // With a huge allowed gap the solver may stop at the first incumbent.
         let mut m = Model::new(Sense::Maximize);
-        let xs: Vec<_> = (0..8).map(|i| m.add_binary_var(format!("x{i}"), (i + 1) as f64)).collect();
+        let xs: Vec<_> = (0..8)
+            .map(|i| m.add_binary_var(format!("x{i}"), (i + 1) as f64))
+            .collect();
         let terms: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
         m.add_cons("cap", &terms, ConstraintOp::Le, 4.0);
         let sol = m.solve_with(&MilpConfig::early_stop(0.5)).unwrap();
@@ -441,10 +534,27 @@ mod tests {
         // Set covering: choose min number of sets covering {a, b, c}.
         // Sets: {a,b}, {b,c}, {a,c}, {a,b,c}. Optimal = 1 (last set).
         let mut m = Model::new(Sense::Minimize);
-        let s: Vec<_> = (0..4).map(|i| m.add_binary_var(format!("s{i}"), 1.0)).collect();
-        m.add_cons("a", &[(s[0], 1.0), (s[2], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
-        m.add_cons("b", &[(s[0], 1.0), (s[1], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
-        m.add_cons("c", &[(s[1], 1.0), (s[2], 1.0), (s[3], 1.0)], ConstraintOp::Ge, 1.0);
+        let s: Vec<_> = (0..4)
+            .map(|i| m.add_binary_var(format!("s{i}"), 1.0))
+            .collect();
+        m.add_cons(
+            "a",
+            &[(s[0], 1.0), (s[2], 1.0), (s[3], 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
+        m.add_cons(
+            "b",
+            &[(s[0], 1.0), (s[1], 1.0), (s[3], 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
+        m.add_cons(
+            "c",
+            &[(s[1], 1.0), (s[2], 1.0), (s[3], 1.0)],
+            ConstraintOp::Ge,
+            1.0,
+        );
         let sol = m.solve().unwrap();
         assert_close(sol.objective, 1.0, 1e-6);
     }
@@ -452,19 +562,33 @@ mod tests {
     #[test]
     fn node_limit_yields_feasible_or_limit() {
         let mut m = Model::new(Sense::Maximize);
-        let xs: Vec<_> = (0..10).map(|i| m.add_binary_var(format!("x{i}"), ((i * 7) % 5 + 1) as f64)).collect();
-        let terms: Vec<_> = xs.iter().enumerate().map(|(i, &x)| (x, ((i * 3) % 4 + 1) as f64)).collect();
+        let xs: Vec<_> = (0..10)
+            .map(|i| m.add_binary_var(format!("x{i}"), ((i * 7) % 5 + 1) as f64))
+            .collect();
+        let terms: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, ((i * 3) % 4 + 1) as f64))
+            .collect();
         m.add_cons("cap", &terms, ConstraintOp::Le, 7.0);
-        let cfg = MilpConfig { node_limit: 1, ..Default::default() };
+        let cfg = MilpConfig {
+            node_limit: 1,
+            ..Default::default()
+        };
         let sol = m.solve_with(&cfg).unwrap();
-        assert!(matches!(sol.status, SolveStatus::Feasible | SolveStatus::LimitReached | SolveStatus::Optimal));
+        assert!(matches!(
+            sol.status,
+            SolveStatus::Feasible | SolveStatus::LimitReached | SolveStatus::Optimal
+        ));
     }
 
     #[test]
     fn deterministic_across_runs() {
         let build = || {
             let mut m = Model::new(Sense::Maximize);
-            let xs: Vec<_> = (0..6).map(|i| m.add_binary_var(format!("x{i}"), (i % 3 + 1) as f64)).collect();
+            let xs: Vec<_> = (0..6)
+                .map(|i| m.add_binary_var(format!("x{i}"), (i % 3 + 1) as f64))
+                .collect();
             let terms: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
             m.add_cons("cap", &terms, ConstraintOp::Le, 3.0);
             m
@@ -495,5 +619,55 @@ mod tests {
         assert_eq!(sol.status, SolveStatus::Optimal);
         assert!(sol.stats.mip_gap <= 1e-6);
         assert_close(sol.objective, 5.0, 1e-9);
+    }
+
+    /// A knapsack MILP whose LP relaxation is fractional at the root and in
+    /// several children, forcing real branching.
+    fn branching_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let w: Vec<f64> = (0..10).map(|i| (5 + i) as f64).collect();
+        let xs: Vec<_> = w
+            .iter()
+            .enumerate()
+            .map(|(i, &wi)| m.add_binary_var(format!("x{i}"), wi + 1.0))
+            .collect();
+        let terms: Vec<_> = xs.iter().zip(w.iter()).map(|(&x, &wi)| (x, wi)).collect();
+        m.add_cons("cap", &terms, ConstraintOp::Le, 23.0);
+        m
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_and_saves_phase1_solves() {
+        let m = branching_model();
+        let cfg_warm = MilpConfig {
+            rounding_heuristic: false,
+            ..Default::default()
+        };
+        let cfg_cold = MilpConfig {
+            rounding_heuristic: false,
+            warm_start: false,
+            ..Default::default()
+        };
+        let warm = m.solve_with(&cfg_warm).unwrap();
+        let cold = m.solve_with(&cfg_cold).unwrap();
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert_close(warm.objective, cold.objective, 1e-6);
+        assert!(warm.stats.nodes_explored > 1, "model must branch");
+        // Warm-started runs replace per-node cold phase-1 solves.
+        assert!(
+            warm.stats.warm_starts > 0 && warm.stats.cold_starts <= 1,
+            "warm {} cold {}",
+            warm.stats.warm_starts,
+            warm.stats.cold_starts
+        );
+        assert_eq!(cold.stats.warm_starts, 0);
+        assert!(cold.stats.cold_starts >= cold.stats.nodes_explored.min(2));
+        // And cost fewer simplex iterations overall.
+        assert!(
+            warm.stats.simplex_iterations <= cold.stats.simplex_iterations,
+            "warm {} vs cold {}",
+            warm.stats.simplex_iterations,
+            cold.stats.simplex_iterations
+        );
     }
 }

@@ -85,7 +85,11 @@ pub struct Model {
 impl Model {
     /// Creates an empty model with the given optimization sense.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, vars: Vec::new(), cons: Vec::new() }
+        Self {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
     }
 
     /// Adds a variable and returns its id.
@@ -94,8 +98,21 @@ impl Model {
     ///   free directions),
     /// * `obj` — objective coefficient,
     /// * `integer` — whether the variable must take an integer value.
-    pub fn add_var(&mut self, name: impl Into<String>, lb: f64, ub: f64, obj: f64, integer: bool) -> VarId {
-        self.vars.push(VarDef { name: name.into(), lb, ub, obj, integer });
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lb: f64,
+        ub: f64,
+        obj: f64,
+        integer: bool,
+    ) -> VarId {
+        self.vars.push(VarDef {
+            name: name.into(),
+            lb,
+            ub,
+            obj,
+            integer,
+        });
         VarId(self.vars.len() - 1)
     }
 
@@ -117,7 +134,12 @@ impl Model {
         op: ConstraintOp,
         rhs: f64,
     ) -> usize {
-        self.cons.push(ConsDef { name: name.into(), terms: terms.to_vec(), op, rhs });
+        self.cons.push(ConsDef {
+            name: name.into(),
+            terms: terms.to_vec(),
+            op,
+            rhs,
+        });
         self.cons.len() - 1
     }
 
@@ -157,15 +179,25 @@ impl Model {
     pub fn validate(&self) -> Result<(), LpError> {
         for v in &self.vars {
             if v.lb > v.ub {
-                return Err(LpError::InconsistentBounds { var: v.name.clone(), lb: v.lb, ub: v.ub });
+                return Err(LpError::InconsistentBounds {
+                    var: v.name.clone(),
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
             if v.obj.is_nan() || v.lb.is_nan() || v.ub.is_nan() {
-                return Err(LpError::NonFiniteCoefficient(format!("variable `{}`", v.name)));
+                return Err(LpError::NonFiniteCoefficient(format!(
+                    "variable `{}`",
+                    v.name
+                )));
             }
         }
         for c in &self.cons {
             if !c.rhs.is_finite() {
-                return Err(LpError::NonFiniteCoefficient(format!("rhs of `{}`", c.name)));
+                return Err(LpError::NonFiniteCoefficient(format!(
+                    "rhs of `{}`",
+                    c.name
+                )));
             }
             for (vid, coef) in &c.terms {
                 if vid.0 >= self.vars.len() {
@@ -187,13 +219,28 @@ impl Model {
     /// Runs presolve, the two-phase simplex, and maps the solution back to the
     /// original variable space.
     pub fn solve_lp_relaxation(&self) -> Result<Solution, LpError> {
+        self.solve_lp_relaxation_warm(None)
+    }
+
+    /// Like [`Model::solve_lp_relaxation`], but warm-started from the basis of
+    /// a previous relaxation of the same (or an identically-shaped) model.
+    ///
+    /// The basis lives in the *presolved standard-form* space, so it is only
+    /// usable when presolve produces the same reduction; otherwise the simplex
+    /// detects the shape mismatch and silently falls back to a cold start.
+    /// The returned [`Solution::basis`] can be fed into the next call.
+    pub fn solve_lp_relaxation_warm(
+        &self,
+        warm: Option<&crate::basis::SimplexBasis>,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         let start = std::time::Instant::now();
         let (reduced, post) = presolve::presolve(self)?;
         let mut sol = if let Some(early) = post.trivial_outcome() {
             early
         } else {
-            simplex::solve_lp(&reduced)?
+            let sf = crate::standard::StandardForm::from_model(&reduced);
+            simplex::solve_standard_form_from(&sf, reduced.num_vars(), &[], warm)?
         };
         sol = post.recover(sol, self);
         sol.stats.solve_time = start.elapsed();
@@ -221,7 +268,11 @@ impl Model {
     /// Evaluates the objective for a candidate assignment (used by tests and
     /// by the MILP rounding heuristic).
     pub fn eval_objective(&self, x: &[f64]) -> f64 {
-        self.vars.iter().zip(x.iter()).map(|(v, xi)| v.obj * xi).sum()
+        self.vars
+            .iter()
+            .zip(x.iter())
+            .map(|(v, xi)| v.obj * xi)
+            .sum()
     }
 
     /// Checks whether an assignment satisfies all constraints and bounds within
@@ -262,6 +313,7 @@ pub(crate) fn infeasible_solution(num_vars: usize) -> Solution {
         values: vec![0.0; num_vars],
         duals: Vec::new(),
         stats: Default::default(),
+        basis: None,
     }
 }
 
@@ -286,7 +338,10 @@ mod tests {
     fn validate_rejects_bad_bounds() {
         let mut m = Model::new(Sense::Minimize);
         m.add_var("x", 2.0, 1.0, 0.0, false);
-        assert!(matches!(m.validate(), Err(LpError::InconsistentBounds { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::InconsistentBounds { .. })
+        ));
     }
 
     #[test]
@@ -302,7 +357,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_nonneg_var("x", 0.0);
         m.add_cons("c", &[(x, 1.0)], ConstraintOp::Le, f64::NAN);
-        assert!(matches!(m.validate(), Err(LpError::NonFiniteCoefficient(_))));
+        assert!(matches!(
+            m.validate(),
+            Err(LpError::NonFiniteCoefficient(_))
+        ));
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl PostSolve {
                 objective: 0.0, // recomputed by `recover`
                 values: Vec::new(),
                 duals: Vec::new(),
-                stats: SolveStats { presolved_vars: 0, presolved_cons: 0, ..Default::default() },
+                stats: SolveStats {
+                    presolved_vars: 0,
+                    presolved_cons: 0,
+                    ..Default::default()
+                },
+                basis: None,
             });
         }
         None
@@ -115,7 +120,13 @@ pub fn presolve(model: &Model) -> Result<(Model, PostSolve), LpError> {
                 *map.entry(vid.0).or_insert(0.0) += coef;
             }
             let terms: Vec<(usize, f64)> = map.into_iter().filter(|(_, c)| c.abs() > 0.0).collect();
-            WorkCons { terms, op: c.op, rhs: c.rhs, alive: true, name: c.name.clone() }
+            WorkCons {
+                terms,
+                op: c.op,
+                rhs: c.rhs,
+                alive: true,
+                name: c.name.clone(),
+            }
         })
         .collect();
 
@@ -241,7 +252,13 @@ pub fn presolve(model: &Model) -> Result<(Model, PostSolve), LpError> {
     if !infeasible {
         for j in 0..nv {
             if fixed[j].is_none() {
-                let id = reduced.add_var(model.vars[j].name.clone(), lb[j], ub[j], model.vars[j].obj, integer[j]);
+                let id = reduced.add_var(
+                    model.vars[j].name.clone(),
+                    lb[j],
+                    ub[j],
+                    model.vars[j].obj,
+                    integer[j],
+                );
                 mapping[j] = Some(id.0);
             }
         }

@@ -45,6 +45,25 @@ pub struct SolveStats {
     pub presolved_vars: usize,
     /// Constraints in the model after presolve.
     pub presolved_cons: usize,
+    /// Number of LU basis (re)factorizations performed.
+    pub factorizations: usize,
+    /// LP solves started from a warm basis (branch-and-bound children, A*
+    /// re-solves).
+    pub warm_starts: usize,
+    /// LP solves started cold from the all-artificial phase-1 basis.
+    pub cold_starts: usize,
+}
+
+impl SolveStats {
+    /// Adds the counters of another solve into this one (used to aggregate
+    /// across branch-and-bound nodes and A* rounds).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.simplex_iterations += other.simplex_iterations;
+        self.nodes_explored += other.nodes_explored;
+        self.factorizations += other.factorizations;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+    }
 }
 
 /// A solution to an optimization model.
@@ -61,6 +80,9 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Solve statistics.
     pub stats: SolveStats,
+    /// The final simplex basis (pure LP solves through the simplex), usable to
+    /// warm-start a re-solve of the same standard form with modified bounds.
+    pub basis: Option<crate::basis::SimplexBasis>,
 }
 
 impl Solution {
@@ -103,6 +125,7 @@ mod tests {
             values: vec![0.4, 0.9999999],
             duals: vec![],
             stats: Default::default(),
+            basis: None,
         };
         assert_eq!(sol.value(VarId(0)), 0.4);
         assert_eq!(sol.int_value(VarId(1)), 1);

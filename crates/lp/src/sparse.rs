@@ -16,35 +16,46 @@ pub struct SparseVec {
 impl SparseVec {
     /// Creates an empty sparse vector.
     pub fn new() -> Self {
-        Self { indices: Vec::new(), values: Vec::new() }
+        Self {
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a sparse vector from an unsorted list of `(index, value)`
     /// pairs. Duplicate indices are summed; zero entries are dropped.
     pub fn from_pairs(pairs: &[(usize, f64)]) -> Self {
-        let mut sorted: Vec<(usize, f64)> = pairs.to_vec();
-        sorted.sort_by_key(|(i, _)| *i);
-        let mut out = Self::new();
-        for (i, v) in sorted {
-            if let Some(last) = out.indices.last().copied() {
-                if last == i {
-                    *out.values.last_mut().unwrap() += v;
-                    continue;
-                }
+        Self::from_vec(pairs.to_vec())
+    }
+
+    /// Like [`SparseVec::from_pairs`] but consumes the buffer: the sort, the
+    /// duplicate merge, and the zero drop all happen in place, with no
+    /// additional allocation.
+    pub fn from_vec(mut pairs: Vec<(usize, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|(i, _)| *i);
+        // Merge duplicates and drop zeros in place.
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < pairs.len() {
+            let (idx, mut sum) = pairs[read];
+            read += 1;
+            while read < pairs.len() && pairs[read].0 == idx {
+                sum += pairs[read].1;
+                read += 1;
             }
-            out.indices.push(i);
-            out.values.push(v);
-        }
-        // Drop entries that cancelled out.
-        let mut idx = Vec::with_capacity(out.indices.len());
-        let mut val = Vec::with_capacity(out.values.len());
-        for (i, v) in out.indices.iter().zip(out.values.iter()) {
-            if v.abs() > 0.0 {
-                idx.push(*i);
-                val.push(*v);
+            if sum != 0.0 {
+                pairs[write] = (idx, sum);
+                write += 1;
             }
         }
-        Self { indices: idx, values: val }
+        pairs.truncate(write);
+        let mut indices = Vec::with_capacity(write);
+        let mut values = Vec::with_capacity(write);
+        for (i, v) in pairs {
+            indices.push(i);
+            values.push(v);
+        }
+        Self { indices, values }
     }
 
     /// Number of structural non-zeros.
@@ -55,7 +66,7 @@ impl SparseVec {
     /// Appends a non-zero entry. The caller must append indices in strictly
     /// increasing order.
     pub fn push(&mut self, index: usize, value: f64) {
-        debug_assert!(self.indices.last().map_or(true, |&last| index > last));
+        debug_assert!(self.indices.last().is_none_or(|&last| index > last));
         if value != 0.0 {
             self.indices.push(index);
             self.values.push(value);
@@ -73,7 +84,10 @@ impl SparseVec {
 
     /// Iterates over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Converts to a dense vector of the given length.
@@ -98,7 +112,27 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// Creates an empty matrix with `rows` rows and no columns.
     pub fn new(rows: usize) -> Self {
-        Self { rows, cols: Vec::new() }
+        Self {
+            rows,
+            cols: Vec::new(),
+        }
+    }
+
+    /// Builds an `rows x ncols` matrix from `(row, col, value)` triplets in
+    /// any order. Duplicate positions are summed; explicit zeros are dropped.
+    /// One pass distributes the triplets to their columns, so formulation code
+    /// can emit coefficients in whatever order is natural instead of building
+    /// columns pair by pair.
+    pub fn from_triplets(rows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for &(r, c, v) in triplets {
+            debug_assert!(r < rows && c < ncols, "triplet ({r}, {c}) out of bounds");
+            per_col[c].push((r, v));
+        }
+        Self {
+            rows,
+            cols: per_col.into_iter().map(SparseVec::from_vec).collect(),
+        }
     }
 
     /// Number of columns.
@@ -148,109 +182,14 @@ impl SparseMatrix {
     }
 }
 
-/// A dense, row-major square matrix used for the simplex basis inverse.
-#[derive(Debug, Clone)]
-pub struct DenseMatrix {
-    /// Dimension (the matrix is `n x n`).
-    pub n: usize,
-    /// Row-major data.
-    pub data: Vec<f64>,
-}
-
-impl DenseMatrix {
-    /// Creates an `n x n` identity matrix.
-    pub fn identity(n: usize) -> Self {
-        let mut data = vec![0.0; n * n];
-        for i in 0..n {
-            data[i * n + i] = 1.0;
-        }
-        Self { n, data }
-    }
-
-    /// Returns element `(i, j)`.
-    #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.data[i * self.n + j]
-    }
-
-    /// Sets element `(i, j)`.
-    #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        self.data[i * self.n + j] = v;
-    }
-
-    /// Returns row `i` as a slice.
-    #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.n..(i + 1) * self.n]
-    }
-
-    /// Computes `self * col` where `col` is a sparse column (length `n`).
-    pub fn mul_sparse_col(&self, col: &SparseVec) -> Vec<f64> {
-        let n = self.n;
-        let mut out = vec![0.0; n];
-        for (i, v) in col.iter() {
-            // Add v * column i of self, i.e. out[r] += self[r][i] * v.
-            for r in 0..n {
-                out[r] += self.data[r * n + i] * v;
-            }
-        }
-        out
-    }
-
-    /// Computes `row_vec * self` where `row_vec` has length `n`, returning a
-    /// dense row vector of length `n`.
-    pub fn left_mul_dense(&self, row_vec: &[f64]) -> Vec<f64> {
-        let n = self.n;
-        let mut out = vec![0.0; n];
-        for (i, &w) in row_vec.iter().enumerate() {
-            if w == 0.0 {
-                continue;
-            }
-            let row = &self.data[i * n..(i + 1) * n];
-            for (o, r) in out.iter_mut().zip(row.iter()) {
-                *o += w * r;
-            }
-        }
-        out
-    }
-
-    /// Performs the simplex basis-inverse pivot update: given the transformed
-    /// entering column `w = B^{-1} A_j` and the pivot row `r`, updates the
-    /// stored inverse so it corresponds to the new basis.
-    pub fn pivot_update_copy(&mut self, w: &[f64], r: usize) {
-        let n = self.n;
-        let pivot = w[r];
-        debug_assert!(pivot.abs() > 0.0);
-        let inv_pivot = 1.0 / pivot;
-        // Scale pivot row first and keep a copy of it.
-        for j in 0..n {
-            self.data[r * n + j] *= inv_pivot;
-        }
-        let row_r: Vec<f64> = self.data[r * n..(r + 1) * n].to_vec();
-        for i in 0..n {
-            if i == r {
-                continue;
-            }
-            let factor = w[i];
-            if factor == 0.0 {
-                continue;
-            }
-            let row_i = &mut self.data[i * n..(i + 1) * n];
-            for (a, b) in row_i.iter_mut().zip(row_r.iter()) {
-                *a -= factor * b;
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn sparse_vec_from_pairs_sorts_merges_and_drops_zeros() {
-        let v = SparseVec::from_pairs(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0), (2, 1.0), (2, -1.0)]);
+        let v =
+            SparseVec::from_pairs(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0), (2, 1.0), (2, -1.0)]);
         assert_eq!(v.indices, vec![1, 3]);
         assert_eq!(v.values, vec![2.0, 3.0]);
         assert_eq!(v.nnz(), 2);
@@ -282,43 +221,52 @@ mod tests {
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.ncols(), 2);
     }
+}
+
+#[cfg(test)]
+mod triplet_tests {
+    use super::*;
 
     #[test]
-    fn dense_identity_and_access() {
-        let mut d = DenseMatrix::identity(3);
-        assert_eq!(d.get(0, 0), 1.0);
-        assert_eq!(d.get(0, 1), 0.0);
-        d.set(0, 1, 5.0);
-        assert_eq!(d.row(0), &[1.0, 5.0, 0.0]);
+    fn from_vec_merges_in_place() {
+        let v = SparseVec::from_vec(vec![
+            (3, 1.0),
+            (1, 2.0),
+            (3, 2.0),
+            (5, 0.0),
+            (2, 1.0),
+            (2, -1.0),
+        ]);
+        assert_eq!(v.indices, vec![1, 3]);
+        assert_eq!(v.values, vec![2.0, 3.0]);
     }
 
     #[test]
-    fn dense_mul_sparse_col_matches_dense_math() {
-        // B = identity, so Binv * col == col.
-        let d = DenseMatrix::identity(3);
-        let col = SparseVec::from_pairs(&[(0, 2.0), (2, -1.0)]);
-        assert_eq!(d.mul_sparse_col(&col), vec![2.0, 0.0, -1.0]);
+    fn from_triplets_builds_columns() {
+        // M = [1 2; 0 3] plus a duplicate entry and an explicit zero.
+        let m = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[
+                (0, 1, 2.0),
+                (0, 0, 0.5),
+                (1, 1, 3.0),
+                (0, 0, 0.5),
+                (1, 0, 0.0),
+            ],
+        );
+        assert_eq!(m.col(0).indices, vec![0]);
+        assert_eq!(m.col(0).values, vec![1.0]);
+        assert_eq!(m.col(1).indices, vec![0, 1]);
+        assert_eq!(m.col(1).values, vec![2.0, 3.0]);
+        assert_eq!(m.mul_dense(&[1.0, 2.0]), vec![5.0, 6.0]);
     }
 
     #[test]
-    fn dense_left_mul() {
-        let mut d = DenseMatrix::identity(2);
-        d.set(0, 1, 3.0);
-        // y = [1, 2];  y * d = [1, 1*3 + 2*1] = [1, 5]
-        assert_eq!(d.left_mul_dense(&[1.0, 2.0]), vec![1.0, 5.0]);
-    }
-
-    #[test]
-    fn pivot_update_copy_matches_explicit_inverse() {
-        // Start with B = I (Binv = I). Replace column 1 of the basis with
-        // a = [1, 2]^T. The new basis is B' = [[1, 1], [0, 2]] whose inverse is
-        // [[1, -0.5], [0, 0.5]].
-        let mut binv = DenseMatrix::identity(2);
-        let w = vec![1.0, 2.0]; // Binv * a with Binv = I.
-        binv.pivot_update_copy(&w, 1);
-        let expect = [1.0, -0.5, 0.0, 0.5];
-        for (got, want) in binv.data.iter().zip(expect.iter()) {
-            assert!((got - want).abs() < 1e-12, "{:?}", binv.data);
-        }
+    fn from_triplets_empty_columns_allowed() {
+        let m = SparseMatrix::from_triplets(3, 4, &[(2, 3, 1.0)]);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.col(0).nnz(), 0);
     }
 }

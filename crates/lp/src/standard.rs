@@ -12,7 +12,7 @@
 //! Maximization objectives are negated (and the sign restored when reporting).
 
 use crate::model::{ConstraintOp, Model, Sense};
-use crate::sparse::{SparseMatrix, SparseVec};
+use crate::sparse::SparseMatrix;
 
 /// A model in computational standard form.
 #[derive(Debug, Clone)]
@@ -54,43 +54,53 @@ impl StandardForm {
             Sense::Maximize => -1.0,
         };
 
-        let mut a = SparseMatrix::new(m);
         let mut c = Vec::with_capacity(n_struct + m);
         let mut lb = Vec::with_capacity(n_struct + m);
         let mut ub = Vec::with_capacity(n_struct + m);
 
-        // Structural columns: gather each variable's constraint coefficients.
-        let mut col_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_struct];
+        // One triplet pass over the constraints covers the structural columns
+        // and the per-constraint slack columns (column `n_struct + row`).
+        let nnz: usize = model.cons.iter().map(|c| c.terms.len()).sum();
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(nnz + m);
         for (row, cons) in model.cons.iter().enumerate() {
             for (vid, coef) in &cons.terms {
                 if *coef != 0.0 {
-                    col_entries[vid.0].push((row, *coef));
+                    triplets.push((row, vid.0, *coef));
                 }
             }
+            triplets.push((row, n_struct + row, 1.0));
         }
-        for (var, entries) in model.vars.iter().zip(col_entries.into_iter()) {
-            a.push_col(SparseVec::from_pairs(&entries));
+        let a = SparseMatrix::from_triplets(m, n_struct + m, &triplets);
+
+        for var in &model.vars {
             c.push(obj_sign * var.obj);
             lb.push(var.lb);
             ub.push(var.ub);
         }
 
-        // Slack columns, one per constraint.
+        // Slack bounds, one per constraint.
         let mut b = Vec::with_capacity(m);
-        for (row, cons) in model.cons.iter().enumerate() {
+        for cons in &model.cons {
             let (slb, sub) = match cons.op {
                 ConstraintOp::Le => (0.0, f64::INFINITY),
                 ConstraintOp::Ge => (f64::NEG_INFINITY, 0.0),
                 ConstraintOp::Eq => (0.0, 0.0),
             };
-            a.push_col(SparseVec::from_pairs(&[(row, 1.0)]));
             c.push(0.0);
             lb.push(slb);
             ub.push(sub);
             b.push(cons.rhs);
         }
 
-        StandardForm { a, b, c, lb, ub, num_structural: n_struct, obj_sign }
+        StandardForm {
+            a,
+            b,
+            c,
+            lb,
+            ub,
+            num_structural: n_struct,
+            obj_sign,
+        }
     }
 
     /// Converts an objective value of the (minimization) standard form back

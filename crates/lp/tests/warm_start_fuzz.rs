@@ -1,0 +1,179 @@
+//! Randomized (seeded, deterministic) cross-check of the warm-started simplex
+//! against cold solves: on a corpus of small bounded LPs, a warm re-solve
+//! after a bound change must agree with a from-scratch solve to 1e-6.
+
+use teccl_lp::model::{ConstraintOp, Model, Sense};
+use teccl_lp::simplex::{solve_standard_form, solve_standard_form_from};
+use teccl_lp::standard::StandardForm;
+use teccl_lp::SolveStatus;
+
+/// Small deterministic LCG so the corpus is stable across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in [0, 1).
+    fn f(&mut self) -> f64 {
+        (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f() * (hi - lo)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A random LP with finite variable bounds (guaranteeing a bounded objective)
+/// and a mix of constraint senses. Feasibility is not guaranteed — both
+/// solvers must agree on that too.
+fn random_lp(rng: &mut Lcg) -> Model {
+    let nvars = 2 + rng.below(8);
+    let ncons = 1 + rng.below(6);
+    let sense = if rng.f() < 0.5 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut m = Model::new(sense);
+    let mut vars = Vec::new();
+    for j in 0..nvars {
+        let lb = rng.range(-10.0, 5.0);
+        let ub = lb + rng.range(0.0, 15.0);
+        let obj = rng.range(-5.0, 5.0);
+        vars.push(m.add_var(format!("x{j}"), lb, ub, obj, false));
+    }
+    for i in 0..ncons {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.f() < 0.7 {
+                terms.push((v, rng.range(-4.0, 4.0)));
+            }
+        }
+        if terms.is_empty() {
+            terms.push((vars[0], 1.0));
+        }
+        let op = match rng.below(4) {
+            0 => ConstraintOp::Ge,
+            1 => ConstraintOp::Eq,
+            _ => ConstraintOp::Le, // bias towards feasible instances
+        };
+        let rhs = rng.range(-10.0, 25.0);
+        m.add_cons(format!("c{i}"), &terms, op, rhs);
+    }
+    m
+}
+
+#[test]
+fn warm_and_cold_solves_agree_on_random_corpus() {
+    let mut rng = Lcg(0x5eed_c0ffee);
+    let mut solved = 0usize;
+    let mut warmed = 0usize;
+    for case in 0..200 {
+        let m = random_lp(&mut rng);
+        let sf = StandardForm::from_model(&m);
+        let nv = m.num_vars();
+        let cold = solve_standard_form(&sf, nv).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        if cold.status != SolveStatus::Optimal {
+            // Infeasible instances are fine; just confirm determinism.
+            let again = solve_standard_form(&sf, nv).unwrap();
+            assert_eq!(again.status, cold.status, "case {case}");
+            continue;
+        }
+        solved += 1;
+        let basis = cold.basis.clone().expect("optimal LP must return a basis");
+
+        // Re-solve the *same* problem warm: identical objective required.
+        let resolve = solve_standard_form_from(&sf, nv, &[], Some(&basis)).unwrap();
+        assert_eq!(resolve.status, SolveStatus::Optimal, "case {case}");
+        assert!(
+            (resolve.objective - cold.objective).abs() < 1e-6,
+            "case {case}: warm resolve {} vs cold {}",
+            resolve.objective,
+            cold.objective
+        );
+
+        // Perturb one variable bound (tighten towards the optimal value so
+        // the instance usually stays feasible) and compare warm vs cold.
+        let j = rng.below(nv);
+        let (lo, hi) = (m.vars[j].lb, m.vars[j].ub);
+        let xj = cold.values[j];
+        let overrides = if rng.f() < 0.5 {
+            [(j, lo, (xj + rng.range(0.0, 2.0)).min(hi).max(lo))]
+        } else {
+            [(j, (xj - rng.range(0.0, 2.0)).max(lo).min(hi), hi)]
+        };
+        let warm = solve_standard_form_from(&sf, nv, &overrides, Some(&basis)).unwrap();
+        let cold2 = solve_standard_form_from(&sf, nv, &overrides, None).unwrap();
+        assert_eq!(
+            warm.status, cold2.status,
+            "case {case}: warm {:?} vs cold {:?} after override {overrides:?}",
+            warm.status, cold2.status
+        );
+        if warm.status == SolveStatus::Optimal {
+            assert!(
+                (warm.objective - cold2.objective).abs() < 1e-6,
+                "case {case}: warm {} vs cold {} after override {overrides:?}",
+                warm.objective,
+                cold2.objective
+            );
+            warmed += 1;
+        }
+    }
+    // The corpus must actually exercise both paths.
+    assert!(solved >= 80, "only {solved} optimal instances");
+    assert!(warmed >= 60, "only {warmed} warm re-solves");
+}
+
+#[test]
+fn milp_warm_and_cold_nodes_agree_on_random_corpus() {
+    use teccl_lp::MilpConfig;
+    let mut rng = Lcg(0xdead_beef);
+    let mut solved = 0usize;
+    for case in 0..40 {
+        // Random small knapsack-ish MILPs.
+        let nvars = 3 + rng.below(6);
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..nvars)
+            .map(|j| m.add_binary_var(format!("x{j}"), rng.range(1.0, 10.0)))
+            .collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, rng.range(1.0, 6.0))).collect();
+        let cap = rng.range(4.0, 14.0);
+        m.add_cons("cap", &terms, ConstraintOp::Le, cap);
+        if nvars > 4 {
+            let t2: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
+            m.add_cons("card", &t2, ConstraintOp::Le, (nvars / 2) as f64);
+        }
+        let warm_cfg = MilpConfig::default();
+        let cold_cfg = MilpConfig {
+            warm_start: false,
+            ..Default::default()
+        };
+        let warm = m
+            .solve_with(&warm_cfg)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let cold = m
+            .solve_with(&cold_cfg)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(warm.status, cold.status, "case {case}");
+        if warm.status.has_solution() {
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "case {case}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            solved += 1;
+        }
+    }
+    assert!(solved >= 30, "only {solved} solved MILPs");
+}

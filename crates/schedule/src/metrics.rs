@@ -1,11 +1,11 @@
 //! The paper's evaluation metrics (§6 "Metrics").
 
-use serde::{Deserialize, Serialize};
+use teccl_util::json::{JsonError, Value};
 
 /// Metrics of one collective run, mirroring §6 and the columns of Table 8:
 /// epoch duration (ED), collective finish / transfer time (CT), solver
 /// time (ST) and algorithmic bandwidth (AB).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveMetrics {
     /// Name of the solver / algorithm.
     pub solver: String,
@@ -31,6 +31,44 @@ impl CollectiveMetrics {
     /// Algorithmic bandwidth in GB/s (the unit of Table 8).
     pub fn algorithmic_bandwidth_gbps(&self) -> f64 {
         self.algorithmic_bandwidth() / 1e9
+    }
+
+    /// Serializes the metrics to JSON.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("solver", Value::from(self.solver.clone())),
+            ("epoch_duration", Value::from(self.epoch_duration)),
+            ("transfer_time", Value::from(self.transfer_time)),
+            ("solver_time", Value::from(self.solver_time)),
+            ("output_buffer_bytes", Value::from(self.output_buffer_bytes)),
+            ("bytes_on_wire", Value::from(self.bytes_on_wire)),
+        ])
+    }
+
+    /// Deserializes metrics from the JSON produced by
+    /// [`CollectiveMetrics::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<CollectiveMetrics, JsonError> {
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or(bad("missing numeric field"))
+        };
+        Ok(CollectiveMetrics {
+            solver: v
+                .get("solver")
+                .and_then(Value::as_str)
+                .ok_or(bad("missing solver"))?
+                .to_string(),
+            epoch_duration: num("epoch_duration")?,
+            transfer_time: num("transfer_time")?,
+            solver_time: num("solver_time")?,
+            output_buffer_bytes: num("output_buffer_bytes")?,
+            bytes_on_wire: num("bytes_on_wire")?,
+        })
     }
 }
 
@@ -84,8 +122,8 @@ mod tests {
             output_buffer_bytes: 10.0,
             bytes_on_wire: 20.0,
         };
-        let s = serde_json::to_string(&m).unwrap();
-        let back: CollectiveMetrics = serde_json::from_str(&s).unwrap();
+        let s = m.to_json_value().to_json();
+        let back = CollectiveMetrics::from_json_value(&Value::parse(&s).unwrap()).unwrap();
         assert_eq!(back, m);
     }
 }

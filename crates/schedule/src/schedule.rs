@@ -1,11 +1,11 @@
 //! The schedule data model: which chunk crosses which link in which epoch.
 
-use serde::{Deserialize, Serialize};
 use teccl_topology::NodeId;
+use teccl_util::json::{JsonError, Value};
 
 /// Identity of a chunk: the source GPU it originates from plus its per-source
 /// chunk index (`(s, c)` in the paper's notation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChunkId {
     /// Source GPU.
     pub source: NodeId,
@@ -21,7 +21,7 @@ impl ChunkId {
 }
 
 /// One scheduled transmission of a chunk over a link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Send {
     /// The chunk being sent.
     pub chunk: ChunkId,
@@ -36,7 +36,7 @@ pub struct Send {
 }
 
 /// A complete collective schedule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Schedule {
     /// Name of the algorithm / solver that produced the schedule.
     pub name: String,
@@ -69,7 +69,12 @@ impl Schedule {
 
     /// Adds a send and keeps `num_epochs` in sync.
     pub fn push(&mut self, chunk: ChunkId, from: NodeId, to: NodeId, epoch: usize) {
-        self.sends.push(Send { chunk, from, to, epoch });
+        self.sends.push(Send {
+            chunk,
+            from,
+            to,
+            epoch,
+        });
         self.num_epochs = self.num_epochs.max(epoch + 1);
     }
 
@@ -88,7 +93,15 @@ impl Schedule {
     /// used by validation, simulation and export.
     pub fn sorted_sends(&self) -> Vec<Send> {
         let mut s = self.sends.clone();
-        s.sort_by_key(|snd| (snd.epoch, snd.from, snd.to, snd.chunk.source, snd.chunk.chunk));
+        s.sort_by_key(|snd| {
+            (
+                snd.epoch,
+                snd.from,
+                snd.to,
+                snd.chunk.source,
+                snd.chunk.chunk,
+            )
+        });
         s
     }
 
@@ -107,33 +120,118 @@ impl Schedule {
     /// GPU with its ordered send and receive operations. The paper converts
     /// TE-CCL solutions into MSCCL to run them on hardware (§6); this export
     /// is the moral equivalent for downstream tooling.
-    pub fn to_msccl_json(&self) -> serde_json::Value {
-        use serde_json::json;
-        let mut per_gpu: std::collections::BTreeMap<usize, Vec<serde_json::Value>> =
+    pub fn to_msccl_json(&self) -> Value {
+        let op = |op: &str, s: &Send, peer: usize| {
+            Value::obj(vec![
+                ("op", Value::from(op)),
+                ("chunk_source", Value::from(s.chunk.source.0)),
+                ("chunk_index", Value::from(s.chunk.chunk)),
+                ("peer", Value::from(peer)),
+                ("step", Value::from(s.epoch)),
+            ])
+        };
+        let mut per_gpu: std::collections::BTreeMap<usize, Vec<Value>> =
             std::collections::BTreeMap::new();
         for s in self.sorted_sends() {
-            per_gpu.entry(s.from.0).or_default().push(json!({
-                "op": "send",
-                "chunk_source": s.chunk.source.0,
-                "chunk_index": s.chunk.chunk,
-                "peer": s.to.0,
-                "step": s.epoch,
-            }));
-            per_gpu.entry(s.to.0).or_default().push(json!({
-                "op": "recv",
-                "chunk_source": s.chunk.source.0,
-                "chunk_index": s.chunk.chunk,
-                "peer": s.from.0,
-                "step": s.epoch,
-            }));
+            per_gpu
+                .entry(s.from.0)
+                .or_default()
+                .push(op("send", &s, s.to.0));
+            per_gpu
+                .entry(s.to.0)
+                .or_default()
+                .push(op("recv", &s, s.from.0));
         }
-        json!({
-            "name": self.name,
-            "chunk_bytes": self.chunk_bytes,
-            "epoch_duration_s": self.epoch_duration,
-            "num_epochs": self.num_epochs,
-            "gpus": per_gpu.into_iter().map(|(gpu, ops)| json!({"id": gpu, "ops": ops})).collect::<Vec<_>>(),
-        })
+        Value::obj(vec![
+            ("name", Value::from(self.name.clone())),
+            ("chunk_bytes", Value::from(self.chunk_bytes)),
+            ("epoch_duration_s", Value::from(self.epoch_duration)),
+            ("num_epochs", Value::from(self.num_epochs)),
+            (
+                "gpus",
+                Value::Arr(
+                    per_gpu
+                        .into_iter()
+                        .map(|(gpu, ops)| {
+                            Value::obj(vec![("id", Value::from(gpu)), ("ops", Value::Arr(ops))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes the full schedule (not the MSCCL export) to JSON.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::from(self.name.clone())),
+            ("chunk_bytes", Value::from(self.chunk_bytes)),
+            ("epoch_duration", Value::from(self.epoch_duration)),
+            ("num_epochs", Value::from(self.num_epochs)),
+            ("solver_time", Value::from(self.solver_time)),
+            (
+                "sends",
+                Value::Arr(
+                    self.sends
+                        .iter()
+                        .map(|s| {
+                            Value::obj(vec![
+                                ("source", Value::from(s.chunk.source.0)),
+                                ("chunk", Value::from(s.chunk.chunk)),
+                                ("from", Value::from(s.from.0)),
+                                ("to", Value::from(s.to.0)),
+                                ("epoch", Value::from(s.epoch)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a schedule from the JSON produced by
+    /// [`Schedule::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<Schedule, JsonError> {
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        let mut s = Schedule::new(
+            v.get("name")
+                .and_then(Value::as_str)
+                .ok_or(bad("missing name"))?,
+            v.get("chunk_bytes")
+                .and_then(Value::as_f64)
+                .ok_or(bad("missing chunk_bytes"))?,
+        );
+        s.epoch_duration = v
+            .get("epoch_duration")
+            .and_then(Value::as_f64)
+            .ok_or(bad("missing epoch_duration"))?;
+        s.solver_time = v.get("solver_time").and_then(Value::as_f64).unwrap_or(0.0);
+        for snd in v
+            .get("sends")
+            .and_then(Value::as_arr)
+            .ok_or(bad("missing sends"))?
+        {
+            let field = |k: &str| {
+                snd.get(k)
+                    .and_then(Value::as_usize)
+                    .ok_or(bad("bad send field"))
+            };
+            s.push(
+                ChunkId::new(NodeId(field("source")?), field("chunk")?),
+                NodeId(field("from")?),
+                NodeId(field("to")?),
+                field("epoch")?,
+            );
+        }
+        s.num_epochs = s.num_epochs.max(
+            v.get("num_epochs")
+                .and_then(Value::as_usize)
+                .ok_or(bad("missing num_epochs"))?,
+        );
+        Ok(s)
     }
 }
 
@@ -187,21 +285,24 @@ mod tests {
         s.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
         s.push(ChunkId::new(NodeId(0), 0), NodeId(1), NodeId(2), 1);
         let v = s.to_msccl_json();
-        assert_eq!(v["name"], "export");
-        let gpus = v["gpus"].as_array().unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("export"));
+        let gpus = v.get("gpus").and_then(Value::as_arr).unwrap();
         // GPUs 0, 1, 2 all participate.
         assert_eq!(gpus.len(), 3);
         // GPU 1 both receives and sends.
-        let gpu1 = gpus.iter().find(|g| g["id"] == 1).unwrap();
-        assert_eq!(gpu1["ops"].as_array().unwrap().len(), 2);
+        let gpu1 = gpus
+            .iter()
+            .find(|g| g.get("id").and_then(Value::as_usize) == Some(1))
+            .unwrap();
+        assert_eq!(gpu1.get("ops").and_then(Value::as_arr).unwrap().len(), 2);
     }
 
     #[test]
     fn serde_roundtrip() {
         let mut s = Schedule::new("round", 8.0);
         s.push(ChunkId::new(NodeId(0), 2), NodeId(0), NodeId(1), 5);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Schedule = serde_json::from_str(&json).unwrap();
+        let json = s.to_json_value().to_json();
+        let back = Schedule::from_json_value(&Value::parse(&json).unwrap()).unwrap();
         assert_eq!(back.sends, s.sends);
         assert_eq!(back.num_epochs, 6);
     }

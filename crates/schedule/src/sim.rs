@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoSuchLink { from, to } => write!(f, "no link {from}->{to} in topology"),
             SimError::Stuck { unstarted_sends } => {
-                write!(f, "schedule deadlocked with {unstarted_sends} sends never able to start")
+                write!(
+                    f,
+                    "schedule deadlocked with {unstarted_sends} sends never able to start"
+                )
             }
             SimError::DemandUnsatisfied { missing } => {
                 write!(f, "{missing} demands not delivered by the schedule")
@@ -94,7 +97,10 @@ pub fn simulate(
     let mut queues: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
     for (i, snd) in sends.iter().enumerate() {
         if topology.link_between(snd.from, snd.to).is_none() {
-            return Err(SimError::NoSuchLink { from: snd.from, to: snd.to });
+            return Err(SimError::NoSuchLink {
+                from: snd.from,
+                to: snd.to,
+            });
         }
         queues.entry((snd.from.0, snd.to.0)).or_default().push(i);
     }
@@ -124,7 +130,9 @@ pub fn simulate(
                 } else {
                     0.0
                 };
-                let start = chunk_avail.max(*link_free.get(&link_key).unwrap()).max(epoch_start);
+                let start = chunk_avail
+                    .max(*link_free.get(&link_key).unwrap())
+                    .max(epoch_start);
                 let tx_done = start + schedule.chunk_bytes / link.capacity;
                 let arrival = tx_done + link.alpha;
                 link_free.insert(link_key, tx_done);
@@ -142,7 +150,9 @@ pub fn simulate(
             break;
         }
         if !progressed {
-            return Err(SimError::Stuck { unstarted_sends: remaining });
+            return Err(SimError::Stuck {
+                unstarted_sends: remaining,
+            });
         }
     }
 
@@ -205,7 +215,11 @@ mod tests {
         }
         let rep = simulate(&topo, &demand, &sch).unwrap();
         // Without pipelining it would be 4 ms; with pipelining 3 ms.
-        assert!((rep.transfer_time - 3e-3).abs() < 1e-9, "{}", rep.transfer_time);
+        assert!(
+            (rep.transfer_time - 3e-3).abs() < 1e-9,
+            "{}",
+            rep.transfer_time
+        );
     }
 
     #[test]

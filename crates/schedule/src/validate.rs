@@ -18,15 +18,34 @@ use crate::schedule::{ChunkId, Schedule};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ValidationError {
     /// A send uses a link that does not exist in the topology.
-    NoSuchLink { from: NodeId, to: NodeId, epoch: usize },
+    NoSuchLink {
+        from: NodeId,
+        to: NodeId,
+        epoch: usize,
+    },
     /// A node sent a chunk it did not hold at that epoch.
-    CausalityViolation { node: NodeId, chunk: ChunkId, epoch: usize },
+    CausalityViolation {
+        node: NodeId,
+        chunk: ChunkId,
+        epoch: usize,
+    },
     /// More chunk-bytes were scheduled on a link in an epoch than it can carry.
-    CapacityExceeded { from: NodeId, to: NodeId, epoch: usize, chunks: usize, capacity_chunks: usize },
+    CapacityExceeded {
+        from: NodeId,
+        to: NodeId,
+        epoch: usize,
+        chunks: usize,
+        capacity_chunks: usize,
+    },
     /// A demanded chunk never reached its destination.
     DemandUnsatisfied { chunk: ChunkId, destination: NodeId },
     /// The same send appears twice.
-    DuplicateSend { chunk: ChunkId, from: NodeId, to: NodeId, epoch: usize },
+    DuplicateSend {
+        chunk: ChunkId,
+        from: NodeId,
+        to: NodeId,
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -85,16 +104,18 @@ pub fn validate(
 ) -> ValidationReport {
     let mut report = ValidationReport::default();
     let sends = schedule.sorted_sends();
-    let num_epochs = schedule.num_epochs.max(sends.iter().map(|s| s.epoch + 1).max().unwrap_or(0));
+    let num_epochs = schedule
+        .num_epochs
+        .max(sends.iter().map(|s| s.epoch + 1).max().unwrap_or(0));
 
     // holdings[node] = set of chunks the node holds *at the start of the
     // current epoch*; arrivals become visible only after their α-delay.
     let mut holdings: Vec<BTreeSet<ChunkId>> = vec![BTreeSet::new(); topology.num_nodes()];
     // Sources hold their own chunks from the start.
-    for s in 0..demand.num_nodes {
+    for (s, holding) in holdings.iter_mut().enumerate().take(demand.num_nodes) {
         for c in 0..demand.num_chunks {
             if demand.chunk_in_use(NodeId(s), c) {
-                holdings[s].insert(ChunkId::new(NodeId(s), c));
+                holding.insert(ChunkId::new(NodeId(s), c));
             }
         }
     }
@@ -112,8 +133,10 @@ pub fn validate(
             // unreachable sentinel bucket; kept for completeness
             drop(chunks);
         }
-        let keys: Vec<(usize, usize)> =
-            pending.range((epoch, 0)..(epoch, usize::MAX)).map(|(k, _)| *k).collect();
+        let keys: Vec<(usize, usize)> = pending
+            .range((epoch, 0)..(epoch, usize::MAX))
+            .map(|(k, _)| *k)
+            .collect();
         for key in keys {
             if let Some(chunks) = pending.remove(&key) {
                 for ch in chunks {
@@ -125,7 +148,13 @@ pub fn validate(
         // Process this epoch's sends.
         let mut link_load: BTreeMap<(usize, usize), usize> = BTreeMap::new();
         for snd in sends.iter().filter(|s| s.epoch == epoch) {
-            let key = (snd.epoch, snd.from.0, snd.to.0, snd.chunk.source.0, snd.chunk.chunk);
+            let key = (
+                snd.epoch,
+                snd.from.0,
+                snd.to.0,
+                snd.chunk.source.0,
+                snd.chunk.chunk,
+            );
             if !seen_sends.insert(key) {
                 report.errors.push(ValidationError::DuplicateSend {
                     chunk: snd.chunk,
@@ -164,15 +193,21 @@ pub fn validate(
                 0
             };
             let visible = epoch + delta_epochs + 1;
-            pending.entry((visible, snd.to.0)).or_default().push(snd.chunk);
+            pending
+                .entry((visible, snd.to.0))
+                .or_default()
+                .push(snd.chunk);
         }
 
         // Capacity check.
         if check_capacity && schedule.epoch_duration > 0.0 {
             for ((from, to), chunks) in link_load {
-                let link = topology.link_between(NodeId(from), NodeId(to)).expect("checked above");
-                let cap_chunks =
-                    (link.capacity * schedule.epoch_duration / schedule.chunk_bytes + 1e-9).floor() as usize;
+                let link = topology
+                    .link_between(NodeId(from), NodeId(to))
+                    .expect("checked above");
+                let cap_chunks = (link.capacity * schedule.epoch_duration / schedule.chunk_bytes
+                    + 1e-9)
+                    .floor() as usize;
                 if chunks > cap_chunks {
                     report.errors.push(ValidationError::CapacityExceeded {
                         from: NodeId(from),
@@ -198,7 +233,10 @@ pub fn validate(
     for (s, c, d) in demand.iter() {
         let chunk = ChunkId::new(s, c);
         if !holdings[d.0].contains(&chunk) {
-            report.errors.push(ValidationError::DemandUnsatisfied { chunk, destination: d });
+            report.errors.push(ValidationError::DemandUnsatisfied {
+                chunk,
+                destination: d,
+            });
         }
     }
 
@@ -245,7 +283,10 @@ mod tests {
         sch.push(ch, NodeId(0), NodeId(1), 0);
         sch.push(ch, NodeId(1), NodeId(2), 0);
         let report = validate(&topo, &demand, &sch, true);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::CausalityViolation { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CausalityViolation { .. })));
     }
 
     #[test]
@@ -272,7 +313,10 @@ mod tests {
         sch.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(2), 0);
         sch.push(ChunkId::new(NodeId(0), 0), NodeId(0), NodeId(1), 0);
         let report = validate(&topo, &demand, &sch, true);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::NoSuchLink { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::NoSuchLink { .. })));
     }
 
     #[test]
@@ -288,10 +332,16 @@ mod tests {
             sch.push(ChunkId::new(NodeId(0), c), NodeId(0), NodeId(1), 0);
         }
         let report = validate(&topo, &demand, &sch, true);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::CapacityExceeded { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CapacityExceeded { .. })));
         // Without the capacity check those sends are fine (causality holds).
         let report2 = validate(&topo, &demand, &sch, false);
-        assert!(!report2.errors.iter().any(|e| matches!(e, ValidationError::CapacityExceeded { .. })));
+        assert!(!report2
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CapacityExceeded { .. })));
     }
 
     #[test]
@@ -305,7 +355,10 @@ mod tests {
         sch.push(ch, NodeId(0), NodeId(1), 0);
         sch.push(ch, NodeId(1), NodeId(2), 1);
         let report = validate(&topo, &demand, &sch, true);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::DuplicateSend { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateSend { .. })));
     }
 
     #[test]
@@ -326,7 +379,10 @@ mod tests {
         too_early.push(ch, a, b, 0);
         too_early.push(ch, b, c, 2); // needs epoch >= 0 + ceil(2.5) + 1 = 4
         let report = validate(&topo, &demand, &too_early, true);
-        assert!(report.errors.iter().any(|e| matches!(e, ValidationError::CausalityViolation { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::CausalityViolation { .. })));
 
         let mut ok = Schedule::new("ok", 1e6);
         ok.epoch_duration = 1e-3;

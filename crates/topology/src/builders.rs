@@ -58,7 +58,9 @@ pub fn ndv2(chassis: usize) -> Topology {
     let mut t = Topology::new(format!("NDv2 x{chassis}"));
     let mut all_gpus = Vec::new();
     for c in 0..chassis {
-        let gpus: Vec<NodeId> = (0..8).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        let gpus: Vec<NodeId> = (0..8)
+            .map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c))
+            .collect();
         for (idx, &(a, b)) in DGX1_NVLINKS.iter().enumerate() {
             let cap = if idx < 12 { 50.0 * GBPS } else { 25.0 * GBPS };
             t.add_bilink(gpus[a], gpus[b], cap, 0.7 * MICROSECOND);
@@ -87,7 +89,9 @@ pub fn dgx2(chassis: usize) -> Topology {
     let mut senders = Vec::new();
     let mut receivers = Vec::new();
     for c in 0..chassis {
-        let gpus: Vec<NodeId> = (0..16).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        let gpus: Vec<NodeId> = (0..16)
+            .map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c))
+            .collect();
         let nvswitch = t.add_switch(format!("c{c}/nvswitch"), c);
         for &g in &gpus {
             t.add_bilink(g, nvswitch, 125.0 * GBPS, 0.35 * MICROSECOND);
@@ -119,7 +123,9 @@ pub fn internal1(chassis: usize) -> Topology {
     let mut t = Topology::new(format!("Internal1 x{chassis}"));
     let mut all_gpus = Vec::new();
     for c in 0..chassis {
-        let gpus: Vec<NodeId> = (0..4).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        let gpus: Vec<NodeId> = (0..4)
+            .map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c))
+            .collect();
         for i in 0..4 {
             t.add_bilink(gpus[i], gpus[(i + 1) % 4], 25.0 * GBPS, 0.6 * MICROSECOND);
         }
@@ -225,7 +231,9 @@ pub fn fig1a(chunk_bytes: f64, alpha1: f64) -> Topology {
 /// destination `d` (node 4). Capacities are scaled by `unit_bytes_per_sec`.
 pub fn fig1b(unit_bytes_per_sec: f64) -> Topology {
     let mut t = Topology::new("fig1b");
-    let s: Vec<NodeId> = (0..3).map(|i| t.add_gpu(format!("s{}", i + 1), 0)).collect();
+    let s: Vec<NodeId> = (0..3)
+        .map(|i| t.add_gpu(format!("s{}", i + 1), 0))
+        .collect();
     let h = t.add_gpu("h", 0);
     let d = t.add_gpu("d", 0);
     for &si in &s {
@@ -242,7 +250,9 @@ pub fn fig1c(unit_bytes_per_sec: f64) -> Topology {
     let mut t = Topology::new("fig1c");
     let s = t.add_gpu("s", 0);
     let h = t.add_gpu("h", 0);
-    let ds: Vec<NodeId> = (0..3).map(|i| t.add_gpu(format!("d{}", i + 1), 0)).collect();
+    let ds: Vec<NodeId> = (0..3)
+        .map(|i| t.add_gpu(format!("d{}", i + 1), 0))
+        .collect();
     t.add_bilink(s, h, unit_bytes_per_sec, 0.0);
     for &di in &ds {
         t.add_bilink(h, di, unit_bytes_per_sec, 0.0);
@@ -258,7 +268,9 @@ pub fn fig2_topology() -> Topology {
     let mut t = Topology::new("fig2-internal");
     let mut all = Vec::new();
     for c in 0..2 {
-        let gpus: Vec<NodeId> = (0..4).map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c)).collect();
+        let gpus: Vec<NodeId> = (0..4)
+            .map(|i| t.add_gpu(format!("c{c}/gpu{i}"), c))
+            .collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 t.add_bilink(gpus[i], gpus[j], 25.0 * GBPS, 0.6 * MICROSECOND);
@@ -305,8 +317,11 @@ mod tests {
         assert_eq!(t.num_links(), 2 * 32 + 2 * 2 * 2);
         assert!(t.validate().is_ok());
         // Link speeds match Figure 11: 50, 25 and 12.5 GB/s present.
-        let caps: std::collections::BTreeSet<u64> =
-            t.links.iter().map(|l| (l.capacity / 1e9).round() as u64).collect();
+        let caps: std::collections::BTreeSet<u64> = t
+            .links
+            .iter()
+            .map(|l| (l.capacity / 1e9).round() as u64)
+            .collect();
         assert!(caps.contains(&50) && caps.contains(&25) && caps.contains(&13));
     }
 

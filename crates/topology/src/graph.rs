@@ -5,12 +5,13 @@
 //! zero). Links are **unidirectional** and carry a capacity (bytes/second) and
 //! a fixed latency α (seconds), exactly the α–β model of §2.1.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
+use teccl_util::json::{JsonError, Value};
+
 /// Identifier of a node inside a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -27,7 +28,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a link inside a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -38,7 +39,7 @@ impl LinkId {
 }
 
 /// Kind of a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// A GPU: holds demands, buffers chunks (store-and-forward) and can copy.
     Gpu,
@@ -48,7 +49,7 @@ pub enum NodeKind {
 }
 
 /// A node of the topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Identifier (index into [`Topology::nodes`]).
     pub id: NodeId,
@@ -62,7 +63,7 @@ pub struct Node {
 }
 
 /// A unidirectional link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Identifier (index into [`Topology::links`]).
     pub id: LinkId,
@@ -109,7 +110,10 @@ impl fmt::Display for TopologyError {
             TopologyError::UnknownNode(i) => write!(f, "link references unknown node {i}"),
             TopologyError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
             TopologyError::BadLinkParameters { src, dst } => {
-                write!(f, "link {src}->{dst} has non-positive capacity or negative alpha")
+                write!(
+                    f,
+                    "link {src}->{dst} has non-positive capacity or negative alpha"
+                )
             }
             TopologyError::Disconnected { from, to } => {
                 write!(f, "GPU {to} is not reachable from GPU {from}")
@@ -124,7 +128,7 @@ impl fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// A directed GPU-cluster topology.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     /// Human-readable name ("DGX1", "NDv2 x2", ...).
     pub name: String,
@@ -141,7 +145,10 @@ pub struct Topology {
 impl Topology {
     /// Creates an empty topology with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Default::default() }
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a GPU node and returns its id.
@@ -156,7 +163,12 @@ impl Topology {
 
     fn add_node(&mut self, kind: NodeKind, name: impl Into<String>, chassis: usize) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { id, kind, name: name.into(), chassis });
+        self.nodes.push(Node {
+            id,
+            kind,
+            name: name.into(),
+            chassis,
+        });
         self.out_links.push(Vec::new());
         self.in_links.push(Vec::new());
         id
@@ -166,15 +178,30 @@ impl Topology {
     /// (bytes/s) and α (seconds). Returns its id.
     pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity: f64, alpha: f64) -> LinkId {
         let id = LinkId(self.links.len());
-        self.links.push(Link { id, src, dst, capacity, alpha });
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            capacity,
+            alpha,
+        });
         self.out_links[src.0].push(id);
         self.in_links[dst.0].push(id);
         id
     }
 
     /// Adds a pair of links `a -> b` and `b -> a` with identical parameters.
-    pub fn add_bilink(&mut self, a: NodeId, b: NodeId, capacity: f64, alpha: f64) -> (LinkId, LinkId) {
-        (self.add_link(a, b, capacity, alpha), self.add_link(b, a, capacity, alpha))
+    pub fn add_bilink(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+        alpha: f64,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, capacity, alpha),
+            self.add_link(b, a, capacity, alpha),
+        )
     }
 
     /// Number of nodes (GPUs + switches).
@@ -189,12 +216,18 @@ impl Topology {
 
     /// Iterator over all GPU node ids.
     pub fn gpus(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Gpu).map(|n| n.id)
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Gpu)
+            .map(|n| n.id)
     }
 
     /// Iterator over all switch node ids.
     pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Switch).map(|n| n.id)
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Switch)
+            .map(|n| n.id)
     }
 
     /// Number of GPU nodes.
@@ -229,7 +262,10 @@ impl Topology {
 
     /// Capacity of the slowest link (bytes/s).
     pub fn slowest_link_capacity(&self) -> f64 {
-        self.links.iter().map(|l| l.capacity).fold(f64::INFINITY, f64::min)
+        self.links
+            .iter()
+            .map(|l| l.capacity)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest α over all links (seconds).
@@ -245,6 +281,115 @@ impl Topology {
             l.alpha *= factor;
         }
         t
+    }
+
+    /// Serializes the topology to a JSON document.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::from(self.name.clone())),
+            (
+                "nodes",
+                Value::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Value::obj(vec![
+                                (
+                                    "kind",
+                                    Value::from(match n.kind {
+                                        NodeKind::Gpu => "gpu",
+                                        NodeKind::Switch => "switch",
+                                    }),
+                                ),
+                                ("name", Value::from(n.name.clone())),
+                                ("chassis", Value::from(n.chassis)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "links",
+                Value::Arr(
+                    self.links
+                        .iter()
+                        .map(|l| {
+                            Value::obj(vec![
+                                ("src", Value::from(l.src.0)),
+                                ("dst", Value::from(l.dst.0)),
+                                ("capacity", Value::from(l.capacity)),
+                                ("alpha", Value::from(l.alpha)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a topology from the JSON produced by
+    /// [`Topology::to_json_value`]. Adjacency lists are rebuilt.
+    pub fn from_json_value(v: &Value) -> Result<Topology, JsonError> {
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(bad("missing name"))?;
+        let mut t = Topology::new(name);
+        for n in v
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .ok_or(bad("missing nodes"))?
+        {
+            let nname = n
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or(bad("node name"))?;
+            let chassis = n
+                .get("chassis")
+                .and_then(Value::as_usize)
+                .ok_or(bad("node chassis"))?;
+            match n.get("kind").and_then(Value::as_str) {
+                Some("gpu") => t.add_gpu(nname, chassis),
+                Some("switch") => t.add_switch(nname, chassis),
+                _ => return Err(bad("node kind")),
+            };
+        }
+        for l in v
+            .get("links")
+            .and_then(Value::as_arr)
+            .ok_or(bad("missing links"))?
+        {
+            let src = l
+                .get("src")
+                .and_then(Value::as_usize)
+                .ok_or(bad("link src"))?;
+            let dst = l
+                .get("dst")
+                .and_then(Value::as_usize)
+                .ok_or(bad("link dst"))?;
+            let capacity = l
+                .get("capacity")
+                .and_then(Value::as_f64)
+                .ok_or(bad("link capacity"))?;
+            let alpha = l
+                .get("alpha")
+                .and_then(Value::as_f64)
+                .ok_or(bad("link alpha"))?;
+            if src >= t.num_nodes() || dst >= t.num_nodes() {
+                return Err(bad("link references unknown node"));
+            }
+            t.add_link(NodeId(src), NodeId(dst), capacity, alpha);
+        }
+        Ok(t)
+    }
+
+    /// Parses a topology from a JSON string.
+    pub fn from_json_str(text: &str) -> Result<Topology, JsonError> {
+        Self::from_json_value(&Value::parse(text)?)
     }
 
     /// Removes a link (used by the failure-adaptation example). Link ids are
@@ -281,11 +426,18 @@ impl Topology {
             if l.src == l.dst {
                 return Err(TopologyError::SelfLoop(l.src));
             }
-            if l.capacity <= 0.0 || l.alpha < 0.0 || !l.capacity.is_finite() || !l.alpha.is_finite() {
-                return Err(TopologyError::BadLinkParameters { src: l.src, dst: l.dst });
+            if l.capacity <= 0.0 || l.alpha < 0.0 || !l.capacity.is_finite() || !l.alpha.is_finite()
+            {
+                return Err(TopologyError::BadLinkParameters {
+                    src: l.src,
+                    dst: l.dst,
+                });
             }
             if !seen.insert((l.src.0, l.dst.0)) {
-                return Err(TopologyError::DuplicateLink { src: l.src, dst: l.dst });
+                return Err(TopologyError::DuplicateLink {
+                    src: l.src,
+                    dst: l.dst,
+                });
             }
         }
         // Reachability between GPUs.
@@ -408,7 +560,10 @@ mod tests {
         let b = t.add_gpu("b", 0);
         t.add_link(a, b, 0.0, 0.0);
         t.add_link(b, a, 1e9, 0.0);
-        assert!(matches!(t.validate(), Err(TopologyError::BadLinkParameters { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::BadLinkParameters { .. })
+        ));
     }
 
     #[test]
@@ -419,7 +574,10 @@ mod tests {
         let c = t.add_gpu("c", 1);
         t.add_bilink(a, b, 1e9, 0.0);
         let _ = c;
-        assert!(matches!(t.validate(), Err(TopologyError::Disconnected { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::Disconnected { .. })
+        ));
     }
 
     #[test]
@@ -429,7 +587,10 @@ mod tests {
         let b = t.add_gpu("b", 0);
         t.add_link(a, b, 1e9, 0.0);
         // b cannot reach a.
-        assert!(matches!(t.validate(), Err(TopologyError::Disconnected { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::Disconnected { .. })
+        ));
     }
 
     #[test]
@@ -439,7 +600,10 @@ mod tests {
         let b = t.add_gpu("b", 0);
         t.add_bilink(a, b, 1e9, 0.0);
         t.add_link(a, b, 2e9, 0.0);
-        assert!(matches!(t.validate(), Err(TopologyError::DuplicateLink { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::DuplicateLink { .. })
+        ));
     }
 
     #[test]
@@ -475,8 +639,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let t = two_gpu_topo();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Topology = serde_json::from_str(&json).unwrap();
+        let json = t.to_json_value().to_json();
+        let back = Topology::from_json_str(&json).unwrap();
         assert_eq!(back.num_nodes(), 2);
         assert_eq!(back.num_links(), 2);
         assert!(back.validate().is_ok());

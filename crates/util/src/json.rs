@@ -1,0 +1,513 @@
+//! A minimal JSON document model: construction helpers, a writer (compact and
+//! pretty), and a recursive-descent parser.
+//!
+//! Numbers are stored as `f64`, objects preserve insertion order.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value as indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_string(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                pos,
+                msg: "trailing characters".into(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Arr(v)
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no inf/NaN; emit null like serde_json's lossy modes would
+        // reject — downstream tooling treats null as "not available".
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with the byte offset at which it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit.as_bytes() {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError {
+            pos: *pos,
+            msg: format!("expected `{lit}`"),
+        })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError {
+            pos: *pos,
+            msg: "unexpected end of input".into(),
+        }),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            msg: "expected `,` or `]`".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            msg: "expected `,` or `}`".into(),
+                        })
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Value::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError {
+            pos: *pos,
+            msg: "expected string".into(),
+        });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    pos: *pos,
+                    msg: "unterminated string".into(),
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let bad = |pos: usize| JsonError {
+                            pos,
+                            msg: "bad \\u escape".into(),
+                        };
+                        let read_hex = |b: &[u8], at: usize| {
+                            b.get(at..at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                        };
+                        let mut cp = read_hex(b, *pos + 1).ok_or(bad(*pos))?;
+                        *pos += 4;
+                        // Combine UTF-16 surrogate pairs (how standard
+                        // serializers escape non-BMP characters).
+                        if (0xd800..0xdc00).contains(&cp) {
+                            if b.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                return Err(bad(*pos));
+                            }
+                            let low = read_hex(b, *pos + 3).ok_or(bad(*pos))?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(bad(*pos));
+                            }
+                            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+                            *pos += 6;
+                        }
+                        out.push(char::from_u32(cp).ok_or(bad(*pos))?);
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos,
+                            msg: "bad escape".into(),
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError {
+                    pos: start,
+                    msg: "invalid UTF-8".into(),
+                })?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or(JsonError {
+            pos: start,
+            msg: "invalid number".into(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let v = Value::obj(vec![
+            ("name", Value::from("sched")),
+            ("count", Value::from(3usize)),
+            ("rate", Value::from(0.25)),
+            ("ok", Value::from(true)),
+            (
+                "items",
+                Value::Arr(vec![Value::from(1usize), Value::Null, Value::from("x")]),
+            ),
+        ]);
+        let text = v.to_json();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = v.to_json_pretty();
+        assert_eq!(Value::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        let v = Value::parse(r#""a\ud83d\ude00b""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\u{1f600}b"));
+        // Lone or malformed surrogates are rejected, not silently corrupted.
+        assert!(Value::parse(r#""\ud83d""#).is_err());
+        assert!(Value::parse(r#""\ud83dx""#).is_err());
+        assert!(Value::parse(r#""\ud83d\u0041""#).is_err());
+        // Raw non-BMP characters round-trip through the writer and parser.
+        let v = Value::from("snowman \u{2603} emoji \u{1f600}");
+        assert_eq!(Value::parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}");
+        let back = Value::parse(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::parse(r#"{"a": 1, "b": "s", "c": [true, null], "d": 1.5}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_usize), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("s"));
+        assert_eq!(v.get("c").and_then(Value::as_arr).map(|a| a.len()), Some(2));
+        assert_eq!(
+            v.get("c").unwrap().as_arr().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert_eq!(v.get("d").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("d").and_then(Value::as_usize), None);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("12 34").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Value::from(3usize).to_json(), "3");
+        assert_eq!(Value::from(2.5).to_json(), "2.5");
+    }
+}

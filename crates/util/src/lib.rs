@@ -1,0 +1,17 @@
+//! # teccl-util
+//!
+//! Small dependency-free utilities shared across the workspace. The offline
+//! build environment has no third-party crates, so the pieces the seed design
+//! would normally pull from `serde_json` and `rand` live here instead:
+//!
+//! * [`json`] — a minimal JSON document model ([`json::Value`]) with a writer
+//!   (compact and pretty) and a parser, used for schedule export and the
+//!   machine-readable benchmark output.
+//! * [`rng`] — a tiny deterministic PRNG (splitmix64 seeded xorshift) for the
+//!   randomized baselines and property-style tests.
+
+pub mod json;
+pub mod rng;
+
+pub use json::Value;
+pub use rng::Rng64;

@@ -1,0 +1,96 @@
+//! A small deterministic PRNG (xorshift64* seeded through splitmix64).
+//!
+//! Used by the randomized baselines (TACCL-style run-to-run variance) and by
+//! property-style tests. Not cryptographic; determinism and portability are
+//! the only requirements.
+
+/// A seeded 64-bit PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 step so that small consecutive seeds give uncorrelated
+        // starting states.
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn gen_range_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range_usize(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform integer in `[0, n]` (inclusive).
+    pub fn gen_range_usize_inclusive(&mut self, n: usize) -> usize {
+        self.gen_range_usize(n + 1)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.gen_range_f64(2.0, 3.0);
+            assert!((2.0..3.0).contains(&g));
+            let u = r.gen_range_usize_inclusive(4);
+            assert!(u <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = Rng64::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+    }
+}

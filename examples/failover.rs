@@ -15,9 +15,15 @@ fn main() {
     let chunk_bytes = 1.0e6;
 
     let solver = TeCcl::new(topo.clone(), SolverConfig::default().with_max_epochs(12));
-    let healthy = solver.solve(&demand, chunk_bytes).expect("solve on healthy ring");
+    let healthy = solver
+        .solve(&demand, chunk_bytes)
+        .expect("solve on healthy ring");
     let healthy_sim = simulate(&topo, &demand, &healthy.schedule).unwrap();
-    println!("Healthy ring : {} sends, finish {:.3} us", healthy.schedule.num_sends(), healthy_sim.transfer_time * 1e6);
+    println!(
+        "Healthy ring : {} sends, finish {:.3} us",
+        healthy.schedule.num_sends(),
+        healthy_sim.transfer_time * 1e6
+    );
 
     // Fail the clockwise link out of the root.
     let degraded_topo = topo.without_link(gpus[0], gpus[1]);
@@ -29,10 +35,19 @@ fn main() {
     );
 
     // Re-plan on the degraded topology: all traffic must now go the other way.
-    let solver = TeCcl::new(degraded_topo.clone(), SolverConfig::default().with_max_epochs(16));
-    let degraded = solver.solve(&demand, chunk_bytes).expect("solve on degraded ring");
+    let solver = TeCcl::new(
+        degraded_topo.clone(),
+        SolverConfig::default().with_max_epochs(16),
+    );
+    let degraded = solver
+        .solve(&demand, chunk_bytes)
+        .expect("solve on degraded ring");
     let report = validate(&degraded_topo, &demand, &degraded.schedule, false);
-    assert!(report.is_valid(), "invalid degraded schedule: {:?}", report.errors);
+    assert!(
+        report.is_valid(),
+        "invalid degraded schedule: {:?}",
+        report.errors
+    );
     let degraded_sim = simulate(&degraded_topo, &demand, &degraded.schedule).unwrap();
     println!(
         "Degraded ring: {} sends, finish {:.3} us ({:.2}x slower, but still correct)",

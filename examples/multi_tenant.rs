@@ -14,11 +14,16 @@ fn main() {
     let n = topo.num_nodes();
 
     // Tenant A (production): ALLGATHER across all four GPUs, priority 4.
-    let tenant_a = TenantDemand::new("production-allgather", DemandMatrix::all_gather(n, &gpus, 1))
-        .with_priority(4.0);
+    let tenant_a = TenantDemand::new(
+        "production-allgather",
+        DemandMatrix::all_gather(n, &gpus, 1),
+    )
+    .with_priority(4.0);
     // Tenant B (research): broadcast from GPU 0, priority 1.
-    let tenant_b =
-        TenantDemand::new("research-broadcast", DemandMatrix::broadcast(n, &gpus, gpus[0], 1));
+    let tenant_b = TenantDemand::new(
+        "research-broadcast",
+        DemandMatrix::broadcast(n, &gpus, gpus[0], 1),
+    );
 
     let chunk_bytes = 4.0e6; // 4 MB blocks
     let solver = TeCcl::new(topo.clone(), SolverConfig::early_stop().with_max_epochs(10));
@@ -33,7 +38,11 @@ fn main() {
     assert!(report.is_valid(), "invalid schedule: {:?}", report.errors);
     let sim = simulate(&outcome.topology_used, &combined, &outcome.schedule).unwrap();
 
-    println!("Scheduled {} tenants jointly on {}:", ranges.len(), topo.name);
+    println!(
+        "Scheduled {} tenants jointly on {}:",
+        ranges.len(),
+        topo.name
+    );
     println!("  formulation   : {:?}", outcome.formulation);
     println!("  total sends   : {}", outcome.schedule.num_sends());
     println!("  transfer time : {:.3} us", sim.transfer_time * 1e6);

@@ -22,7 +22,9 @@ fn main() {
     //    `solver.solve(..)` to let the library pick the formulation (it would
     //    use the general MILP here because the topology is a single chassis).
     let solver = TeCcl::new(topo.clone(), SolverConfig::early_stop());
-    let outcome = solver.solve_astar(&demand, chunk_bytes).expect("TE-CCL solve failed");
+    let outcome = solver
+        .solve_astar(&demand, chunk_bytes)
+        .expect("TE-CCL solve failed");
 
     // 4. Check and measure the schedule with the α–β simulator.
     let report = validate(&topo, &demand, &outcome.schedule, false);
@@ -32,8 +34,14 @@ fn main() {
     println!("== TE-CCL ({:?}) ==", outcome.formulation);
     println!("  sends              : {}", outcome.schedule.num_sends());
     println!("  epochs             : {}", outcome.schedule.num_epochs);
-    println!("  epoch duration     : {:.3} us", outcome.epoch_duration * 1e6);
-    println!("  solver time        : {:.3} s", outcome.solver_time.as_secs_f64());
+    println!(
+        "  epoch duration     : {:.3} us",
+        outcome.epoch_duration * 1e6
+    );
+    println!(
+        "  solver time        : {:.3} s",
+        outcome.solver_time.as_secs_f64()
+    );
     println!("  transfer time      : {:.3} us", sim.transfer_time * 1e6);
     println!(
         "  algorithmic bw     : {:.2} GB/s (output buffer {})",
@@ -43,12 +51,18 @@ fn main() {
 
     // 5. Baseline: the ring ALLGATHER every collective library ships. The
     //    DGX-1 NVLink mesh contains a Hamiltonian ring through the two quads.
-    let ring_order: Vec<NodeId> = [0usize, 1, 2, 3, 7, 6, 5, 4].iter().map(|&i| gpus[i]).collect();
+    let ring_order: Vec<NodeId> = [0usize, 1, 2, 3, 7, 6, 5, 4]
+        .iter()
+        .map(|&i| gpus[i])
+        .collect();
     let ring = ring_all_gather(&topo, &ring_order, 1, chunk_bytes).expect("DGX-1 has a ring");
     let ring_sim = simulate(&topo, &demand, &ring).expect("ring simulation failed");
     println!("== Ring baseline ==");
     println!("  sends              : {}", ring.num_sends());
-    println!("  transfer time      : {:.3} us", ring_sim.transfer_time * 1e6);
+    println!(
+        "  transfer time      : {:.3} us",
+        ring_sim.transfer_time * 1e6
+    );
     println!(
         "  algorithmic bw     : {:.2} GB/s",
         ring_sim.algorithmic_bandwidth(output_buffer) / 1e9

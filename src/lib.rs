@@ -44,11 +44,17 @@ pub use teccl_core as core;
 pub use teccl_lp as lp;
 pub use teccl_schedule as schedule;
 pub use teccl_topology as topology;
+pub use teccl_util as util;
 
 /// Commonly used items, for `use te_ccl::prelude::*`.
 pub mod prelude {
-    pub use teccl_collective::{ChunkSpec, CollectiveKind, CollectiveSizing, DemandMatrix, TenantDemand};
-    pub use teccl_core::{BufferMode, EpochStrategy, SolveOutcome, SolverConfig, SwitchModel, TeCcl};
+    pub use teccl_collective::{
+        ChunkSpec, CollectiveKind, CollectiveSizing, DemandMatrix, TenantDemand,
+    };
+    pub use teccl_core::{
+        BufferMode, EpochStrategy, SolveOutcome, SolverConfig, SwitchModel, TeCcl,
+    };
     pub use teccl_schedule::{simulate, validate, CollectiveMetrics, Schedule};
     pub use teccl_topology::{NodeId, Topology};
+    pub use teccl_util::json::Value as JsonValue;
 }

@@ -67,6 +67,23 @@ fn bench_simplex_warm_vs_cold(h: &mut Harness) {
     });
 }
 
+/// Dual-simplex re-solve after tightening an *active* bound (real pivots),
+/// and the degenerate ALLTOALL cold solve guarded by its iteration budget.
+fn bench_dual_and_degenerate(h: &mut Harness) {
+    let (sf, nv, basis, overrides) = teccl_bench::dual_resolve_fixture();
+    h.bench_function("lp/dual_resolve", || {
+        let sol = teccl_lp::solve_standard_form_from(&sf, nv, &overrides, Some(&basis)).unwrap();
+        assert!(sol.has_solution());
+        assert_eq!(sol.stats.warm_starts, 1);
+    });
+    let (gsf, gnv, budget) = teccl_bench::degenerate_alltoall_fixture();
+    h.bench_function("lp/degenerate_alltoall", || {
+        let sol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
+        assert!(!sol.stats.iteration_limit_hit);
+        assert!(sol.stats.simplex_iterations <= budget);
+    });
+}
+
 fn bench_baselines(h: &mut Harness) {
     let topo = teccl_topology::dgx1();
     let gpus: Vec<NodeId> = topo.gpus().collect();
@@ -112,6 +129,7 @@ fn main() {
     bench_milp_allgather(&mut h);
     bench_astar_allgather(&mut h);
     bench_simplex_warm_vs_cold(&mut h);
+    bench_dual_and_degenerate(&mut h);
     bench_baselines(&mut h);
     bench_simulator(&mut h);
 }

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use teccl_bench::microbench::{BenchConfig, Harness};
 use teccl_bench::{
-    print_table, quick_config, run_teccl, solver_stats_rows, warm_vs_cold_fixture, Method,
-    Scenario, SOLVER_STATS_HEADERS,
+    degenerate_alltoall_fixture, dual_resolve_fixture, print_table, quick_config, run_teccl,
+    solver_stats_rows, warm_vs_cold_fixture, Method, Scenario, SOLVER_STATS_HEADERS,
 };
 use teccl_collective::CollectiveKind;
 
@@ -49,6 +49,35 @@ fn main() {
     });
     h.bench_function("lp/simplex_cold_resolve", || {
         teccl_lp::solve_standard_form_from(&sf, nv, &overrides, None).unwrap();
+    });
+
+    // Dual re-solve: a tightened *active* bound, so the warm basis is primal
+    // infeasible and the dual simplex takes real pivots (the B&B pattern).
+    let (dsf, dnv, dbasis, doverrides) = dual_resolve_fixture();
+    h.bench_function("lp/dual_resolve", || {
+        let sol =
+            teccl_lp::solve_standard_form_from(&dsf, dnv, &doverrides, Some(&dbasis)).unwrap();
+        assert!(sol.has_solution());
+        assert_eq!(sol.stats.warm_starts, 1, "dual path must not fall cold");
+    });
+
+    // Degenerate ALLTOALL cold solve — the CI gate for the anti-degeneracy
+    // machinery (EXPAND ratio test): the process aborts (failing the bench
+    // smoke) if the instance stalls past its iteration budget or trips the
+    // simplex iteration limit.
+    let (gsf, gnv, budget) = degenerate_alltoall_fixture();
+    h.bench_function("lp/degenerate_alltoall", || {
+        let sol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        assert!(
+            !sol.stats.iteration_limit_hit,
+            "degenerate ALLTOALL hit the simplex iteration limit"
+        );
+        assert!(
+            sol.stats.simplex_iterations <= budget,
+            "degenerate ALLTOALL regressed: {} iterations (budget {budget})",
+            sol.stats.simplex_iterations
+        );
     });
 
     // Solver counters alongside the timings: the warm/cold split is the perf

@@ -16,7 +16,14 @@ fn main() {
             "simplex_iters",
             "warm_starts",
             "cold_starts",
+            "iter_limit",
         ],
         &rows,
     );
+    // Rows that exhausted a simplex iteration budget rest on an uncertified
+    // incumbent; they are labelled "(ITER-LIMIT)" above and flagged in the
+    // `iter_limit` column rather than silently printed as converged.
+    if rows.iter().any(|r| *r.values.last().unwrap() > 0.0) {
+        println!("\nWARNING: rows marked (ITER-LIMIT) are uncertified (simplex budget hit).");
+    }
 }

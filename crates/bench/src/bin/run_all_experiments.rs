@@ -51,6 +51,7 @@ fn main() {
             "simplex_iters",
             "warm_starts",
             "cold_starts",
+            "iter_limit",
         ],
         &table4_rows(),
     );

@@ -103,9 +103,12 @@ impl CollectiveSizing {
     }
 }
 
-/// Parses human-readable sizes like `"1G"`, `"256M"`, `"64K"`, `"512"` (bytes).
-/// Used by the experiment harness to mirror the x-axis labels of Figures 4–6
-/// and Table 8.
+/// Parses human-readable sizes like `"1G"`, `"256M"`, `"1.5M"`, `"64K"`,
+/// `"100B"`, `"512"` (bytes). Used by the experiment harness to mirror the
+/// x-axis labels of Figures 4–6 and Table 8.
+///
+/// Unit multipliers are powers of two, so scaling is exact in `f64`:
+/// `parse_size(&format_size(b)) == Some(b)` for every finite byte count.
 pub fn parse_size(s: &str) -> Option<f64> {
     let s = s.trim();
     if s.is_empty() {
@@ -115,25 +118,33 @@ pub fn parse_size(s: &str) -> Option<f64> {
         'G' => (&s[..s.len() - 1], 1024.0 * 1024.0 * 1024.0),
         'M' => (&s[..s.len() - 1], 1024.0 * 1024.0),
         'K' => (&s[..s.len() - 1], 1024.0),
+        'B' => (&s[..s.len() - 1], 1.0),
         _ => (s, 1.0),
     };
+    if num.is_empty() {
+        return None;
+    }
     num.parse::<f64>().ok().map(|v| v * mult)
 }
 
 /// Formats a byte count the way the paper labels its x-axes (1G, 256M, 64K, …).
+///
+/// Picks the largest unit whose value prints with at most three decimal
+/// places (`1.5M` rather than `1536K`); otherwise falls back to the next
+/// smaller unit, ending at raw bytes. Rust's shortest-round-trip float
+/// formatting plus exact power-of-two scaling make
+/// `parse_size(&format_size(b)) == Some(b)` hold exactly.
 pub fn format_size(bytes: f64) -> String {
     const G: f64 = 1024.0 * 1024.0 * 1024.0;
     const M: f64 = 1024.0 * 1024.0;
     const K: f64 = 1024.0;
-    if bytes >= G && (bytes / G).fract().abs() < 1e-9 {
-        format!("{}G", (bytes / G) as u64)
-    } else if bytes >= M && (bytes / M).fract().abs() < 1e-9 {
-        format!("{}M", (bytes / M) as u64)
-    } else if bytes >= K && (bytes / K).fract().abs() < 1e-9 {
-        format!("{}K", (bytes / K) as u64)
-    } else {
-        format!("{}B", bytes as u64)
+    for (unit, suffix) in [(G, "G"), (M, "M"), (K, "K")] {
+        let v = bytes / unit;
+        if v >= 1.0 && (v * 1000.0).fract() == 0.0 {
+            return format!("{v}{suffix}");
+        }
     }
+    format!("{bytes}B")
 }
 
 #[cfg(test)]
@@ -191,6 +202,62 @@ mod tests {
         ] {
             let bytes = parse_size(s).unwrap();
             assert_eq!(format_size(bytes), s);
+        }
+    }
+
+    #[test]
+    fn fractional_sizes_keep_their_unit() {
+        // "1.5M" used to round-trip into "1536K", losing the label's intent.
+        let b = parse_size("1.5M").unwrap();
+        assert_eq!(b, 1.5 * 1024.0 * 1024.0);
+        assert_eq!(format_size(b), "1.5M");
+        assert_eq!(parse_size(&format_size(b)), Some(b));
+        assert_eq!(format_size(parse_size("2.25G").unwrap()), "2.25G");
+        // A byte count with no short fractional form falls to the next unit.
+        assert_eq!(format_size(1025.0 * 1024.0), "1025K");
+    }
+
+    #[test]
+    fn bytes_suffix_parses() {
+        // format_size emits "100B" for sub-KB sizes; parse must accept it.
+        assert_eq!(parse_size("100B"), Some(100.0));
+        assert_eq!(parse_size("0.5B"), Some(0.5));
+        assert_eq!(parse_size("B"), None);
+        assert_eq!(format_size(100.0), "100B");
+        assert_eq!(parse_size(&format_size(102.4)), Some(102.4));
+    }
+
+    #[test]
+    fn parse_format_roundtrip_property_random_byte_counts() {
+        // parse_size(format_size(b)) == b exactly, for random integer byte
+        // counts across the whole paper-relevant range and for random
+        // fractional chunk sizes (power-of-two unit scaling is exact in f64).
+        let mut seed = 0x5eed_517e5u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 11
+        };
+        for i in 0..2000 {
+            let b = if i % 2 == 0 {
+                // Integer byte counts up to ~1 TB.
+                (next() % (1u64 << 40)) as f64
+            } else {
+                // Fractional sizes (e.g. transfer / (n-1) splits).
+                (next() % (1u64 << 30)) as f64 + (next() % 1000) as f64 / 1000.0
+            };
+            let label = format_size(b);
+            assert_eq!(
+                parse_size(&label),
+                Some(b),
+                "round-trip failed for {b} via {label:?}"
+            );
+        }
+        // The paper's axis labels themselves are fixed points.
+        for s in ["1G", "256M", "1.5M", "64K", "100B"] {
+            let b = parse_size(s).unwrap();
+            assert_eq!(format_size(b), s, "label {s} not a fixed point");
         }
     }
 }

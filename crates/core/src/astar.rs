@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use teccl_collective::DemandMatrix;
-use teccl_lp::SolveStats;
+use teccl_lp::{SimplexBasis, SolveStats};
 use teccl_schedule::Send;
 use teccl_topology::{NodeId, Topology};
 
@@ -84,6 +84,20 @@ pub fn solve_astar(
     let mut stalls = 0usize;
     let mut stats = SolveStats::default();
 
+    // Cross-round warm starting: with a stable variable layout (full demand,
+    // no reachability pruning, presolve off) every round's MILP has the same
+    // shape — only bounds, right-hand sides, and objective weights change —
+    // so round t+1's root relaxation can re-optimize dually from round t's
+    // root basis instead of running phase 1 from artificials. The
+    // no-store-and-forward buffer mode derives its variable set from the
+    // round state, so it keeps the per-round (pruned, cold) builds.
+    let warm_rounds = config.astar_warm_rounds
+        && !matches!(
+            config.buffer_mode,
+            crate::config::BufferMode::NoStoreAndForward
+        );
+    let mut carried_basis: Option<SimplexBasis> = None;
+
     for round in 0..config.astar_max_rounds {
         // Remaining demands: a triple is satisfied once the destination holds
         // the chunk (or it is in flight towards it).
@@ -148,18 +162,30 @@ pub fn solve_astar(
             in_flight: in_flight.clone(),
             terminal_rewards,
             hyperedge_groups: Vec::new(),
+            stable_layout: warm_rounds,
         };
+        // Under warm rounds the model is built from the *full* demand so the
+        // commodity set (and with it the layout) never changes; demands that
+        // are already satisfied only contribute constant reward terms (their
+        // destination buffers are initial holders, so the reads are free).
+        let build_demand = if warm_rounds { demand } else { &remaining };
         let form = MilpFormulation::build(
             topology,
-            &remaining,
+            build_demand,
             chunk_bytes,
             config,
             epochs_per_round,
             tau,
             &options,
         )?;
-        let sol = form.solve(config)?;
+        let sol = form.solve_from(config, carried_basis.as_ref())?;
         stats.absorb(&sol.stats);
+        if warm_rounds && sol.basis.is_some() {
+            // A round that produced no basis (e.g. a presolve-trivial or
+            // basis-less outcome) keeps the previous one rather than dropping
+            // the warm chain for the rest of the run.
+            carried_basis = sol.basis.clone();
+        }
         let round_sends = form.sends(&sol);
 
         if round_sends.is_empty() {
@@ -303,6 +329,45 @@ mod tests {
             });
         let schedule =
             crate::extract::schedule_from_sends("astar", 1e6, 1e-3, pruned, out.solver_time);
+        let report = teccl_schedule::validate(&topo, &demand, &schedule, false);
+        assert!(report.is_valid(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn warm_rounds_reuse_basis_and_still_satisfy_demand() {
+        // With the stable layout, round 2+ must warm-start from the previous
+        // round's root basis (dual re-solve) and still deliver everything.
+        let topo = line_topology(4, 1e9, 0.0);
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let demand = DemandMatrix::all_gather(4, &gpus, 1);
+        let config = SolverConfig {
+            astar_epochs_per_round: Some(2),
+            astar_warm_rounds: true,
+            ..Default::default()
+        };
+        let out = solve_astar(&topo, &demand, 1e6, &config, 1e-3).unwrap();
+        assert!(out.rounds >= 2, "need several rounds, got {}", out.rounds);
+        assert!(
+            out.stats.warm_starts > 0,
+            "round 2+ must warm-start (stats: {:?})",
+            out.stats
+        );
+        let cold_cfg = SolverConfig {
+            astar_epochs_per_round: Some(2),
+            astar_warm_rounds: false,
+            ..Default::default()
+        };
+        let cold = solve_astar(&topo, &demand, 1e6, &cold_cfg, 1e-3).unwrap();
+        // Both variants deliver every demand within the same round budget.
+        assert_eq!(out.rounds, cold.rounds);
+        let pruned =
+            crate::extract::prune_sends(&out.sends, &demand, &out.initial_holders, |a, b| {
+                topo.link_between(a, b)
+                    .map(|l| delta_epochs(l, 1e-3))
+                    .unwrap_or(0)
+            });
+        let schedule =
+            crate::extract::schedule_from_sends("astar-warm", 1e6, 1e-3, pruned, out.solver_time);
         let report = teccl_schedule::validate(&topo, &demand, &schedule, false);
         assert!(report.is_valid(), "{:?}", report.errors);
     }

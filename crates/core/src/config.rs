@@ -82,6 +82,20 @@ pub struct SolverConfig {
     /// basis (Gurobi-style warm starts). On by default; disable only to
     /// measure the cold-start cost.
     pub warm_start: bool,
+    /// Whether consecutive A* rounds keep a **stable variable layout** (full
+    /// commodity set, no reachability pruning, presolve off) so round `t+1`'s
+    /// root relaxation warm-starts from round `t`'s basis via the dual
+    /// simplex. Requires an unlimited/limited buffer mode (the
+    /// no-store-and-forward variable set depends on the round state); the A*
+    /// solver silently falls back to per-round cold solves otherwise.
+    ///
+    /// Off by default: on the Table-4 scenarios the dual warm starts cut
+    /// simplex iterations roughly in half (e.g. internal1(2) ALLGATHER 16 MB:
+    /// 5082 → 2694), but giving up presolve and reachability pruning costs
+    /// more wall clock than the saved phase-1 work (~0.12 s → ~0.17 s there).
+    /// Enable it when iteration counts (determinism, numerical reproducibility
+    /// studies) matter more than wall clock.
+    pub astar_warm_rounds: bool,
 }
 
 impl Default for SolverConfig {
@@ -99,6 +113,7 @@ impl Default for SolverConfig {
             astar_max_rounds: 64,
             chunk_priorities: None,
             warm_start: true,
+            astar_warm_rounds: false,
         }
     }
 }

@@ -39,6 +39,15 @@ pub struct MilpBuildOptions {
     /// Hyper-edge groups when the topology was transformed with
     /// [`crate::switch::hyperedge_transform`].
     pub hyperedge_groups: Vec<HyperEdgeGroup>,
+    /// When `true`, the variable/constraint layout depends only on the
+    /// topology, the demand's *shape*, and the epoch count — the
+    /// reachability pruning (`earliest`) is disabled so every commodity gets
+    /// variables for every epoch. Two rounds built from the same full demand
+    /// then produce identically-shaped models whose only differences are
+    /// bounds, right-hand sides, and objective weights, which is exactly what
+    /// lets round `t+1` warm-start from round `t`'s root basis (paired with
+    /// presolve off in [`MilpFormulation::solve_from`]).
+    pub stable_layout: bool,
 }
 
 /// A fully built MILP instance for one collective optimization.
@@ -60,6 +69,9 @@ pub struct MilpFormulation {
     b_vars: HashMap<(usize, usize, usize, usize), VarId>,
     r_vars: HashMap<(usize, usize, usize, usize), VarId>,
     initial_holders: HashMap<(usize, usize), Vec<NodeId>>,
+    /// Whether the model was built with [`MilpBuildOptions::stable_layout`]
+    /// (solves then skip presolve so carried bases keep their meaning).
+    stable_layout: bool,
 }
 
 impl MilpFormulation {
@@ -120,8 +132,14 @@ impl MilpFormulation {
         // Earliest epoch a chunk can possibly be present at each node
         // (model-size reduction: variables before that epoch are not created).
         // Link cost in epochs: eff_delta + 1 (one epoch to issue the send).
+        // Disabled under `stable_layout`: the pruning depends on the holders
+        // carried into the round, which would change the layout per round.
         let pm = teccl_topology::floyd_warshall(topology, |l| (eff_delta[l.id.0] + 1) as f64);
+        let stable_layout = options.stable_layout;
         let earliest = |s: NodeId, c: usize, n: NodeId| -> usize {
+            if stable_layout {
+                return 0;
+            }
             let mut best = usize::MAX;
             if let Some(holders) = initial_holders.get(&(s.0, c)) {
                 for &h in holders {
@@ -548,18 +566,36 @@ impl MilpFormulation {
             b_vars,
             r_vars,
             initial_holders: holders,
+            stable_layout,
         })
     }
 
     /// Solves the MILP with the limits taken from `config`.
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, TeCclError> {
+        self.solve_from(config, None)
+    }
+
+    /// Solves the MILP, optionally warm-starting the root relaxation from the
+    /// basis of a previous round's identically-shaped formulation (see
+    /// [`MilpBuildOptions::stable_layout`]). Warm solves disable presolve so
+    /// the basis keeps meaning the same columns; a mismatched basis silently
+    /// degrades to a cold root.
+    pub fn solve_from(
+        &self,
+        config: &SolverConfig,
+        warm: Option<&teccl_lp::SimplexBasis>,
+    ) -> Result<Solution, TeCclError> {
         let milp_config = MilpConfig {
             rel_gap: config.early_stop_gap.unwrap_or(1e-6),
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
             warm_start: config.warm_start,
+            // A stable-layout build must keep its column layout across
+            // rounds, including the (basis-producing) first one: presolve's
+            // reductions depend on bounds/rhs and would re-shape it.
+            presolve: !self.stable_layout,
             ..Default::default()
         };
-        let sol = self.model.solve_with(&milp_config)?;
+        let sol = self.model.solve_with_warm(&milp_config, warm)?;
         match sol.status {
             SolveStatus::Infeasible => Err(TeCclError::InfeasibleWithEpochs(self.num_epochs)),
             SolveStatus::Unbounded => Err(TeCclError::NoSolution),

@@ -79,6 +79,10 @@ pub struct LuFactors {
     /// U diagonal per step.
     udiag: Vec<f64>,
     etas: Vec<Eta>,
+    /// Scratch vectors reused by every FTRAN/BTRAN (the solves sit on the
+    /// simplex hot loop; allocating per call dominated small-pivot profiles).
+    scratch_a: Vec<f64>,
+    scratch_b: Vec<f64>,
 }
 
 impl LuFactors {
@@ -94,6 +98,8 @@ impl LuFactors {
             ucols: Vec::with_capacity(m),
             udiag: Vec::with_capacity(m),
             etas: Vec::new(),
+            scratch_a: vec![0.0; m],
+            scratch_b: vec![0.0; m],
         };
         // `pivoted[row] = Some(step)` once a row has been chosen as pivot.
         let mut pivoted: Vec<Option<usize>> = vec![None; m];
@@ -193,7 +199,7 @@ impl LuFactors {
 
     /// FTRAN: solves `B x = rhs` in place. On input `rhs` is in original row
     /// space; on output it holds `x` indexed by basis position.
-    pub fn ftran(&self, rhs: &mut [f64]) {
+    pub fn ftran(&mut self, rhs: &mut [f64]) {
         debug_assert_eq!(rhs.len(), self.m);
         // Forward elimination: replay L.
         for step in 0..self.m {
@@ -207,7 +213,7 @@ impl LuFactors {
         }
         // Back substitution on U (columns hold entries above the diagonal).
         // x lives in step space; gather from pivot rows first.
-        let mut x = vec![0.0; self.m];
+        let x = &mut self.scratch_a;
         for step in 0..self.m {
             x[step] = rhs[self.pivot_row[step]];
         }
@@ -220,7 +226,7 @@ impl LuFactors {
                 }
             }
         }
-        rhs.copy_from_slice(&x);
+        rhs.copy_from_slice(x);
         // Replay the eta file.
         for eta in &self.etas {
             let num = rhs[eta.r];
@@ -236,7 +242,7 @@ impl LuFactors {
 
     /// BTRAN: solves `yᵀ B = c` in place. On input `c` is indexed by basis
     /// position; on output it holds `y` in original row space.
-    pub fn btran(&self, c: &mut [f64]) {
+    pub fn btran(&mut self, c: &mut [f64]) {
         debug_assert_eq!(c.len(), self.m);
         // Transposed etas, in reverse order.
         for eta in self.etas.iter().rev() {
@@ -247,7 +253,7 @@ impl LuFactors {
             c[eta.r] = acc / eta.pivot;
         }
         // Solve Uᵀ z = c (forward over steps).
-        let mut z = vec![0.0; self.m];
+        let z = &mut self.scratch_a;
         for j in 0..self.m {
             let mut acc = c[j];
             for &(step, u) in &self.ucols[j] {
@@ -256,7 +262,7 @@ impl LuFactors {
             z[j] = acc / self.udiag[j];
         }
         // Solve Lᵀ y = z, scattering back to original row space.
-        let mut y = vec![0.0; self.m];
+        let y = &mut self.scratch_b;
         for step in 0..self.m {
             y[self.pivot_row[step]] = z[step];
         }
@@ -268,7 +274,7 @@ impl LuFactors {
             }
             y[prow] = acc;
         }
-        c.copy_from_slice(&y);
+        c.copy_from_slice(y);
     }
 
     /// Records a basis change: the column entering at basis position `r` has
@@ -337,7 +343,7 @@ mod tests {
             vec![1.0, 3.0, 0.0],
             vec![0.0, 1.0, 1.0],
         ];
-        let lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
+        let mut lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
         let b = vec![4.0, 5.0, 6.0];
         let mut x = b.clone();
         lu.ftran(&mut x);
@@ -362,7 +368,7 @@ mod tests {
             vec![0.0, 0.0, 1.0],
             vec![1.0, 0.0, 0.0],
         ];
-        let lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
+        let mut lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
         let mut x = vec![1.0, 2.0, 3.0];
         lu.ftran(&mut x);
         assert_eq!(mat_vec(&cols, &x), vec![1.0, 2.0, 3.0]);
@@ -391,7 +397,7 @@ mod tests {
         assert_eq!(lu.eta_count(), 1);
 
         let new_cols = vec![vec![1.0, 0.0, 0.0], a.clone(), vec![0.0, 0.0, 1.0]];
-        let fresh = LuFactors::factorize(3, &dense_cols(&new_cols)).unwrap();
+        let mut fresh = LuFactors::factorize(3, &dense_cols(&new_cols)).unwrap();
         let rhs = vec![3.0, 4.0, 5.0];
         let (mut x1, mut x2) = (rhs.clone(), rhs.clone());
         lu.ftran(&mut x1);
@@ -442,7 +448,7 @@ mod tests {
             }
             lu.update(&w, r).unwrap();
             cols[r] = a;
-            let fresh = LuFactors::factorize(m, &dense_cols(&cols)).unwrap();
+            let mut fresh = LuFactors::factorize(m, &dense_cols(&cols)).unwrap();
             let rhs: Vec<f64> = (0..m).map(|_| next()).collect();
             let (mut x1, mut x2) = (rhs.clone(), rhs.clone());
             lu.ftran(&mut x1);

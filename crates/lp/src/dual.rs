@@ -1,0 +1,456 @@
+//! Bounded-variable dual simplex for warm re-solves.
+//!
+//! Branch-and-bound tightens one variable bound per child node. The parent's
+//! optimal basis stays **dual feasible** under such a change (reduced costs
+//! are untouched), while the branched basic variable becomes **primal
+//! infeasible**. The natural re-solve is therefore a dual simplex: pick the
+//! most out-of-bounds basic variable (dual-devex row pricing), find the
+//! entering column with a **bound-flipping ratio test** (the long-step rule
+//! of Fourer / Maros / Koberstein: boxed non-basic columns whose reduced cost
+//! would change sign are flipped to their opposite bound as long as the dual
+//! slope stays positive), and pivot. No artificials, no repair phase; for a
+//! single tightened bound the walk is typically a handful of pivots.
+//!
+//! Cost changes (A* cross-round warm starts re-weight the objective) are
+//! absorbed before the dual runs: [`make_dual_feasible`] flips boxed columns
+//! whose reduced cost has the wrong sign and *shifts* the cost of the rest
+//! (Gill et al.'s bound/cost-shifting idea). The dual then optimizes the
+//! shifted objective; since the caller always re-certifies with a true-cost
+//! primal pass from the primal-feasible basis the dual leaves behind,
+//! the shifts never affect correctness.
+//!
+//! Dual unboundedness — the ratio test running out of breakpoints with slope
+//! still positive — is a Farkas certificate that the violated row cannot be
+//! repaired by any setting of the non-basic variables, i.e. the LP is primal
+//! infeasible. This conclusion is independent of the (possibly shifted)
+//! costs; it is double-checked against exactly recomputed basic values before
+//! being reported.
+
+use crate::basis::VarStatus;
+use crate::error::LpError;
+use crate::simplex::{SimplexState, DTOL, FEAS_TOL, PIV_TOL, REFRESH_INTERVAL};
+
+/// Result of a dual-simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DualOutcome {
+    /// The basis is primal feasible (and dual feasible for the given costs):
+    /// optimal for the shifted objective.
+    Optimal,
+    /// The LP is primal infeasible (dual unbounded).
+    Infeasible,
+}
+
+/// Tolerance below which a dual infeasibility is left for the final primal
+/// cleanup pass instead of being flipped/shifted away.
+const DUAL_FEAS_TOL: f64 = 1e-7;
+/// Primal bound violations below this are accepted as feasible.
+pub(crate) const PRIMAL_FEAS_TOL: f64 = 1e-7;
+
+/// Makes the warm-started basis dual feasible for `cost`, modifying `cost` in
+/// place where shifting is required.
+///
+/// * Boxed non-basic columns with a wrong-signed reduced cost are flipped to
+///   their opposite bound (exact, no cost distortion).
+/// * Non-boxed and free columns with a wrong-signed reduced cost get their
+///   cost shifted so the reduced cost becomes zero.
+///
+/// Returns the reduced-cost vector for the (possibly shifted) costs, which
+/// [`dual_simplex`] takes over without re-pricing. `Err` only on a numerical
+/// failure in the factorization.
+pub(crate) fn make_dual_feasible(
+    state: &mut SimplexState,
+    cost: &mut [f64],
+) -> Result<Vec<f64>, LpError> {
+    let ncols = state.n + state.m;
+
+    // y = c_B B⁻ᵀ, then d_j = c_j − y·A_j per non-basic column.
+    let mut y: Vec<f64> = state.basis.iter().map(|&j| cost[j]).collect();
+    state.lu.btran(&mut y);
+
+    let mut d = vec![0.0; ncols];
+    let mut flipped = false;
+    #[allow(clippy::needless_range_loop)] // cost is indexed and mutated by j
+    for j in 0..ncols {
+        if state.status[j] == VarStatus::Basic {
+            continue;
+        }
+        let dj = state.price_col(j, cost[j], &y);
+        d[j] = dj;
+        if state.ub[j] - state.lb[j] < DTOL {
+            continue; // fixed columns are always dual feasible
+        }
+        let boxed = state.lb[j].is_finite() && state.ub[j].is_finite();
+        match state.status[j] {
+            VarStatus::AtLower if dj < -DUAL_FEAS_TOL => {
+                if boxed {
+                    state.status[j] = VarStatus::AtUpper;
+                    state.x[j] = state.ub[j];
+                    flipped = true;
+                } else {
+                    cost[j] -= dj; // shift: reduced cost becomes zero
+                    d[j] = 0.0;
+                }
+            }
+            VarStatus::AtUpper if dj > DUAL_FEAS_TOL => {
+                if boxed {
+                    state.status[j] = VarStatus::AtLower;
+                    state.x[j] = state.lb[j];
+                    flipped = true;
+                } else {
+                    cost[j] -= dj;
+                    d[j] = 0.0;
+                }
+            }
+            VarStatus::Free if dj.abs() > DUAL_FEAS_TOL => {
+                cost[j] -= dj;
+                d[j] = 0.0;
+            }
+            _ => {}
+        }
+    }
+    if flipped {
+        state.recompute_basic_values();
+    }
+    Ok(d)
+}
+
+/// Runs the dual simplex until the basis is primal feasible ([`DualOutcome::
+/// Optimal`]), the LP is proven primal infeasible, the iteration budget is
+/// exhausted ([`LpError::IterationLimit`]), or a numerical failure occurs —
+/// the caller falls back to a cold primal solve on `Err`.
+pub(crate) fn dual_simplex(
+    state: &mut SimplexState,
+    cost: &[f64],
+    d: Vec<f64>,
+    max_iters: usize,
+) -> Result<DualOutcome, LpError> {
+    let m = state.m;
+    let ncols = state.n + state.m;
+
+    // Dual-devex row reference weights (approximate ‖B⁻ᵀ e_i‖²).
+    let mut row_weight = vec![1.0f64; m];
+    // Reduced costs, seeded by `make_dual_feasible`, maintained incrementally
+    // and recomputed at every refresh.
+    let mut d = d;
+    debug_assert_eq!(d.len(), ncols);
+    let recompute_d = |state: &mut SimplexState, d: &mut [f64], y: &mut Vec<f64>| {
+        y.clear();
+        y.extend(state.basis.iter().map(|&j| cost[j]));
+        state.lu.btran(y);
+        for j in 0..ncols {
+            d[j] = if state.status[j] == VarStatus::Basic {
+                0.0
+            } else {
+                state.price_col(j, cost[j], y)
+            };
+        }
+    };
+    let mut y: Vec<f64> = Vec::with_capacity(m);
+
+    let mut rho: Vec<f64> = Vec::with_capacity(m);
+    let mut w: Vec<f64> = Vec::with_capacity(m);
+    let mut delta_rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut alpha: Vec<(usize, f64)> = Vec::new(); // (col, rho·A_j) per non-basic
+    let mut flips: Vec<usize> = Vec::new();
+
+    // Anti-stall: if the total primal infeasibility stops shrinking, disable
+    // bound flipping and switch to a Bland-flavoured ratio test (lowest column
+    // index among the minimal ratios). The hard iteration budget backstops
+    // termination; the caller then goes cold.
+    let stall_limit = (m + 16).min(512);
+    let mut stall_count = 0usize;
+    let mut conservative = false;
+    let mut last_total_infeas = f64::INFINITY;
+    let mut local_iters = 0usize;
+
+    loop {
+        if local_iters > max_iters {
+            return Err(LpError::IterationLimit(max_iters));
+        }
+
+        if local_iters > 0
+            && (local_iters.is_multiple_of(REFRESH_INTERVAL) || state.lu.needs_refactor())
+        {
+            state.refactorize()?;
+            state.recompute_basic_values();
+            recompute_d(state, &mut d, &mut y);
+        }
+
+        // ---- Row pricing: largest scaled infeasibility. ----
+        //
+        // The pricing threshold must match PRIMAL_FEAS_TOL, the threshold the
+        // dual-unbounded verification uses below: a tighter one here would
+        // let a sub-verification-tolerance violation be selected forever
+        // (ratio test empty → verification says "noise" → re-selected), with
+        // a full refactorization per spin. Violations under the threshold are
+        // accepted as noise, like the EXPAND drift, and clamped at
+        // extraction.
+        let mut leave: Option<(usize, f64, f64)> = None; // (row, violation, score)
+        let mut total_infeas = 0.0;
+        #[allow(clippy::needless_range_loop)] // r indexes basis and row_weight
+        for r in 0..m {
+            let bvar = state.basis[r];
+            let v = if state.x[bvar] < state.lb[bvar] - PRIMAL_FEAS_TOL {
+                state.x[bvar] - state.lb[bvar] // negative: below lower
+            } else if state.x[bvar] > state.ub[bvar] + PRIMAL_FEAS_TOL {
+                state.x[bvar] - state.ub[bvar] // positive: above upper
+            } else {
+                continue;
+            };
+            total_infeas += v.abs();
+            let score = v * v / row_weight[r];
+            if leave.as_ref().is_none_or(|&(_, _, s)| score > s) {
+                leave = Some((r, v, score));
+            }
+        }
+        let Some((r, violation, _)) = leave else {
+            return Ok(DualOutcome::Optimal); // primal feasible
+        };
+
+        local_iters += 1;
+        state.iterations += 1;
+        state.dual_iterations += 1;
+
+        if total_infeas < last_total_infeas - 1e-12 {
+            last_total_infeas = total_infeas;
+            stall_count = 0;
+        } else {
+            stall_count += 1;
+            if stall_count > stall_limit {
+                conservative = true;
+            }
+        }
+
+        // σ = +1 when the leaving variable violates its upper bound, −1 when
+        // it violates its lower bound; α̂_j = σ·(ρ·A_j) uniformizes the two
+        // cases: an entering candidate needs α̂_j·dir_j > 0.
+        let sigma = if violation > 0.0 { 1.0 } else { -1.0 };
+        // Whether this iteration's numbers come from a fresh factorization
+        // (no eta drift): only then is an exhausted ratio test a trustworthy
+        // Farkas certificate of infeasibility.
+        let fresh_factors = state.lu.eta_count() == 0;
+
+        // ρ = B⁻ᵀ e_r, then the tableau row α̂ over the non-basic columns.
+        // Columns whose coefficient is below the pivot tolerance cannot be
+        // pivoted on or flipped, but their *repair capacity* still matters to
+        // the infeasibility certificate: a huge-range column with a tiny
+        // coefficient can close a violation the certificate would otherwise
+        // declare unclosable, so that capacity is tallied separately and
+        // blocks the Infeasible verdict below.
+        rho.clear();
+        rho.resize(m, 0.0);
+        rho[r] = 1.0;
+        state.lu.btran(&mut rho);
+        alpha.clear();
+        let mut tiny_capacity = 0.0f64;
+        for j in 0..ncols {
+            if state.status[j] == VarStatus::Basic || state.ub[j] - state.lb[j] < DTOL {
+                continue;
+            }
+            let a = sigma * state.row_dot_col(j, &rho);
+            if a.abs() > PIV_TOL {
+                alpha.push((j, a));
+            } else if a != 0.0 {
+                let helps = match state.status[j] {
+                    VarStatus::AtLower => a > 0.0,
+                    VarStatus::AtUpper => a < 0.0,
+                    VarStatus::Free => true,
+                    VarStatus::Basic => false,
+                };
+                if helps {
+                    tiny_capacity += (state.ub[j] - state.lb[j]) * a.abs(); // may be inf
+                }
+            }
+        }
+
+        // ---- Bound-flipping dual ratio test. ----
+        //
+        // Breakpoints are eligible columns ordered by |d_j / α̂_j|. Walking
+        // them in ratio order, a boxed column is *flipped* to its opposite
+        // bound when the dual slope (initially the primal violation) stays
+        // positive after absorbing its range; the first column that cannot be
+        // flipped enters the basis. Running out of breakpoints with slope
+        // still positive proves primal infeasibility.
+        let eligible = |st: VarStatus, a: f64| -> bool {
+            match st {
+                VarStatus::AtLower => a > 0.0,
+                VarStatus::AtUpper => a < 0.0,
+                VarStatus::Free => true,
+                VarStatus::Basic => false,
+            }
+        };
+        let mut breakpoints: Vec<(f64, usize, f64)> = alpha
+            .iter()
+            .filter(|&&(j, a)| eligible(state.status[j], a))
+            .map(|&(j, a)| ((d[j] / a).max(0.0), j, a))
+            .collect();
+        if conservative {
+            // Bland-flavoured: strict ratio order, ties by column index, no
+            // flipping (each pivot is a plain minimal-ratio dual pivot).
+            breakpoints.sort_unstable_by(|x, b| {
+                x.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.1.cmp(&b.1))
+            });
+        } else {
+            breakpoints.sort_unstable_by(|x, b| {
+                x.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+
+        let mut slope = violation.abs();
+        let mut entering: Option<(usize, f64, f64)> = None; // (col, α̂, ratio)
+        flips.clear();
+        for &(ratio, j, a) in &breakpoints {
+            let boxed = state.lb[j].is_finite() && state.ub[j].is_finite();
+            let flip_cost = (state.ub[j] - state.lb[j]) * a.abs();
+            if !conservative && boxed && slope - flip_cost > FEAS_TOL {
+                // Long step: flip j and keep walking.
+                slope -= flip_cost;
+                flips.push(j);
+            } else {
+                entering = Some((j, a, ratio));
+                break;
+            }
+        }
+
+        let Some((enter, alpha_q, _ratio)) = entering else {
+            // Dual unbounded → primal infeasible — but only when the slope,
+            // the tableau row, and the basic values that fed the ratio test
+            // came from a fresh factorization. Otherwise eta drift could have
+            // inflated the violation past the total flip capacity (a stale
+            // certificate); refresh everything and redo the iteration with
+            // exact numbers — the next exhaustion on fresh factors (or the
+            // violation dropping under tolerance) settles it.
+            if fresh_factors {
+                state.recompute_basic_values();
+                let bvar = state.basis[r];
+                let still = state.x[bvar] < state.lb[bvar] - PRIMAL_FEAS_TOL
+                    || state.x[bvar] > state.ub[bvar] + PRIMAL_FEAS_TOL;
+                if still {
+                    // `slope` is what remains of the violation after every
+                    // flippable breakpoint was consumed. If sub-pivot-
+                    // tolerance columns could still close it, the certificate
+                    // is numerically untrustworthy — hand the decision to a
+                    // cold phase-1 solve instead of risking a false
+                    // Infeasible (which would wrongly prune a B&B child).
+                    if slope <= tiny_capacity {
+                        return Err(LpError::Numerical(
+                            "dual infeasibility certificate below pivot tolerance".into(),
+                        ));
+                    }
+                    return Ok(DualOutcome::Infeasible);
+                }
+            } else {
+                state.refactorize()?;
+                state.recompute_basic_values();
+            }
+            // Noise, or stale numbers: refresh the reduced costs and retry.
+            recompute_d(state, &mut d, &mut y);
+            continue;
+        };
+
+        // Dual step length; clamp tiny negatives from the DUAL_FEAS_TOL slack.
+        let theta_d = (d[enter] / alpha_q).max(0.0);
+
+        // ---- Apply the bound flips (batched single FTRAN). ----
+        if !flips.is_empty() {
+            delta_rhs.clear();
+            delta_rhs.resize(m, 0.0);
+            for &j in &flips {
+                let (old, new, st) = match state.status[j] {
+                    VarStatus::AtLower => (state.lb[j], state.ub[j], VarStatus::AtUpper),
+                    VarStatus::AtUpper => (state.ub[j], state.lb[j], VarStatus::AtLower),
+                    _ => unreachable!("only bounded columns are flipped"),
+                };
+                let dx = new - old;
+                state.status[j] = st;
+                state.x[j] = new;
+                if j < state.n {
+                    for (i, v) in state.sf.a.col(j).iter() {
+                        delta_rhs[i] += v * dx;
+                    }
+                } else {
+                    delta_rhs[j - state.n] += state.art_sign[j - state.n] * dx;
+                }
+            }
+            state.lu.ftran(&mut delta_rhs);
+            for (i, &dv) in delta_rhs.iter().enumerate() {
+                let bvar = state.basis[i];
+                state.x[bvar] -= dv;
+            }
+        }
+
+        // ---- Pivot: `enter` replaces the row-r basic variable. ----
+        state.ftran_col_into(enter, &mut w);
+        if w[r].abs() <= PIV_TOL {
+            // ρ-based and FTRAN-based pivots disagree badly: refactorize and
+            // retry from clean numbers; a second failure aborts to cold.
+            state.refactorize()?;
+            state.recompute_basic_values();
+            recompute_d(state, &mut d, &mut y);
+            state.ftran_col_into(enter, &mut w);
+            if w[r].abs() <= PIV_TOL {
+                return Err(LpError::Numerical(format!(
+                    "dual pivot too small ({:.3e})",
+                    w[r]
+                )));
+            }
+        }
+
+        let leaving = state.basis[r];
+        // The leaving variable lands exactly on the bound it violated.
+        let target = if violation > 0.0 {
+            state.ub[leaving]
+        } else {
+            state.lb[leaving]
+        };
+        let dx_enter = (state.x[leaving] - target) / w[r];
+        for (i, &wi) in w.iter().enumerate().take(m) {
+            let bvar = state.basis[i];
+            state.x[bvar] -= wi * dx_enter;
+        }
+        state.x[enter] += dx_enter;
+        state.x[leaving] = target;
+        state.status[leaving] = if violation > 0.0 {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::AtLower
+        };
+        state.basis[r] = enter;
+        state.status[enter] = VarStatus::Basic;
+
+        // Incremental reduced-cost update: d_j ← d_j − θ_d·α̂_j over the
+        // non-basic columns; the leaving column picks up ∓θ_d.
+        if theta_d != 0.0 {
+            for &(j, a) in &alpha {
+                if j != enter {
+                    d[j] -= theta_d * a;
+                }
+            }
+        }
+        d[enter] = 0.0;
+        d[leaving] = -sigma * theta_d;
+
+        // Dual-devex weight update from the pivot column spike.
+        let wr = w[r];
+        let gamma_r = row_weight[r].max(1.0);
+        for (i, &wi) in w.iter().enumerate().take(m) {
+            if i == r || wi == 0.0 {
+                continue;
+            }
+            let cand = (wi / wr) * (wi / wr) * gamma_r;
+            if cand > row_weight[i] {
+                row_weight[i] = cand;
+            }
+        }
+        row_weight[r] = (gamma_r / (wr * wr)).max(1.0);
+
+        // Fold the pivot into the eta file; on numerical trouble rebuild.
+        if state.lu.update(&w, r).is_err() {
+            state.refactorize()?;
+            state.recompute_basic_values();
+            recompute_d(state, &mut d, &mut y);
+        }
+    }
+}

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod basis;
+pub(crate) mod dual;
 pub mod error;
 pub mod milp;
 pub mod model;

@@ -48,6 +48,12 @@ pub struct MilpConfig {
     /// (disable to force cold phase-1 starts at every node, e.g. for
     /// benchmarking the warm-start win).
     pub warm_start: bool,
+    /// Whether to run presolve before building the standard form. Disable
+    /// when an external caller warm-starts the root relaxation across solves
+    /// of identically-shaped models (A* rounds): presolve's reductions depend
+    /// on bounds/rhs, so it would change the column layout between rounds and
+    /// invalidate the carried basis.
+    pub presolve: bool,
 }
 
 impl Default for MilpConfig {
@@ -58,6 +64,7 @@ impl Default for MilpConfig {
             node_limit: 200_000,
             rounding_heuristic: true,
             warm_start: true,
+            presolve: true,
         }
     }
 }
@@ -135,6 +142,20 @@ impl MilpSolver {
 
     /// Solves a mixed-integer model.
     pub fn solve(&self, model: &Model) -> Result<Solution, LpError> {
+        self.solve_from(model, None)
+    }
+
+    /// Solves a mixed-integer model, optionally warm-starting the **root**
+    /// relaxation from a basis carried over from a previous solve of an
+    /// identically-shaped model (the A* cross-round case). The returned
+    /// [`Solution::basis`] is the root relaxation's final basis (in the
+    /// presolved standard-form space), ready to be carried into the next
+    /// round; a stale or mismatched basis silently falls back to a cold root.
+    pub fn solve_from(
+        &self,
+        model: &Model,
+        root_warm: Option<&SimplexBasis>,
+    ) -> Result<Solution, LpError> {
         let start = Instant::now();
         let maximize = model.sense == Sense::Maximize;
         // `better(a, b)` returns true if objective a is strictly better than b.
@@ -143,7 +164,14 @@ impl MilpSolver {
         // Presolve ONCE; the whole tree shares the reduced model's standard
         // form and only varies bounds. Bound tightenings from branching only
         // shrink domains, so the root reduction stays valid at every node.
-        let (red, post) = presolve::presolve(model)?;
+        // (With `config.presolve` off the model is used as-is, keeping the
+        // column layout identical across same-shaped models so a carried
+        // root basis stays valid.)
+        let (red, post) = if self.config.presolve {
+            presolve::presolve(model)?
+        } else {
+            presolve::identity(model)
+        };
         if let Some(early) = post.trivial_outcome() {
             let mut sol = post.recover(early, model);
             sol.stats.solve_time = start.elapsed();
@@ -166,9 +194,12 @@ impl MilpSolver {
             ..Default::default()
         };
 
-        // Root relaxation.
-        let root_red = simplex::solve_standard_form_from(&sf, num_red_vars, &[], None)?;
+        // Root relaxation (dual re-optimized from the carried basis, when one
+        // is provided and still fits the standard form's shape).
+        let root_red = simplex::solve_standard_form_from(&sf, num_red_vars, &[], root_warm)?;
         stats.absorb(&root_red.stats);
+        // The root basis is what the next same-shaped solve warm-starts from.
+        let carried_basis = root_red.basis.clone();
         let root = post.recover(root_red, model);
         match root.status {
             SolveStatus::Infeasible | SolveStatus::Unbounded => {
@@ -363,6 +394,7 @@ impl MilpSolver {
                 };
                 inc.duals = Vec::new();
                 inc.stats = stats;
+                inc.basis = carried_basis;
                 Ok(inc)
             }
             None => {
@@ -377,7 +409,7 @@ impl MilpSolver {
                     values: vec![0.0; model.num_vars()],
                     duals: Vec::new(),
                     stats,
-                    basis: None,
+                    basis: carried_basis,
                 })
             }
         }

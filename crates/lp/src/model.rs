@@ -233,9 +233,21 @@ impl Model {
         &self,
         warm: Option<&crate::basis::SimplexBasis>,
     ) -> Result<Solution, LpError> {
+        self.solve_lp_relaxation_impl(warm, true)
+    }
+
+    fn solve_lp_relaxation_impl(
+        &self,
+        warm: Option<&crate::basis::SimplexBasis>,
+        presolve: bool,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         let start = std::time::Instant::now();
-        let (reduced, post) = presolve::presolve(self)?;
+        let (reduced, post) = if presolve {
+            presolve::presolve(self)?
+        } else {
+            presolve::identity(self)
+        };
         let mut sol = if let Some(early) = post.trivial_outcome() {
             early
         } else {
@@ -257,11 +269,27 @@ impl Model {
     /// relative-gap early stop, node limit). The configuration is ignored for
     /// pure LPs.
     pub fn solve_with(&self, config: &MilpConfig) -> Result<Solution, LpError> {
+        self.solve_with_warm(config, None)
+    }
+
+    /// Like [`Model::solve_with`], but warm-started from the basis a previous
+    /// solve of an identically-shaped model returned in [`Solution::basis`]
+    /// (for MILPs: the root relaxation's basis — build both models with
+    /// `config.presolve` disabled so the column layout matches). A mismatched
+    /// basis silently falls back to a cold start.
+    pub fn solve_with_warm(
+        &self,
+        config: &MilpConfig,
+        warm: Option<&crate::basis::SimplexBasis>,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         if self.is_mip() {
-            MilpSolver::new(config.clone()).solve(self)
+            MilpSolver::new(config.clone()).solve_from(self, warm)
         } else {
-            self.solve_lp_relaxation()
+            // Honor `config.presolve` here too: the documented recipe for
+            // carrying a basis across identically-shaped models relies on the
+            // column layout staying fixed, which presolve would break.
+            self.solve_lp_relaxation_impl(warm, config.presolve)
         }
     }
 

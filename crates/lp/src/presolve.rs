@@ -90,6 +90,22 @@ impl PostSolve {
     }
 }
 
+/// The no-op reduction: the model is passed through untouched. Used when a
+/// caller needs the column layout preserved across solves of
+/// identically-shaped models (warm-started A* rounds).
+pub fn identity(model: &Model) -> (Model, PostSolve) {
+    let nv = model.num_vars();
+    let post = PostSolve {
+        fixed: vec![None; nv],
+        mapping: (0..nv).map(Some).collect(),
+        infeasible: false,
+        reduced_vars: nv,
+        reduced_cons: model.num_cons(),
+        original_vars: nv,
+    };
+    (model.clone(), post)
+}
+
 /// Internal working copy of a constraint with merged terms.
 #[derive(Debug, Clone)]
 struct WorkCons {

@@ -1,4 +1,5 @@
-//! Two-phase bounded-variable primal revised simplex on a sparse LU basis.
+//! Two-phase bounded-variable primal revised simplex on a sparse LU basis,
+//! with a dual simplex for warm re-solves.
 //!
 //! The basis is held as a sparse LU factorization with product-form (eta)
 //! updates ([`crate::basis`]): each iteration performs one BTRAN (pricing
@@ -6,17 +7,29 @@
 //! append, with a full refactorization every ~100 pivots. Pricing is **devex**
 //! over a bounded candidate list (partial pricing): a full scan refills the
 //! list and is the only place optimality is declared, so correctness does not
-//! depend on the candidate heuristics. Bland's rule takes over when the
-//! objective stalls (heavy degeneracy), guaranteeing termination.
+//! depend on the candidate heuristics.
+//!
+//! The primal ratio test is **EXPAND-style** (Gill, Murray, Saunders &
+//! Wright): a working feasibility tolerance grows by a tiny increment each
+//! iteration, a Harris-style two-pass test picks the numerically largest
+//! pivot among the rows blocking within the expanded tolerance, and every
+//! pivot takes a strictly positive minimum step. Degenerate vertices therefore
+//! cannot cycle and plateau traversal is fast; the accumulated bound drift is
+//! bounded by the working tolerance and wiped at every periodic
+//! refactorization (bound shifting with periodic reset). The minimum step is
+//! the termination guarantee, so there is no Bland fallback any more — on the
+//! big ALLTOALL LPs Bland's first-eligible pricing was the stall (1.45M of
+//! 1.5M iterations before it was removed).
 //!
 //! Cold solves run phase 1 (minimize the sum of signed artificials) then
 //! phase 2. Warm starts ([`solve_standard_form_from`]) rebuild the caller's
-//! basis, repair any bound violations introduced by changed bounds with a
-//! sequence of single-variable feasibility LPs (no artificials), and go
-//! straight to phase 2 — the hot path for branch-and-bound children, where a
-//! single branched bound changed.
+//! basis and re-optimize with the **dual simplex** ([`crate::dual`]): after a
+//! bound tightening the parent basis stays dual feasible, so the dual walks
+//! back to primal feasibility in a handful of pivots with no artificials and
+//! no repair phase — the hot path for branch-and-bound children.
 
 use crate::basis::{LuFactors, SimplexBasis, VarStatus};
+use crate::dual::{self, DualOutcome};
 use crate::error::LpError;
 use crate::model::Model;
 use crate::solution::{Solution, SolveStats, SolveStatus};
@@ -25,41 +38,48 @@ use crate::standard::StandardForm;
 
 /// Outcome of a single simplex phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PhaseOutcome {
+pub(crate) enum PhaseOutcome {
     Optimal,
     Unbounded,
 }
 
 /// Reduced-cost tolerance.
-const DTOL: f64 = 1e-9;
+pub(crate) const DTOL: f64 = 1e-9;
 /// Ratio-test pivot tolerance.
-const PIV_TOL: f64 = 1e-9;
+pub(crate) const PIV_TOL: f64 = 1e-9;
 /// Bound-feasibility tolerance.
-const FEAS_TOL: f64 = 1e-9;
+pub(crate) const FEAS_TOL: f64 = 1e-9;
 /// Size of the devex candidate list.
 const CAND_LIST: usize = 64;
 /// Iterations between basic-value / objective refreshes.
-const REFRESH_INTERVAL: usize = 256;
+pub(crate) const REFRESH_INTERVAL: usize = 256;
+/// EXPAND: per-iteration growth of the working feasibility tolerance, and the
+/// scale of the guaranteed minimum step. The tolerance is reset at every
+/// refresh, so the accumulated drift stays below
+/// `FEAS_TOL + REFRESH_INTERVAL * EXPAND_DELTA` (≈ 2.7e-8), well inside the
+/// 1e-6/1e-7 tolerances the rest of the solver uses.
+const EXPAND_DELTA: f64 = 1e-10;
 
 /// Internal simplex working state over a standard form plus `m` artificials.
 ///
 /// Columns `0..n` are the standard form's structural + slack columns (accessed
 /// by reference — the matrix is never copied per solve); columns `n..n+m` are
 /// the artificials, represented implicitly as `art_sign[row] * e_row`.
-struct SimplexState<'a> {
-    sf: &'a StandardForm,
-    n: usize,
-    m: usize,
-    art_sign: Vec<f64>,
-    b: Vec<f64>,
-    lb: Vec<f64>,
-    ub: Vec<f64>,
-    x: Vec<f64>,
-    status: Vec<VarStatus>,
-    basis: Vec<usize>,
-    lu: LuFactors,
-    iterations: usize,
-    factorizations: usize,
+pub(crate) struct SimplexState<'a> {
+    pub(crate) sf: &'a StandardForm,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) art_sign: Vec<f64>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) lb: Vec<f64>,
+    pub(crate) ub: Vec<f64>,
+    pub(crate) x: Vec<f64>,
+    pub(crate) status: Vec<VarStatus>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) lu: LuFactors,
+    pub(crate) iterations: usize,
+    pub(crate) dual_iterations: usize,
+    pub(crate) factorizations: usize,
     /// Devex reference weights, one per column.
     devex: Vec<f64>,
     /// Current pricing candidate list (column indices).
@@ -88,9 +108,12 @@ pub fn solve_standard_form(sf: &StandardForm, num_model_vars: usize) -> Result<S
 ///   never rebuilds the form.
 /// * `warm` — a basis returned in [`Solution::basis`] by an earlier solve of
 ///   the *same* form. The solve then skips phase 1: the basis is
-///   refactorized, bound violations are repaired in place, and phase 2 runs
-///   directly. If the basis is stale (wrong shape) or numerically unusable,
-///   the solver falls back to a cold start — the result is always correct.
+///   refactorized and the **dual simplex** re-optimizes it under the new
+///   bounds (boxed columns with wrong-signed reduced costs are flipped, the
+///   rest cost-shifted, then dual pivots restore primal feasibility), and a
+///   true-cost primal pass certifies. If the basis is stale (wrong shape) or
+///   numerically unusable, the solver falls back to a cold start — the
+///   result is always correct.
 pub fn solve_standard_form_from(
     sf: &StandardForm,
     num_model_vars: usize,
@@ -129,15 +152,17 @@ pub fn solve_standard_form_from(
     }
     let mut sol = cold_solve(sf, &lb, &ub, num_model_vars)?;
     sol.stats.simplex_iterations += wasted.iterations;
+    sol.stats.dual_iterations += wasted.dual_iterations;
     sol.stats.factorizations += wasted.factorizations;
     Ok(sol)
 }
 
 /// Work performed by a warm-start attempt that had to be abandoned
-/// (stale/singular basis or a numerical failure mid-repair).
+/// (stale/singular basis or a numerical failure mid-re-solve).
 #[derive(Debug, Default)]
 struct WarmFallback {
     iterations: usize,
+    dual_iterations: usize,
     factorizations: usize,
 }
 
@@ -196,7 +221,7 @@ fn cold_solve(
         }
     }
 
-    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars)?;
+    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars, true)?;
     sol.stats.cold_starts = 1;
     Ok(sol)
 }
@@ -258,6 +283,7 @@ fn build_initial_state<'a>(
         basis,
         lu: LuFactors::factorize(0, &[])?,
         iterations: 0,
+        dual_iterations: 0,
         factorizations: 0,
         devex: vec![1.0; n + m],
         candidates: Vec::new(),
@@ -344,12 +370,14 @@ fn try_warm_solve(
         basis: warm.basic.clone(),
         lu: empty_lu,
         iterations: 0,
+        dual_iterations: 0,
         factorizations: 0,
         devex: vec![1.0; n + m],
         candidates: Vec::new(),
     };
     let fallback = |state: &SimplexState| WarmFallback {
         iterations: state.iterations,
+        dual_iterations: state.dual_iterations,
         factorizations: state.factorizations,
     };
     if state.refactorize().is_err() {
@@ -358,19 +386,47 @@ fn try_warm_solve(
     }
     state.recompute_basic_values();
 
-    // ---- Feasibility repair (replaces phase 1). ----
-    match repair_feasibility(&mut state, max_iters) {
-        Ok(true) => {}
-        Ok(false) => {
-            let mut sol = infeasible(num_model_vars, state.iterations);
-            sol.stats.factorizations = state.factorizations;
-            sol.stats.warm_starts = 1;
-            return Ok(sol);
+    // ---- Dual re-optimization (replaces phase 1 / primal repair). ----
+    //
+    // A parent-optimal basis stays *dual* feasible when only bounds changed,
+    // so the dual simplex drives the (few) out-of-bound basic variables back
+    // inside their bounds while keeping reduced costs correctly signed. Costs
+    // that did change (cross-round warm starts) are absorbed by bound-flipping
+    // boxed columns and temporarily shifting the rest; the final primal pass
+    // below re-certifies against the true objective either way.
+    // Fast path: if no basic variable violates its (new) bounds beyond the
+    // tolerance the dual itself enforces, the basis is already primal
+    // feasible — the true-cost primal pass below re-certifies (or finishes)
+    // directly, with no dual pricing scan at all. This is the common B&B
+    // case of tightening a bound the optimum was not sitting on.
+    let primal_feasible = state.basis.iter().all(|&j| {
+        state.x[j] >= state.lb[j] - dual::PRIMAL_FEAS_TOL
+            && state.x[j] <= state.ub[j] + dual::PRIMAL_FEAS_TOL
+    });
+    if !primal_feasible {
+        let mut cost = vec![0.0; n + m];
+        cost[..n].copy_from_slice(&sf.c);
+        let d = match dual::make_dual_feasible(&mut state, &mut cost) {
+            Ok(d) => d,
+            Err(_) => return Err(fallback(&state)),
+        };
+        match dual::dual_simplex(&mut state, &cost, d, max_iters) {
+            Ok(DualOutcome::Optimal) => {}
+            Ok(DualOutcome::Infeasible) => {
+                let mut sol = infeasible(num_model_vars, state.iterations);
+                sol.stats.factorizations = state.factorizations;
+                sol.stats.dual_iterations = state.dual_iterations;
+                sol.stats.warm_starts = 1;
+                return Ok(sol);
+            }
+            Err(_) => return Err(fallback(&state)),
         }
-        Err(_) => return Err(fallback(&state)),
     }
 
-    match finish_phase2(&mut state, max_iters, num_model_vars) {
+    // Certify with the true costs (the dual may have run against shifted
+    // costs; the basis it leaves behind is primal feasible, so phase 2 needs
+    // no perturbation pre-pass and typically terminates in one pricing scan).
+    match finish_phase2(&mut state, max_iters, num_model_vars, false) {
         Ok(mut sol) => {
             sol.stats.warm_starts = 1;
             Ok(sol)
@@ -379,106 +435,25 @@ fn try_warm_solve(
     }
 }
 
-/// Drives all out-of-bound variables back inside their bounds, one target at a
-/// time: the target's bound is temporarily set so that its own true bound is
-/// the finish line, every other violated variable is relaxed to include its
-/// current value, and a single-variable objective (min/max the target) runs
-/// through the ordinary simplex machinery. Returns `false` if some violation
-/// is unrepairable (the LP is infeasible).
-fn repair_feasibility(state: &mut SimplexState, max_iters: usize) -> Result<bool, LpError> {
-    let total = state.n + state.m;
-    for _round in 0..state.m + 2 {
-        // Collect variables outside their true bounds.
-        let violated: Vec<usize> = (0..total)
-            .filter(|&j| state.x[j] < state.lb[j] - FEAS_TOL || state.x[j] > state.ub[j] + FEAS_TOL)
-            .collect();
-        let Some(&target) = violated.iter().max_by(|&&a, &&b| {
-            let va = violation(state, a);
-            let vb = violation(state, b);
-            va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
-        }) else {
-            return Ok(true);
-        };
-
-        // Relax bounds: the target races toward its true bound; other
-        // violated variables are parked in a range that includes where they
-        // currently are.
-        let saved: Vec<(usize, f64, f64)> = violated
-            .iter()
-            .map(|&j| (j, state.lb[j], state.ub[j]))
-            .collect();
-        let below = state.x[target] < state.lb[target];
-        for &j in &violated {
-            if j == target {
-                if below {
-                    state.ub[j] = state.lb[j]; // finish line
-                    state.lb[j] = state.x[j];
-                } else {
-                    state.lb[j] = state.ub[j];
-                    state.ub[j] = state.x[j];
-                }
-            } else {
-                state.lb[j] = state.lb[j].min(state.x[j]);
-                state.ub[j] = state.ub[j].max(state.x[j]);
-            }
-        }
-
-        let mut cost = vec![0.0; total];
-        cost[target] = if below { -1.0 } else { 1.0 };
-        let outcome = run_phase(state, &cost, max_iters)?;
-
-        // Restore true bounds and re-snap statuses of variables that are now
-        // feasible.
-        for &(j, lo, hi) in &saved {
-            state.lb[j] = lo;
-            state.ub[j] = hi;
-            if state.status[j] != VarStatus::Basic {
-                if (state.x[j] - lo).abs() <= FEAS_TOL {
-                    state.x[j] = lo;
-                    state.status[j] = VarStatus::AtLower;
-                } else if hi.is_finite() && (state.x[j] - hi).abs() <= FEAS_TOL {
-                    state.x[j] = hi;
-                    state.status[j] = VarStatus::AtUpper;
-                }
-            }
-        }
-        if outcome == PhaseOutcome::Unbounded {
-            return Err(LpError::Numerical(
-                "feasibility repair reported unbounded".into(),
-            ));
-        }
-        let still_violated =
-            state.x[target] < state.lb[target] - 1e-7 || state.x[target] > state.ub[target] + 1e-7;
-        if still_violated {
-            // The target was optimized toward its bound over a *relaxation* of
-            // the feasible set and still could not reach it: infeasible.
-            return Ok(false);
-        }
-    }
-    Err(LpError::Numerical(
-        "feasibility repair did not converge".into(),
-    ))
-}
-
-fn violation(state: &SimplexState, j: usize) -> f64 {
-    (state.lb[j] - state.x[j])
-        .max(state.x[j] - state.ub[j])
-        .max(0.0)
-}
-
 // ---------------------------------------------------------------------------
 // Shared machinery
 // ---------------------------------------------------------------------------
 
 /// Runs phase 2 on a primal-feasible state and extracts the solution.
+///
+/// `perturb` enables the anti-degeneracy perturbed pre-pass on large LPs;
+/// warm re-solves arriving from the dual simplex pass `false` (they are
+/// already at or next to the optimum, so tie-breaking would only cost time).
 fn finish_phase2(
     state: &mut SimplexState,
     max_iters: usize,
     num_model_vars: usize,
+    perturb: bool,
 ) -> Result<Solution, LpError> {
     let sf = state.sf;
     let n = state.n;
     let m = state.m;
+    let mut iteration_limit_hit = false;
     let mut phase2_cost = vec![0.0; n + m];
     phase2_cost[..n].copy_from_slice(&sf.c);
     // Large TE-CCL objectives are near-degenerate (masses of alternate
@@ -487,7 +462,7 @@ fn finish_phase2(
     // with the true costs then certifies optimality, so correctness never
     // rests on the perturbation. (Phase 1 is left unperturbed: its artificial
     // objective is what drives feasibility.)
-    if m > 64 {
+    if perturb && m > 64 {
         let mut pcost = phase2_cost.clone();
         for (j, c) in pcost.iter_mut().enumerate().take(n) {
             let h = (j as u64).wrapping_mul(0x9e3779b97f4a7c15);
@@ -497,16 +472,30 @@ fn finish_phase2(
         // The pre-pass is purely an accelerator: a perturbed "unbounded" ray
         // may not be profitable under the real costs, and even an iteration
         // limit here just means the true-cost pass starts from wherever the
-        // perturbed walk got to (still primal feasible).
+        // perturbed walk got to (still primal feasible). An exhausted budget
+        // is still recorded so callers can flag the row as uncertified.
         match run_phase(state, &pcost, max_iters) {
-            Ok(_) | Err(LpError::IterationLimit(_)) => {}
+            Ok(_) => {}
+            Err(LpError::IterationLimit(_)) => iteration_limit_hit = true,
             Err(e) => return Err(e),
         }
     }
     let outcome = run_phase(state, &phase2_cost, max_iters)?;
+    // Restore an exactly consistent vertex: the EXPAND ratio test lets basic
+    // values drift within the working tolerance; recomputing them from the
+    // (exactly on-bound) non-basic values wipes that drift before extraction.
+    // A non-empty eta file is the witness that pivots happened since the last
+    // refactorization — pivot-free solves (warm re-certifications) skip the
+    // extra factorization entirely.
+    if state.lu.eta_count() > 0 {
+        state.refactorize()?;
+        state.recompute_basic_values();
+    }
     let stats = SolveStats {
         simplex_iterations: state.iterations,
+        dual_iterations: state.dual_iterations,
         factorizations: state.factorizations,
+        iteration_limit_hit,
         ..Default::default()
     };
     if outcome == PhaseOutcome::Unbounded {
@@ -622,7 +611,7 @@ fn unbounded_solution(num_model_vars: usize) -> Solution {
 
 impl<'a> SimplexState<'a> {
     /// Reduced-cost helper: `cost[j] - y · A_j` without materializing columns.
-    fn price_col(&self, j: usize, cost_j: f64, y: &[f64]) -> f64 {
+    pub(crate) fn price_col(&self, j: usize, cost_j: f64, y: &[f64]) -> f64 {
         if j < self.n {
             cost_j - self.sf.a.col(j).dot_dense(y)
         } else {
@@ -630,9 +619,11 @@ impl<'a> SimplexState<'a> {
         }
     }
 
-    /// `w = B⁻¹ A_j` for any column (structural, slack, or artificial).
-    fn ftran_col(&self, j: usize) -> Vec<f64> {
-        let mut w = vec![0.0; self.m];
+    /// `w = B⁻¹ A_j` for any column (structural, slack, or artificial),
+    /// written into the caller's reusable buffer.
+    pub(crate) fn ftran_col_into(&mut self, j: usize, w: &mut Vec<f64>) {
+        w.clear();
+        w.resize(self.m, 0.0);
         if j < self.n {
             for (i, v) in self.sf.a.col(j).iter() {
                 w[i] += v;
@@ -640,8 +631,16 @@ impl<'a> SimplexState<'a> {
         } else {
             w[j - self.n] += self.art_sign[j - self.n];
         }
-        self.lu.ftran(&mut w);
-        w
+        self.lu.ftran(w);
+    }
+
+    /// `rho · A_j` — one entry of a tableau row, given `rho = B⁻ᵀ e_r`.
+    pub(crate) fn row_dot_col(&self, j: usize, rho: &[f64]) -> f64 {
+        if j < self.n {
+            self.sf.a.col(j).dot_dense(rho)
+        } else {
+            rho[j - self.n] * self.art_sign[j - self.n]
+        }
     }
 
     /// A materialized basis column (used only when refactorizing).
@@ -653,7 +652,7 @@ impl<'a> SimplexState<'a> {
         }
     }
 
-    fn refactorize(&mut self) -> Result<(), LpError> {
+    pub(crate) fn refactorize(&mut self) -> Result<(), LpError> {
         let cols: Vec<SparseVec> = self.basis.iter().map(|&j| self.basis_col(j)).collect();
         self.lu = LuFactors::factorize(self.m, &cols)?;
         self.factorizations += 1;
@@ -661,7 +660,7 @@ impl<'a> SimplexState<'a> {
     }
 
     /// Recomputes the values of the basic variables as `B⁻¹ (b - A_N x_N)`.
-    fn recompute_basic_values(&mut self) {
+    pub(crate) fn recompute_basic_values(&mut self) {
         let mut rhs = self.b.clone();
         for j in 0..self.n + self.m {
             if self.status[j] == VarStatus::Basic {
@@ -708,11 +707,6 @@ impl<'a> SimplexState<'a> {
     }
 }
 
-/// Current total objective for `cost` (used at phase start and on refresh).
-fn exact_objective(state: &SimplexState, cost: &[f64]) -> f64 {
-    (0..state.n + state.m).map(|j| cost[j] * state.x[j]).sum()
-}
-
 /// Runs simplex iterations for one phase with the given cost vector.
 fn run_phase(
     state: &mut SimplexState,
@@ -722,21 +716,15 @@ fn run_phase(
     let m = state.m;
     let ncols = state.n + state.m;
 
-    let mut use_bland = false;
-    let mut bland_exits = 0usize;
-    // Entering Bland's rule breaks degenerate cycles but prices glacially; as
-    // soon as the objective strictly improves the cycle is broken and devex
-    // resumes. The exit budget keeps the guarantee: after it is exhausted
-    // Bland stays on, which terminates unconditionally.
-    const BLAND_EXIT_BUDGET: usize = 64;
-    let stall_limit = (m + 16).min(512);
-    let mut stall_count = 0usize;
-    // The objective is tracked incrementally from the step size and reduced
-    // cost and re-synced on the periodic refresh; stall detection reads the
-    // tracked value instead of an O(ncols) recomputation per iteration.
-    let mut obj = exact_objective(state, cost);
-    let mut last_obj = f64::INFINITY;
+    // No Bland fallback and no stall heuristics: the EXPAND minimum step
+    // makes every pivot strictly improving, which is the anti-cycling
+    // guarantee Bland used to provide — without its glacial first-eligible
+    // pricing (measured on internal1(2) ALLTOALL 16 MB: the Bland fallback
+    // burned 1.45M of 1.5M iterations before this change).
     let mut local_iters = 0usize;
+    // EXPAND working tolerance: grows every iteration, reset at each refresh
+    // (the refresh recomputes the basic values, wiping accumulated drift).
+    let mut tol_work = FEAS_TOL;
 
     // Fresh devex reference framework per phase.
     for w in state.devex.iter_mut() {
@@ -744,44 +732,47 @@ fn run_phase(
     }
     state.candidates.clear();
 
+    // Hot-loop buffers, allocated once per phase and reused every iteration.
+    let mut y: Vec<f64> = Vec::with_capacity(m);
+    let mut w: Vec<f64> = Vec::with_capacity(m);
+    let mut rho: Vec<f64> = Vec::with_capacity(m);
+
+    let trace = std::env::var_os("TECCL_LP_TRACE").is_some();
+    let mut refills = 0usize;
+    let mut flip_iters = 0usize;
+    let mut degen_iters = 0usize;
+
     loop {
         if local_iters > max_iters {
+            if trace {
+                eprintln!(
+                    "[lp-trace] ITERLIMIT: iters={local_iters} refills={refills} \
+flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
+                );
+            }
             return Err(LpError::IterationLimit(max_iters));
         }
         local_iters += 1;
         state.iterations += 1;
+        tol_work += EXPAND_DELTA;
 
-        // Periodic refresh: refactorize (folding the eta file back in),
-        // recompute the basic values from the fresh factors, and re-sync the
-        // tracked objective — bounding floating-point drift.
+        // Periodic refresh: refactorize (folding the eta file back in) and
+        // recompute the basic values from the fresh factors — bounding
+        // floating-point drift and resetting the EXPAND tolerance expansion.
         if local_iters.is_multiple_of(REFRESH_INTERVAL) || state.lu.needs_refactor() {
             state.refactorize()?;
             state.recompute_basic_values();
-            obj = exact_objective(state, cost);
+            tol_work = FEAS_TOL;
         }
 
         // Pricing multipliers: y = c_B B⁻¹ via BTRAN.
-        let mut y: Vec<f64> = state.basis.iter().map(|&j| cost[j]).collect();
+        y.clear();
+        y.extend(state.basis.iter().map(|&j| cost[j]));
         state.lu.btran(&mut y);
 
-        // ---- Pricing. ----
-        let entering: Option<(usize, f64, f64)> = if use_bland {
-            // Bland: first eligible index, full scan.
-            let mut found = None;
-            for (j, &cj) in cost.iter().enumerate().take(ncols) {
-                if state.status[j] == VarStatus::Basic {
-                    continue;
-                }
-                let d = state.price_col(j, cj, &y);
-                if let Some(dir) = state.eligible_dir(j, d) {
-                    found = Some((j, d, dir));
-                    break;
-                }
-            }
-            found
-        } else {
-            // Devex over the candidate list; a full rescan refills the list
-            // and is the only place optimality can be declared.
+        // ---- Pricing: devex over the candidate list; a full rescan refills
+        // the list and is the only place optimality can be declared. ----
+        let entering: Option<(usize, f64, f64)> = {
             let mut best: Option<(usize, f64, f64, f64)> = None; // (j, d, dir, score)
             let mut cands = std::mem::take(&mut state.candidates);
             cands.retain(|&j| state.status[j] != VarStatus::Basic);
@@ -796,6 +787,7 @@ fn run_phase(
                 }
             }
             if best.is_none() {
+                refills += 1;
                 // Refill: full devex scan over all non-basic columns.
                 let mut scored: Vec<(f64, usize, f64, f64)> = Vec::new();
                 for (j, &cj) in cost.iter().enumerate().take(ncols) {
@@ -817,54 +809,105 @@ fn run_phase(
             best.map(|(j, d, dir, _)| (j, d, dir))
         };
 
-        let (enter, d_enter, dir) = match entering {
-            None => return Ok(PhaseOutcome::Optimal),
+        let (enter, _d_enter, dir) = match entering {
+            None => {
+                if trace {
+                    eprintln!(
+                        "[lp-trace] phase done: iters={local_iters} refills={refills} \
+flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
+                    );
+                }
+                return Ok(PhaseOutcome::Optimal);
+            }
             Some(e) => e,
         };
 
         // Transformed column w = B⁻¹ A_enter.
-        let w = state.ftran_col(enter);
+        state.ftran_col_into(enter, &mut w);
 
-        // Ratio test. The entering variable moves by `t >= 0` in direction
-        // `dir`; basic variable in row r changes at rate `-dir * w[r]`.
+        // EXPAND / Harris two-pass ratio test. The entering variable moves by
+        // `t >= 0` in direction `dir`; the basic variable in row r changes at
+        // rate `-dir * w[r]`.
+        //
+        // Pass 1 computes the largest step `t_exp` at which every blocking
+        // basic variable stays within `tol_work` of its bound. Pass 2 picks,
+        // among the rows whose *true* ratio fits under `t_exp`, the one with
+        // the numerically largest pivot.
+        // The chosen step is bounded below by `EXPAND_DELTA / |pivot|`, so
+        // every iteration strictly improves the objective — degenerate
+        // vertices cannot cycle — at the price of bound drift that stays
+        // under `tol_work` and is wiped at the next refresh.
         let own_range = state.ub[enter] - state.lb[enter]; // may be inf
-        let mut t_best = own_range;
-        let mut leave_row: Option<usize> = None;
-        for r in 0..m {
+                                                           // Room a blocking row has before its bound in the movement direction,
+                                                           // `None` when the row does not block (shared by both passes so the
+                                                           // expanded and true ratio tests can never desynchronize).
+        let blocking_room = |r: usize, w: &[f64]| -> Option<(f64, f64)> {
             let rate = -dir * w[r];
+            let bvar = state.basis[r];
             if rate < -PIV_TOL {
-                let bvar = state.basis[r];
-                if state.lb[bvar].is_finite() {
-                    let room = state.x[bvar] - state.lb[bvar];
-                    let t = (room.max(0.0)) / -rate;
-                    if t < t_best - 1e-12
-                        || (t < t_best + 1e-12
-                            && better_pivot(&w, r, leave_row, use_bland, &state.basis))
-                    {
-                        t_best = t;
-                        leave_row = Some(r);
-                    }
-                }
+                state.lb[bvar]
+                    .is_finite()
+                    .then(|| (state.x[bvar] - state.lb[bvar], rate))
             } else if rate > PIV_TOL {
-                let bvar = state.basis[r];
-                if state.ub[bvar].is_finite() {
-                    let room = state.ub[bvar] - state.x[bvar];
-                    let t = (room.max(0.0)) / rate;
-                    if t < t_best - 1e-12
-                        || (t < t_best + 1e-12
-                            && better_pivot(&w, r, leave_row, use_bland, &state.basis))
-                    {
-                        t_best = t;
-                        leave_row = Some(r);
+                state.ub[bvar]
+                    .is_finite()
+                    .then(|| (state.ub[bvar] - state.x[bvar], rate))
+            } else {
+                None
+            }
+        };
+        let mut t_exp = if own_range.is_finite() {
+            own_range + tol_work
+        } else {
+            f64::INFINITY
+        };
+        for r in 0..m {
+            if let Some((room, rate)) = blocking_room(r, &w) {
+                let t = (room + tol_work).max(0.0) / rate.abs();
+                if t < t_exp {
+                    t_exp = t;
+                }
+            }
+        }
+
+        let mut leave_row: Option<(usize, f64)> = None; // (row, true ratio)
+        if t_exp.is_finite() {
+            for r in 0..m {
+                if let Some((room, rate)) = blocking_room(r, &w) {
+                    let t = room.max(0.0) / rate.abs();
+                    if t <= t_exp && leave_row.is_none_or(|(cur, _)| w[r].abs() > w[cur].abs()) {
+                        leave_row = Some((r, t));
                     }
                 }
             }
         }
 
-        if !t_best.is_finite() && leave_row.is_none() {
-            return Ok(PhaseOutcome::Unbounded);
-        }
-        let t = t_best.max(0.0);
+        // Decide between a basis pivot and a bound flip of the entering
+        // column; an unbounded ray is the remaining case.
+        let (t, pivot_row) = match leave_row {
+            Some((r, t_true)) => {
+                // Strictly positive minimum step (the EXPAND anti-cycling
+                // guarantee), capped at `t_exp`: past that cap, rows outside
+                // the pass-2 set would overshoot their bounds by more than
+                // the working tolerance (a near-PIV_TOL pivot would otherwise
+                // inflate the minimum step arbitrarily and break the drift
+                // bound the module documents).
+                let t = t_true
+                    .max(EXPAND_DELTA / w[r].abs().max(PIV_TOL))
+                    .min(t_exp);
+                if own_range <= t {
+                    (own_range, None) // the entering column flips first
+                } else {
+                    (t, Some(r))
+                }
+            }
+            None => {
+                if !own_range.is_finite() {
+                    return Ok(PhaseOutcome::Unbounded);
+                }
+                (own_range, None)
+            }
+        };
 
         // Apply the step to all basic variables and the entering variable.
         for (r, &wr) in w.iter().enumerate().take(m) {
@@ -872,10 +915,13 @@ fn run_phase(
             state.x[bvar] += -dir * wr * t;
         }
         state.x[enter] += dir * t;
-        obj += d_enter * dir * t;
+        if t < 1e-9 {
+            degen_iters += 1;
+        }
 
-        match leave_row {
+        match pivot_row {
             None => {
+                flip_iters += 1;
                 // Bound flip: the entering variable traversed its whole range.
                 state.status[enter] = if dir > 0.0 {
                     VarStatus::AtUpper
@@ -890,103 +936,52 @@ fn run_phase(
             }
             Some(r) => {
                 let leaving = state.basis[r];
+                debug_assert_ne!(leaving, enter);
                 let rate = -dir * w[r];
-                if leaving != enter {
-                    // Snap the leaving variable onto the bound it reached.
-                    if rate < 0.0 {
-                        state.x[leaving] = state.lb[leaving];
-                        state.status[leaving] = VarStatus::AtLower;
-                    } else {
-                        state.x[leaving] = state.ub[leaving];
-                        state.status[leaving] = VarStatus::AtUpper;
-                    }
-                    state.basis[r] = enter;
-                    state.status[enter] = VarStatus::Basic;
+                // Snap the leaving variable onto the bound it reached (any
+                // overshoot from the minimum step lands on the other basic
+                // variables, bounded by `tol_work`).
+                if rate < 0.0 {
+                    state.x[leaving] = state.lb[leaving];
+                    state.status[leaving] = VarStatus::AtLower;
+                } else {
+                    state.x[leaving] = state.ub[leaving];
+                    state.status[leaving] = VarStatus::AtUpper;
+                }
+                state.basis[r] = enter;
+                state.status[enter] = VarStatus::Basic;
 
-                    // Devex weight update over the candidate list (Forrest &
-                    // Goldfarb's reference-framework update, restricted to the
-                    // columns we actually price): alpha_j is row r of the
-                    // tableau, obtained from rho = Bᵀ⁻¹ e_r.
-                    if !use_bland {
-                        let alpha_q = w[r];
-                        if alpha_q.abs() > PIV_TOL {
-                            let gamma_q = state.devex[enter];
-                            let mut rho = vec![0.0; m];
-                            rho[r] = 1.0;
-                            state.lu.btran(&mut rho);
-                            for idx in 0..state.candidates.len() {
-                                let j = state.candidates[idx];
-                                if j == enter || state.status[j] == VarStatus::Basic {
-                                    continue;
-                                }
-                                let alpha_j = if j < state.n {
-                                    state.sf.a.col(j).dot_dense(&rho)
-                                } else {
-                                    rho[j - state.n] * state.art_sign[j - state.n]
-                                };
-                                let cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * gamma_q;
-                                if cand > state.devex[j] {
-                                    state.devex[j] = cand;
-                                }
-                            }
-                            state.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+                // Devex weight update over the candidate list (Forrest &
+                // Goldfarb's reference-framework update, restricted to the
+                // columns we actually price): alpha_j is row r of the
+                // tableau, obtained from rho = Bᵀ⁻¹ e_r.
+                let alpha_q = w[r];
+                if alpha_q.abs() > PIV_TOL {
+                    let gamma_q = state.devex[enter];
+                    rho.clear();
+                    rho.resize(m, 0.0);
+                    rho[r] = 1.0;
+                    state.lu.btran(&mut rho);
+                    for idx in 0..state.candidates.len() {
+                        let j = state.candidates[idx];
+                        if j == enter || state.status[j] == VarStatus::Basic {
+                            continue;
+                        }
+                        let alpha_j = state.row_dot_col(j, &rho);
+                        let cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * gamma_q;
+                        if cand > state.devex[j] {
+                            state.devex[j] = cand;
                         }
                     }
-
-                    // Fold the pivot into the eta file; on numerical trouble
-                    // rebuild the factorization from scratch.
-                    if state.lu.update(&w, r).is_err() {
-                        state.refactorize()?;
-                        state.recompute_basic_values();
-                        obj = exact_objective(state, cost);
-                    }
-                } else {
-                    // The entering variable limits itself (can happen when it
-                    // is already basic-adjacent numerically); treat as flip.
-                    state.status[enter] = if dir > 0.0 {
-                        VarStatus::AtUpper
-                    } else {
-                        VarStatus::AtLower
-                    };
+                    state.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
                 }
-            }
-        }
 
-        // Anti-cycling: if the phase objective stops improving for a long
-        // stretch (heavy degeneracy), switch to Bland's rule; once it breaks
-        // the stall, hand pricing back to devex.
-        if obj < last_obj - 1e-10 {
-            last_obj = obj;
-            stall_count = 0;
-            if use_bland && bland_exits < BLAND_EXIT_BUDGET {
-                use_bland = false;
-                bland_exits += 1;
-            }
-        } else {
-            stall_count += 1;
-            if stall_count > stall_limit {
-                use_bland = true;
-            }
-        }
-    }
-}
-
-/// Tie-breaking helper for the ratio test: prefer pivots with larger |w[r]|
-/// for numerical stability, or the lowest basis index under Bland's rule.
-fn better_pivot(
-    w: &[f64],
-    candidate: usize,
-    current: Option<usize>,
-    bland: bool,
-    basis: &[usize],
-) -> bool {
-    match current {
-        None => true,
-        Some(cur) => {
-            if bland {
-                basis[candidate] < basis[cur]
-            } else {
-                w[candidate].abs() > w[cur].abs()
+                // Fold the pivot into the eta file; on numerical trouble
+                // rebuild the factorization from scratch.
+                if state.lu.update(&w, r).is_err() {
+                    state.refactorize()?;
+                    state.recompute_basic_values();
+                }
             }
         }
     }

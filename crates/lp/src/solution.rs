@@ -32,8 +32,11 @@ impl SolveStatus {
 pub struct SolveStats {
     /// Wall-clock time spent in the solver (including model reductions).
     pub solve_time: Duration,
-    /// Total simplex iterations across all LP solves.
+    /// Total simplex iterations across all LP solves (primal + dual).
     pub simplex_iterations: usize,
+    /// Dual-simplex iterations (a subset of `simplex_iterations`): pivots
+    /// performed by the bound-tightening re-solve path.
+    pub dual_iterations: usize,
     /// Number of branch-and-bound nodes explored (0 for pure LPs).
     pub nodes_explored: usize,
     /// Relative MIP gap at termination: `|bound - incumbent| / max(1, |incumbent|)`.
@@ -52,6 +55,10 @@ pub struct SolveStats {
     pub warm_starts: usize,
     /// LP solves started cold from the all-artificial phase-1 basis.
     pub cold_starts: usize,
+    /// Whether any simplex pass hit its iteration limit without certifying
+    /// optimality (the result then rests on an uncertified incumbent and must
+    /// be reported as such, not as converged).
+    pub iteration_limit_hit: bool,
 }
 
 impl SolveStats {
@@ -59,10 +66,12 @@ impl SolveStats {
     /// across branch-and-bound nodes and A* rounds).
     pub fn absorb(&mut self, other: &SolveStats) {
         self.simplex_iterations += other.simplex_iterations;
+        self.dual_iterations += other.dual_iterations;
         self.nodes_explored += other.nodes_explored;
         self.factorizations += other.factorizations;
         self.warm_starts += other.warm_starts;
         self.cold_starts += other.cold_starts;
+        self.iteration_limit_hit |= other.iteration_limit_hit;
     }
 }
 
@@ -80,8 +89,9 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Solve statistics.
     pub stats: SolveStats,
-    /// The final simplex basis (pure LP solves through the simplex), usable to
-    /// warm-start a re-solve of the same standard form with modified bounds.
+    /// A simplex basis usable to warm-start a re-solve of the same standard
+    /// form: the final basis for pure LP solves, the **root relaxation's**
+    /// final basis for branch-and-bound solves (the cross-round A* carry).
     pub basis: Option<crate::basis::SimplexBasis>,
 }
 

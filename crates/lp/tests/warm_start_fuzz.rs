@@ -134,6 +134,245 @@ fn warm_and_cold_solves_agree_on_random_corpus() {
     assert!(warmed >= 60, "only {warmed} warm re-solves");
 }
 
+/// B&B-shaped sequences: starting from a cold optimal basis, apply a chain of
+/// cumulative bound tightenings, re-solving warm (dual simplex) from the
+/// previous step's basis at every step, and cross-check each step against a
+/// from-scratch cold solve of the same cumulative overrides.
+#[test]
+fn dual_resolves_agree_with_cold_over_bound_tightening_sequences() {
+    let mut rng = Lcg(0x0b0b_b1e5);
+    let mut chains = 0usize;
+    let mut warm_steps = 0usize;
+    let mut dual_pivot_steps = 0usize;
+    let mut fallbacks = 0usize;
+    for case in 0..200 {
+        let m = random_lp(&mut rng);
+        let sf = StandardForm::from_model(&m);
+        let nv = m.num_vars();
+        let cold = solve_standard_form(&sf, nv).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        if cold.status != SolveStatus::Optimal {
+            continue;
+        }
+        chains += 1;
+        let mut basis = cold.basis.clone().expect("optimal LP returns a basis");
+        let mut reference = cold;
+        let mut overrides: Vec<(usize, f64, f64)> = Vec::new();
+        let depth = 2 + rng.below(4); // 2..=5 tightenings, like a B&B path
+        for step in 0..depth {
+            // Tighten a bound towards (sometimes past) the current optimum,
+            // the way branching does; cumulative like a B&B node's path.
+            let j = rng.below(nv);
+            let (mut lo, mut hi) = (m.vars[j].lb, m.vars[j].ub);
+            for &(k, l, h) in &overrides {
+                if k == j {
+                    lo = l;
+                    hi = h;
+                }
+            }
+            let xj = reference.values[j].clamp(lo, hi);
+            if rng.f() < 0.5 {
+                hi = (xj - rng.range(0.0, 1.0)).max(lo);
+            } else {
+                lo = (xj + rng.range(0.0, 1.0)).min(hi);
+            }
+            overrides.retain(|&(k, _, _)| k != j);
+            overrides.push((j, lo, hi));
+
+            let warm = solve_standard_form_from(&sf, nv, &overrides, Some(&basis))
+                .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            let cold2 = solve_standard_form_from(&sf, nv, &overrides, None)
+                .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            assert_eq!(
+                warm.status, cold2.status,
+                "case {case} step {step}: warm {:?} vs cold {:?} ({overrides:?})",
+                warm.status, cold2.status
+            );
+            if warm.stats.warm_starts == 1 {
+                warm_steps += 1;
+                if warm.stats.dual_iterations > 0 {
+                    dual_pivot_steps += 1;
+                }
+            } else {
+                fallbacks += 1;
+            }
+            if warm.status != SolveStatus::Optimal {
+                break; // the branch went infeasible — chain over
+            }
+            assert!(
+                (warm.objective - cold2.objective).abs() < 1e-6,
+                "case {case} step {step}: warm {} vs cold {} ({overrides:?})",
+                warm.objective,
+                cold2.objective
+            );
+            basis = warm
+                .basis
+                .clone()
+                .expect("optimal warm solve returns a basis");
+            reference = warm;
+        }
+    }
+    assert!(chains >= 50, "only {chains} chains exercised");
+    assert!(warm_steps >= 100, "only {warm_steps} warm dual re-solves");
+    assert!(
+        dual_pivot_steps * 4 >= warm_steps,
+        "dual simplex barely pivots: {dual_pivot_steps}/{warm_steps}"
+    );
+    // The dual path may abandon a numerically hopeless basis, but falling
+    // back to cold must be the exception, not the rule.
+    assert!(
+        fallbacks * 10 <= warm_steps.max(10),
+        "{fallbacks} cold fallbacks vs {warm_steps} warm steps"
+    );
+}
+
+/// A fixed small ALLTOALL-shaped LP (time-expanded per-source flows on a
+/// ring, shared link capacities, early-read rewards — the §4.1 structure that
+/// makes the real instances massively degenerate). Regression: it must solve
+/// to optimality well under the historic plateau counts.
+#[test]
+#[allow(clippy::needless_range_loop)] // index-parallel var tables
+fn degenerate_alltoall_shaped_lp_solves_under_iteration_budget() {
+    let n = 6usize; // ring nodes
+    let k_max = 8usize; // epochs
+    let mut m = Model::new(Sense::Maximize);
+    // Links: i -> (i+1) % n and i -> (i-1) % n.
+    let links: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| [(i, (i + 1) % n), (i, (i + n - 1) % n)])
+        .collect();
+    // F[s][l][k], B[s][node][k] (k in 0..=k_max), r[s][d][k].
+    let mut f = vec![vec![[None; 8]; links.len()]; n];
+    let mut b = vec![vec![[None; 9]; n]; n];
+    let mut r = vec![vec![[None; 8]; n]; n];
+    for s in 0..n {
+        for (l, &(u, v)) in links.iter().enumerate() {
+            for k in 0..k_max {
+                f[s][l][k] = Some(m.add_var(
+                    format!("F[{s},{u}->{v},{k}]"),
+                    0.0,
+                    f64::INFINITY,
+                    0.0,
+                    false,
+                ));
+            }
+        }
+        for node in 0..n {
+            for k in 0..=k_max {
+                b[s][node][k] =
+                    Some(m.add_var(format!("B[{s},{node},{k}]"), 0.0, f64::INFINITY, 0.0, false));
+            }
+        }
+        for d in 0..n {
+            if d == s {
+                continue;
+            }
+            for k in 0..k_max {
+                let w = 1.0 / (k as f64 + 1.0);
+                r[s][d][k] =
+                    Some(m.add_var(format!("r[{s},{d},{k}]"), 0.0, f64::INFINITY, w, false));
+            }
+        }
+    }
+    for s in 0..n {
+        // Epoch 0: everything sits at the source.
+        let mut init = vec![(b[s][s][0].unwrap(), 1.0)];
+        for (l, &(u, _)) in links.iter().enumerate() {
+            if u == s {
+                init.push((f[s][l][0].unwrap(), 1.0));
+            } else {
+                m.add_cons(
+                    format!("zf[{s},{l}]"),
+                    &[(f[s][l][0].unwrap(), 1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        }
+        m.add_cons(
+            format!("init[{s}]"),
+            &init,
+            ConstraintOp::Eq,
+            (n - 1) as f64,
+        );
+        for node in 0..n {
+            if node != s {
+                m.add_cons(
+                    format!("zb[{s},{node}]"),
+                    &[(b[s][node][0].unwrap(), 1.0)],
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+            // Flow conservation per epoch (α = 0: arrivals land same epoch).
+            for k in 0..k_max {
+                let mut terms: Vec<(teccl_lp::VarId, f64)> = Vec::new();
+                for (l, &(_, v)) in links.iter().enumerate() {
+                    if v == node {
+                        terms.push((f[s][l][k].unwrap(), 1.0));
+                    }
+                }
+                terms.push((b[s][node][k].unwrap(), 1.0));
+                terms.push((b[s][node][k + 1].unwrap(), -1.0));
+                if node != s {
+                    if let Some(rv) = r[s][node][k] {
+                        terms.push((rv, -1.0));
+                    }
+                }
+                if k + 1 < k_max {
+                    for (l, &(u, _)) in links.iter().enumerate() {
+                        if u == node {
+                            terms.push((f[s][l][k + 1].unwrap(), -1.0));
+                        }
+                    }
+                }
+                m.add_cons(
+                    format!("flow[{s},{node},{k}]"),
+                    &terms,
+                    ConstraintOp::Eq,
+                    0.0,
+                );
+            }
+        }
+        // Destination totals: each non-source destination reads exactly 1.
+        for d in 0..n {
+            if d == s {
+                continue;
+            }
+            let terms: Vec<_> = (0..k_max).map(|k| (r[s][d][k].unwrap(), 1.0)).collect();
+            m.add_cons(format!("dst[{s},{d}]"), &terms, ConstraintOp::Eq, 1.0);
+        }
+    }
+    // Shared link capacity: 1 chunk per epoch across all sources — the
+    // coupling that creates the massive tie structure.
+    for (l, &(u, v)) in links.iter().enumerate() {
+        for k in 0..k_max {
+            let terms: Vec<_> = (0..n).map(|s| (f[s][l][k].unwrap(), 1.0)).collect();
+            m.add_cons(format!("cap[{u}->{v},{k}]"), &terms, ConstraintOp::Le, 1.0);
+        }
+    }
+
+    let sol = m.solve().expect("alltoall-shaped LP solves");
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert!(
+        !sol.stats.iteration_limit_hit,
+        "degenerate LP tripped the iteration limit"
+    );
+    // Pre-EXPAND this structure stalled for O(100k) iterations at scale; the
+    // small instance must stay comfortably in the thousands.
+    assert!(
+        sol.stats.simplex_iterations < 10_000,
+        "degeneracy regression: {} iterations",
+        sol.stats.simplex_iterations
+    );
+    // Every destination got every chunk (total reads = n * (n-1)).
+    let total_read: f64 = (0..n)
+        .flat_map(|s| (0..n).map(move |d| (s, d)))
+        .filter(|&(s, d)| s != d)
+        .flat_map(|(s, d)| (0..k_max).map(move |k| (s, d, k)))
+        .filter_map(|(s, d, k)| r[s][d][k].map(|v| sol.value(v)))
+        .sum();
+    assert!((total_read - (n * (n - 1)) as f64).abs() < 1e-5);
+}
+
 #[test]
 fn milp_warm_and_cold_nodes_agree_on_random_corpus() {
     use teccl_lp::MilpConfig;

@@ -84,6 +84,23 @@ fn bench_dual_and_degenerate(h: &mut Harness) {
     });
 }
 
+/// A* cross-round warm starts with presolve on (the layout-preserving
+/// presolve keeps the carried root basis valid): warm rounds must stay on the
+/// warm path and cost no more simplex iterations than all-cold rounds.
+fn bench_presolve_warm_rounds(h: &mut Harness) {
+    let (scenario, warm_cfg, cold_cfg) = teccl_bench::warm_rounds_fixture();
+    let cold = run_teccl(&scenario, &cold_cfg, Method::AStar).expect("fixture solves cold");
+    h.bench_function("lp/presolve_cold_rounds", || {
+        run_teccl(&scenario, &cold_cfg, Method::AStar).unwrap();
+    });
+    h.bench_function("lp/presolve_warm_rounds", || {
+        let warm = run_teccl(&scenario, &warm_cfg, Method::AStar).unwrap();
+        assert!(warm.warm_starts > 0, "A* rounds fell off the warm path");
+        assert!(warm.cold_starts <= 1, "only the first round may start cold");
+        assert!(warm.simplex_iterations <= cold.simplex_iterations);
+    });
+}
+
 fn bench_baselines(h: &mut Harness) {
     let topo = teccl_topology::dgx1();
     let gpus: Vec<NodeId> = topo.gpus().collect();
@@ -130,6 +147,7 @@ fn main() {
     bench_astar_allgather(&mut h);
     bench_simplex_warm_vs_cold(&mut h);
     bench_dual_and_degenerate(&mut h);
+    bench_presolve_warm_rounds(&mut h);
     bench_baselines(&mut h);
     bench_simulator(&mut h);
 }

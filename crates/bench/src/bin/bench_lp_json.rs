@@ -10,7 +10,8 @@ use std::time::Duration;
 use teccl_bench::microbench::{BenchConfig, Harness};
 use teccl_bench::{
     degenerate_alltoall_fixture, dual_resolve_fixture, print_table, quick_config, run_teccl,
-    solver_stats_rows, warm_vs_cold_fixture, Method, Scenario, SOLVER_STATS_HEADERS,
+    solver_stats_rows, warm_rounds_fixture, warm_vs_cold_fixture, Method, Scenario,
+    SOLVER_STATS_HEADERS,
 };
 use teccl_collective::CollectiveKind;
 
@@ -80,6 +81,36 @@ fn main() {
         );
     });
 
+    // A* cross-round warm starts with presolve ON (the layout-preserving
+    // presolve keeps the carried root basis valid round to round). The warm
+    // run must stay on the warm path — at most the first round may start
+    // cold — and must not spend more simplex iterations than the all-cold
+    // run; either regression aborts the process and fails CI's bench smoke.
+    let (wr_scenario, wr_warm_cfg, wr_cold_cfg) = warm_rounds_fixture();
+    let cold_rounds = run_teccl(&wr_scenario, &wr_cold_cfg, Method::AStar)
+        .expect("warm-rounds fixture solves cold");
+    h.bench_function("lp/presolve_cold_rounds", || {
+        run_teccl(&wr_scenario, &wr_cold_cfg, Method::AStar).unwrap();
+    });
+    h.bench_function("lp/presolve_warm_rounds", || {
+        let warm = run_teccl(&wr_scenario, &wr_warm_cfg, Method::AStar).unwrap();
+        assert!(
+            warm.warm_starts > 0,
+            "A* rounds fell off the warm path entirely"
+        );
+        assert!(
+            warm.cold_starts <= 1,
+            "warm rounds went cold {} times (only the first round may)",
+            warm.cold_starts
+        );
+        assert!(
+            warm.simplex_iterations <= cold_rounds.simplex_iterations,
+            "warm rounds spent more iterations than cold ({} vs {})",
+            warm.simplex_iterations,
+            cold_rounds.simplex_iterations
+        );
+    });
+
     // Solver counters alongside the timings: the warm/cold split is the perf
     // claim, so regressions must be visible here too.
     print_table(
@@ -89,7 +120,50 @@ fn main() {
         &solver_stats_rows(),
     );
 
-    let json = h.to_json().to_json_pretty();
+    // LU fill-in of the degenerate instance's optimal basis: the metric the
+    // Markowitz tie-breaking in `LuFactors::factorize` optimizes. Tracked in
+    // BENCH_lp.json (`lu_fill_nnz` vs the basis matrix's own `lu_basis_nnz`)
+    // so fill regressions show up across PRs.
+    let gsol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
+    let gbasis = gsol.basis.expect("optimal LP returns a basis");
+    let n_cols = gsf.num_cols();
+    let basis_cols: Vec<teccl_lp::SparseVec> = gbasis
+        .basic
+        .iter()
+        .map(|&j| {
+            if j < n_cols {
+                gsf.a.col(j).clone()
+            } else {
+                // A degenerate optimal basis may keep a zero-valued phase-1
+                // artificial: structurally a unit column of its row.
+                teccl_lp::SparseVec::from_pairs(&[(j - n_cols, 1.0)])
+            }
+        })
+        .collect();
+    let mut lu = teccl_lp::LuFactors::factorize(gsf.num_rows(), &basis_cols)
+        .expect("optimal basis factorizes");
+    let basis_nnz: usize = basis_cols.iter().map(|c| c.indices.len()).sum();
+    let fill_nnz = lu.fill_nnz();
+    // Exercise a solve so the factors are demonstrably usable.
+    let mut probe = vec![1.0; gsf.num_rows()];
+    lu.ftran(&mut probe);
+    println!(
+        "\nlp/lu_fill: basis nnz {basis_nnz} -> L+U nnz {fill_nnz} ({:.2}x)",
+        fill_nnz as f64 / basis_nnz as f64
+    );
+
+    let mut json = h.to_json();
+    if let teccl_util::json::Value::Obj(pairs) = &mut json {
+        pairs.push((
+            "lp/lu_basis_nnz".to_string(),
+            teccl_util::json::Value::from(basis_nnz),
+        ));
+        pairs.push((
+            "lp/lu_fill_nnz".to_string(),
+            teccl_util::json::Value::from(fill_nnz),
+        ));
+    }
+    let json = json.to_json_pretty();
     let path = "BENCH_lp.json";
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_lp.json");
     println!("\nwrote {path}");

@@ -16,6 +16,9 @@ fn main() {
             "simplex_iters",
             "warm_starts",
             "cold_starts",
+            "cols_fixed",
+            "rows_freed",
+            "node_tight",
             "iter_limit",
         ],
         &rows,

@@ -51,6 +51,9 @@ fn main() {
             "simplex_iters",
             "warm_starts",
             "cold_starts",
+            "cols_fixed",
+            "rows_freed",
+            "node_tight",
             "iter_limit",
         ],
         &table4_rows(),

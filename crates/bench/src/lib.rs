@@ -100,6 +100,15 @@ pub struct RunResult {
     pub warm_starts: usize,
     /// LP solves cold-started from the all-artificial phase-1 basis.
     pub cold_starts: usize,
+    /// Columns the layout-preserving presolve fixed (`lb == ub` pins),
+    /// summed across rounds for A*.
+    pub cols_fixed: usize,
+    /// Rows the layout-preserving presolve freed (slack relaxed), summed
+    /// across rounds for A*.
+    pub rows_freed: usize,
+    /// Bound tightenings derived by the per-node presolve inside the
+    /// branch-and-bound tree.
+    pub node_tightenings: usize,
     /// Whether any simplex pass exhausted its iteration budget: the reported
     /// numbers then rest on an uncertified incumbent and the row must be
     /// labelled as such, never printed as converged.
@@ -181,16 +190,20 @@ pub fn run_teccl(scenario: &Scenario, config: &SolverConfig, method: Method) -> 
         factorizations: outcome.stats.factorizations,
         warm_starts: outcome.stats.warm_starts,
         cold_starts: outcome.stats.cold_starts,
+        cols_fixed: outcome.stats.cols_fixed,
+        rows_freed: outcome.stats.rows_freed,
+        node_tightenings: outcome.stats.node_tightenings,
         iteration_limit_hit: outcome.stats.iteration_limit_hit,
     })
 }
 
 /// Per-run solver counters for the headline solver scenarios, printed by the
 /// experiment runners so perf regressions (iteration blow-ups, lost warm
-/// starts) are visible in experiment output, not just in wall-clock noise.
-/// Row values: `[solver_s, simplex_iters, dual_iters, bb_nodes,
-/// factorizations, warm_starts, cold_starts]`; scenarios that tripped the
-/// simplex iteration budget are labelled `(ITER-LIMIT)`.
+/// starts, lost presolve reductions) are visible in experiment output, not
+/// just in wall-clock noise. Row values: `[solver_s, simplex_iters,
+/// dual_iters, bb_nodes, factorizations, warm_starts, cold_starts,
+/// cols_fixed, rows_freed, node_tight]`; scenarios that tripped the simplex
+/// iteration budget are labelled `(ITER-LIMIT)`.
 pub fn solver_stats_rows() -> Vec<Row> {
     let cases: Vec<(String, Scenario, Method)> = vec![
         (
@@ -240,6 +253,9 @@ pub fn solver_stats_rows() -> Vec<Row> {
                     r.factorizations as f64,
                     r.warm_starts as f64,
                     r.cold_starts as f64,
+                    r.cols_fixed as f64,
+                    r.rows_freed as f64,
+                    r.node_tightenings as f64,
                 ],
             });
         }
@@ -248,7 +264,7 @@ pub fn solver_stats_rows() -> Vec<Row> {
 }
 
 /// Header set matching [`solver_stats_rows`].
-pub const SOLVER_STATS_HEADERS: [&str; 7] = [
+pub const SOLVER_STATS_HEADERS: [&str; 10] = [
     "solver_s",
     "simplex_iters",
     "dual_iters",
@@ -256,6 +272,9 @@ pub const SOLVER_STATS_HEADERS: [&str; 7] = [
     "factorizations",
     "warm_starts",
     "cold_starts",
+    "cols_fixed",
+    "rows_freed",
+    "node_tight",
 ];
 
 /// Appends an explicit `(ITER-LIMIT)` marker to a row label when the run
@@ -362,11 +381,35 @@ pub fn degenerate_alltoall_fixture() -> (teccl_lp::StandardForm, usize, usize) {
     let form =
         teccl_core::lp_form::LpFormulation::build(&topo, &demand, transfer, &config, k.max(2), tau)
             .expect("degenerate fixture builds");
-    let (red, _post) = teccl_lp::presolve::presolve(&form.model).expect("presolve");
-    let sf = teccl_lp::StandardForm::from_model(&red);
-    // Measured ~2.3k iterations; the budget leaves ~10x headroom while still
-    // tripping on any Bland-style pricing regression (20-700x blow-ups).
+    let (red, post) = teccl_lp::presolve::presolve(&form.model).expect("presolve");
+    let mut sf = teccl_lp::StandardForm::from_model(&red);
+    post.relax_free_rows(&mut sf);
+    // Measured ~1.1k iterations with the layout-preserving presolve + crash
+    // slack basis; the budget leaves ~20x headroom while still tripping on
+    // any Bland-style pricing regression (20-700x blow-ups).
     (sf, red.num_vars(), 25_000)
+}
+
+/// Fixture for the **A\* cross-round warm-start** benches
+/// (`lp/presolve_warm_rounds` vs `lp/presolve_cold_rounds`): a Table-4 A\*
+/// scenario forced through several rounds, one config carrying the root basis
+/// across rounds (`astar_warm_rounds`) and one solving every round cold.
+/// Presolve runs in *both* — the layout-preserving presolve is exactly what
+/// lets the carried basis survive it. Returns
+/// `(scenario, warm_config, cold_config)`.
+pub fn warm_rounds_fixture() -> (Scenario, SolverConfig, SolverConfig) {
+    let scenario = Scenario::collective(
+        "astar-internal1x2-ag-16M",
+        teccl_topology::internal1(2),
+        CollectiveKind::AllGather,
+        1,
+        16.0 * 1024.0 * 1024.0,
+    );
+    let mut warm = quick_config();
+    warm.astar_warm_rounds = true;
+    let mut cold = quick_config();
+    cold.astar_warm_rounds = false;
+    (scenario, warm, cold)
 }
 
 /// Runs the TACCL-like baseline on a scenario.
@@ -389,6 +432,9 @@ pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
         factorizations: 0,
         warm_starts: 0,
         cold_starts: 0,
+        cols_fixed: 0,
+        rows_freed: 0,
+        node_tightenings: 0,
         iteration_limit_hit: false,
     })
 }
@@ -409,6 +455,9 @@ pub fn run_sccl(scenario: &Scenario) -> Option<RunResult> {
         factorizations: 0,
         warm_starts: 0,
         cold_starts: 0,
+        cols_fixed: 0,
+        rows_freed: 0,
+        node_tightenings: 0,
         iteration_limit_hit: false,
     })
 }
@@ -431,6 +480,9 @@ pub fn run_shortest_path(scenario: &Scenario) -> Option<RunResult> {
         factorizations: 0,
         warm_starts: 0,
         cold_starts: 0,
+        cols_fixed: 0,
+        rows_freed: 0,
+        node_tightenings: 0,
         iteration_limit_hit: false,
     })
 }
@@ -624,9 +676,10 @@ pub fn fig6_rows(chassis_counts: &[usize], size: f64) -> Vec<Row> {
 
 /// Table 4: TE-CCL solver time on the larger (reduced-scale) topologies.
 /// Row values: `[gpus, epoch_multiplier, solver_s, transfer_us,
-/// simplex_iters, warm_starts, cold_starts, iter_limit]`; rows that
-/// exhausted a simplex iteration budget carry an `(ITER-LIMIT)` label and a
-/// `1` in the `iter_limit` column instead of being reported as converged.
+/// simplex_iters, warm_starts, cold_starts, cols_fixed, rows_freed,
+/// node_tight, iter_limit]`; rows that exhausted a simplex iteration budget
+/// carry an `(ITER-LIMIT)` label and a `1` in the `iter_limit` column
+/// instead of being reported as converged.
 pub fn table4_rows() -> Vec<Row> {
     let mut rows = Vec::new();
     let cases: Vec<(String, Topology, CollectiveKind, Method)> = vec![
@@ -669,6 +722,9 @@ pub fn table4_rows() -> Vec<Row> {
                     o.simplex_iterations as f64,
                     o.warm_starts as f64,
                     o.cold_starts as f64,
+                    o.cols_fixed as f64,
+                    o.rows_freed as f64,
+                    o.node_tightenings as f64,
                     if o.iteration_limit_hit { 1.0 } else { 0.0 },
                 ],
             });

@@ -84,13 +84,15 @@ pub fn solve_astar(
     let mut stalls = 0usize;
     let mut stats = SolveStats::default();
 
-    // Cross-round warm starting: with a stable variable layout (full demand,
-    // no reachability pruning, presolve off) every round's MILP has the same
-    // shape — only bounds, right-hand sides, and objective weights change —
-    // so round t+1's root relaxation can re-optimize dually from round t's
-    // root basis instead of running phase 1 from artificials. The
-    // no-store-and-forward buffer mode derives its variable set from the
-    // round state, so it keeps the per-round (pruned, cold) builds.
+    // Cross-round warm starting: built from the full demand, every round's
+    // MILP has the same shape — the builder always creates the complete
+    // variable set (reachability pruning is bound fixing) and presolve is
+    // layout-preserving, so only bounds, right-hand sides, and objective
+    // weights change between rounds and round t+1's root relaxation
+    // re-optimizes dually from round t's root basis with the normal pipeline
+    // (presolve on, no special cases). The no-store-and-forward buffer mode
+    // derives its variable set from the round state, so it keeps the
+    // per-round (remaining-demand, cold) builds.
     let warm_rounds = config.astar_warm_rounds
         && !matches!(
             config.buffer_mode,
@@ -156,13 +158,28 @@ pub fn solve_astar(
             }
         }
 
+        // Under warm rounds the model keeps every commodity, so pin the flows
+        // of fully-delivered ones to zero: the layout stays identical (the
+        // carried basis survives) while presolve eliminates their columns
+        // from the actual solve — late rounds then cost what the shrinking
+        // remaining-demand builds used to, without re-shaping the model.
+        let mut frozen: Vec<(NodeId, usize)> = Vec::new();
+        if warm_rounds {
+            for s in topology.gpus() {
+                for c in 0..demand.num_chunks {
+                    if demand.chunk_in_use(s, c) && remaining.destinations_of(s, c).is_empty() {
+                        frozen.push((s, c));
+                    }
+                }
+            }
+        }
         let options = MilpBuildOptions {
             relax_completion: true,
             extra_initial,
             in_flight: in_flight.clone(),
             terminal_rewards,
             hyperedge_groups: Vec::new(),
-            stable_layout: warm_rounds,
+            frozen,
         };
         // Under warm rounds the model is built from the *full* demand so the
         // commodity set (and with it the layout) never changes; demands that

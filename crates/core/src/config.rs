@@ -82,19 +82,24 @@ pub struct SolverConfig {
     /// basis (Gurobi-style warm starts). On by default; disable only to
     /// measure the cold-start cost.
     pub warm_start: bool,
-    /// Whether consecutive A* rounds keep a **stable variable layout** (full
-    /// commodity set, no reachability pruning, presolve off) so round `t+1`'s
-    /// root relaxation warm-starts from round `t`'s basis via the dual
-    /// simplex. Requires an unlimited/limited buffer mode (the
-    /// no-store-and-forward variable set depends on the round state); the A*
-    /// solver silently falls back to per-round cold solves otherwise.
+    /// Whether consecutive A* rounds carry the root relaxation's simplex
+    /// basis so round `t+1` re-optimizes dually from round `t`'s basis.
+    /// Rounds are built from the full commodity set (delivered commodities
+    /// get their flows *bound-pinned*, not removed) and presolve is
+    /// layout-preserving, so the carried basis stays valid through the
+    /// normal pipeline — presolve and reachability pruning stay on.
+    /// Requires an unlimited/limited buffer mode (the no-store-and-forward
+    /// variable set depends on the round state); the A* solver silently
+    /// falls back to per-round cold solves otherwise.
     ///
-    /// Off by default: on the Table-4 scenarios the dual warm starts cut
-    /// simplex iterations roughly in half (e.g. internal1(2) ALLGATHER 16 MB:
-    /// 5082 → 2694), but giving up presolve and reachability pruning costs
-    /// more wall clock than the saved phase-1 work (~0.12 s → ~0.17 s there).
-    /// Enable it when iteration counts (determinism, numerical reproducibility
-    /// studies) matter more than wall clock.
+    /// On by default: re-measured after the layout-preserving presolve
+    /// landed, warm rounds cut simplex iterations by ~35-45% and win wall
+    /// clock on the Table-4 A* scenarios (median of 7: internal1(2) AG 16 MB
+    /// 67.6 → 62.7 ms, internal2(2) AG 16 MB 4.7 → 3.8 ms, internal2(4) AG
+    /// 16 MB 60.8 → 56.9 ms). The exception is very short runs (2 rounds,
+    /// e.g. NDv2 x1 AG 4 MB: 35.6 → 42.8 ms) where there is almost no
+    /// cross-round reuse to amortize the full-commodity build — disable it
+    /// there if the difference matters.
     pub astar_warm_rounds: bool,
 }
 
@@ -113,7 +118,7 @@ impl Default for SolverConfig {
             astar_max_rounds: 64,
             chunk_priorities: None,
             warm_start: true,
-            astar_warm_rounds: false,
+            astar_warm_rounds: true,
         }
     }
 }

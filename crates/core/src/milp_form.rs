@@ -39,15 +39,14 @@ pub struct MilpBuildOptions {
     /// Hyper-edge groups when the topology was transformed with
     /// [`crate::switch::hyperedge_transform`].
     pub hyperedge_groups: Vec<HyperEdgeGroup>,
-    /// When `true`, the variable/constraint layout depends only on the
-    /// topology, the demand's *shape*, and the epoch count — the
-    /// reachability pruning (`earliest`) is disabled so every commodity gets
-    /// variables for every epoch. Two rounds built from the same full demand
-    /// then produce identically-shaped models whose only differences are
-    /// bounds, right-hand sides, and objective weights, which is exactly what
-    /// lets round `t+1` warm-start from round `t`'s root basis (paired with
-    /// presolve off in [`MilpFormulation::solve_from`]).
-    pub stable_layout: bool,
+    /// Commodities whose flow variables are pinned to zero: `(source, chunk)`
+    /// pairs whose demands are already fully satisfied (or in flight). The
+    /// variables are still *created* — the layout stays identical across
+    /// rounds — but their bounds are fixed, so the layout-preserving presolve
+    /// eliminates them from the solve. This is how warm-started A* rounds
+    /// shed the cost of already-delivered commodities without changing the
+    /// model's shape.
+    pub frozen: Vec<(NodeId, usize)>,
 }
 
 /// A fully built MILP instance for one collective optimization.
@@ -69,9 +68,6 @@ pub struct MilpFormulation {
     b_vars: HashMap<(usize, usize, usize, usize), VarId>,
     r_vars: HashMap<(usize, usize, usize, usize), VarId>,
     initial_holders: HashMap<(usize, usize), Vec<NodeId>>,
-    /// Whether the model was built with [`MilpBuildOptions::stable_layout`]
-    /// (solves then skip presolve so carried bases keep their meaning).
-    stable_layout: bool,
 }
 
 impl MilpFormulation {
@@ -129,17 +125,14 @@ impl MilpFormulation {
             }
         }
 
-        // Earliest epoch a chunk can possibly be present at each node
-        // (model-size reduction: variables before that epoch are not created).
+        // Earliest epoch a chunk can possibly be present at each node.
         // Link cost in epochs: eff_delta + 1 (one epoch to issue the send).
-        // Disabled under `stable_layout`: the pruning depends on the holders
-        // carried into the round, which would change the layout per round.
+        // Applied below as *bound fixing* (variables before that epoch are
+        // created and pinned to zero), never as variable elision, so the
+        // reachability state carried into a round changes bounds but not the
+        // model's layout.
         let pm = teccl_topology::floyd_warshall(topology, |l| (eff_delta[l.id.0] + 1) as f64);
-        let stable_layout = options.stable_layout;
         let earliest = |s: NodeId, c: usize, n: NodeId| -> usize {
-            if stable_layout {
-                return 0;
-            }
             let mut best = usize::MAX;
             if let Some(holders) = initial_holders.get(&(s.0, c)) {
                 for &h in holders {
@@ -191,13 +184,23 @@ impl MilpFormulation {
         let mut x_vars: HashMap<(usize, usize, usize, usize), VarId> = HashMap::new();
 
         // ----- Variables -----------------------------------------------------
+        //
+        // Every commodity gets variables for every link / node / epoch: the
+        // layout depends only on the topology, the demand's *shape*, and the
+        // epoch count. Reachability pruning (`earliest`) is applied as bound
+        // fixing (`lb == ub == 0`) rather than by skipping creation — the
+        // layout-preserving presolve pins those columns, so the model solves
+        // at the pruned size while two rounds built from the same demand
+        // shape stay identically shaped (only bounds, right-hand sides, and
+        // objective weights differ). That is what lets A* round `t+1`
+        // warm-start from round `t`'s root basis with presolve on.
+        let frozen: std::collections::HashSet<(usize, usize)> =
+            options.frozen.iter().map(|&(s, c)| (s.0, c)).collect();
         for &(s, c) in &commodities {
+            let is_frozen = frozen.contains(&(s.0, c));
             for link in &topology.links {
                 let e0 = earliest(s, c, link.src);
-                if e0 == usize::MAX {
-                    continue;
-                }
-                for k in e0..k_max {
+                for k in 0..k_max {
                     let v = model.add_var(
                         format!("F[{s},{c},{}->{},{k}]", link.src, link.dst),
                         0.0,
@@ -205,6 +208,9 @@ impl MilpFormulation {
                         0.0,
                         true,
                     );
+                    if is_frozen || k < e0 {
+                        model.set_bounds(v, 0.0, 0.0);
+                    }
                     f_vars.insert((s.0, c, link.id.0, k), v);
                 }
             }
@@ -213,10 +219,7 @@ impl MilpFormulation {
                     continue;
                 }
                 let e0 = earliest(s, c, n);
-                if e0 == usize::MAX {
-                    continue;
-                }
-                for k in e0.max(1)..=k_max {
+                for k in 1..=k_max {
                     let v = model.add_var(
                         format!("B[{s},{c},{n},{k}]"),
                         0.0,
@@ -224,6 +227,9 @@ impl MilpFormulation {
                         0.0,
                         false,
                     );
+                    if k < e0.max(1) {
+                        model.set_bounds(v, 0.0, 0.0);
+                    }
                     b_vars.insert((s.0, c, n.0, k), v);
                 }
                 if let BufferMode::LimitedChunks(_) = config.buffer_mode {
@@ -566,7 +572,6 @@ impl MilpFormulation {
             b_vars,
             r_vars,
             initial_holders: holders,
-            stable_layout,
         })
     }
 
@@ -576,10 +581,10 @@ impl MilpFormulation {
     }
 
     /// Solves the MILP, optionally warm-starting the root relaxation from the
-    /// basis of a previous round's identically-shaped formulation (see
-    /// [`MilpBuildOptions::stable_layout`]). Warm solves disable presolve so
-    /// the basis keeps meaning the same columns; a mismatched basis silently
-    /// degrades to a cold root.
+    /// basis of a previous round's identically-shaped formulation. The build
+    /// always produces the same layout for the same demand shape and the
+    /// presolve is layout-preserving, so warm solves run the normal pipeline
+    /// (presolve on); a mismatched basis silently degrades to a cold root.
     pub fn solve_from(
         &self,
         config: &SolverConfig,
@@ -589,10 +594,6 @@ impl MilpFormulation {
             rel_gap: config.early_stop_gap.unwrap_or(1e-6),
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
             warm_start: config.warm_start,
-            // A stable-layout build must keep its column layout across
-            // rounds, including the (basis-producing) first one: presolve's
-            // reductions depend on bounds/rhs and would re-shape it.
-            presolve: !self.stable_layout,
             ..Default::default()
         };
         let sol = self.model.solve_with_warm(&milp_config, warm)?;
@@ -947,7 +948,7 @@ mod tests {
     }
 
     #[test]
-    fn model_size_reduction_skips_unreachable_epochs() {
+    fn unreachable_epochs_are_bound_fixed_not_elided() {
         let (topo, demand) = broadcast_on_line();
         let config = SolverConfig::default();
         let form = MilpFormulation::build(
@@ -960,15 +961,26 @@ mod tests {
             &MilpBuildOptions::default(),
         )
         .unwrap();
-        // The 2->1 direction can carry source-0 chunks only from epoch 2 on
-        // (node 2 cannot hold the chunk earlier); epoch-0/1 variables on that
-        // link must not exist.
-        assert!(
-            !form.f_vars.contains_key(&(0, 0, 3, 0)) || {
-                // link ids depend on insertion order; check semantically instead:
-                true
-            }
+        // Every link gets a flow variable for every epoch (stable layout)…
+        assert_eq!(
+            form.num_integer_vars(),
+            topo.links.len() * 4,
+            "full F-variable layout"
         );
-        assert!(form.num_integer_vars() < 4 * 4); // fewer than links * epochs
+        // …but flows a chunk cannot reach in time are pinned to zero: links
+        // leaving a node other than the source are unusable at epoch 0.
+        let source_out: Vec<usize> = topo.out_links(NodeId(0)).map(|l| l.id.0).collect();
+        let mut fixed = 0usize;
+        for link in &topo.links {
+            let v = form.f_vars[&(0, 0, link.id.0, 0)];
+            let def = &form.model.vars[v.index()];
+            if source_out.contains(&link.id.0) {
+                assert_eq!((def.lb, def.ub), (0.0, 1.0), "source link stays free");
+            } else {
+                assert_eq!((def.lb, def.ub), (0.0, 0.0), "unreachable flow pinned");
+                fixed += 1;
+            }
+        }
+        assert!(fixed > 0);
     }
 }

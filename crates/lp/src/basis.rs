@@ -28,6 +28,14 @@ pub const REFACTOR_INTERVAL: usize = 100;
 /// a column-relative test if badly scaled models ever show up).
 const PIVOT_TOL: f64 = 1e-10;
 
+/// Markowitz threshold-pivoting parameter: any candidate whose magnitude is
+/// at least this fraction of the column's largest admissible pivot may be
+/// chosen; among those, the row with the fewest non-zeros across the basis
+/// columns wins (less elimination work touching it → less fill-in). `0.1` is
+/// the classic compromise between stability (1.0 = pure partial pivoting)
+/// and sparsity.
+const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
 /// Status of a variable (standard-form column) in a simplex basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarStatus {
@@ -106,6 +114,15 @@ impl LuFactors {
         let mut work = vec![0.0; m];
         let mut in_touched = vec![false; m];
         let mut touched: Vec<usize> = Vec::with_capacity(m);
+        // Static per-row non-zero counts over the basis columns: the
+        // Markowitz tie-breaking signal (rows touched by few columns create
+        // little fill when eliminated early).
+        let mut row_count = vec![0usize; m];
+        for col in cols {
+            for (i, _) in col.iter() {
+                row_count[i] += 1;
+            }
+        }
 
         for (k, col) in cols.iter().enumerate() {
             // Scatter the column into the dense work vector.
@@ -134,9 +151,13 @@ impl LuFactors {
                 }
             }
             // Gather U entries (rows already pivoted) and pick the pivot among
-            // the rest by partial pivoting.
+            // the rest: threshold partial pivoting with Markowitz
+            // tie-breaking. Pass 1 finds the largest admissible magnitude;
+            // pass 2 picks, among rows within MARKOWITZ_THRESHOLD of it, the
+            // one with the smallest basis row count (ties by magnitude, then
+            // by row index for determinism).
             let mut ucol: Vec<(usize, f64)> = Vec::new();
-            let mut best: Option<(usize, f64)> = None;
+            let mut max_abs = 0.0f64;
             for &i in &touched {
                 let v = work[i];
                 if v == 0.0 {
@@ -144,21 +165,36 @@ impl LuFactors {
                 }
                 match pivoted[i] {
                     Some(step) => ucol.push((step, v)),
-                    None => {
-                        if best.is_none_or(|(_, b)| v.abs() > b.abs()) {
-                            best = Some((i, v));
-                        }
-                    }
+                    None => max_abs = max_abs.max(v.abs()),
                 }
             }
-            let (prow, pval) = match best {
-                Some((i, v)) if v.abs() > PIVOT_TOL => (i, v),
-                _ => {
-                    return Err(LpError::Numerical(format!(
-                        "singular basis at column {k} (no admissible pivot)"
-                    )))
+            if max_abs <= PIVOT_TOL {
+                return Err(LpError::Numerical(format!(
+                    "singular basis at column {k} (no admissible pivot)"
+                )));
+            }
+            let cutoff = (MARKOWITZ_THRESHOLD * max_abs).max(PIVOT_TOL);
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &touched {
+                let v = work[i];
+                if v == 0.0 || pivoted[i].is_some() || v.abs() < cutoff {
+                    continue;
                 }
-            };
+                let better = match best {
+                    None => true,
+                    Some((bi, bv)) => match row_count[i].cmp(&row_count[bi]) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => {
+                            v.abs() > bv.abs() || (v.abs() == bv.abs() && i < bi)
+                        }
+                    },
+                };
+                if better {
+                    best = Some((i, v));
+                }
+            }
+            let (prow, pval) = best.expect("an admissible pivot exists above the cutoff");
             ucol.sort_unstable_by_key(|&(step, _)| step);
             let mut lcol: Vec<(usize, f64)> = Vec::new();
             for &i in &touched {
@@ -190,6 +226,15 @@ impl LuFactors {
     /// Number of eta updates accumulated since the last factorization.
     pub fn eta_count(&self) -> usize {
         self.etas.len()
+    }
+
+    /// Total non-zeros stored in the `L` and `U` factors (including the unit
+    /// and stored diagonals) — the fill-in metric `BENCH_lp.json` tracks for
+    /// the Markowitz pivot ordering.
+    pub fn fill_nnz(&self) -> usize {
+        let l: usize = self.lcols.iter().map(|c| c.len()).sum();
+        let u: usize = self.ucols.iter().map(|c| c.len()).sum();
+        l + u + 2 * self.m
     }
 
     /// Whether the eta file is long enough that the caller should refactorize.

@@ -9,18 +9,23 @@
 //!
 //! * a **model builder** ([`Model`]) with bounded continuous and integer
 //!   variables, linear constraints (`<=`, `>=`, `==`) and a linear objective,
-//! * a **presolver** ([`presolve`]) that removes fixed variables, empty and
-//!   singleton rows (TE-CCL models contain many structurally-forced-zero flow
-//!   variables near the time boundaries, so this matters a lot),
+//! * a **layout-preserving presolver** ([`presolve`]) that pins fixed
+//!   variables by `lb == ub` bounds and frees redundant/forcing/singleton
+//!   rows by relaxing their slacks — the column space is identical with
+//!   presolve on or off, so any basis warm-starts any same-shaped solve
+//!   (TE-CCL models contain many structurally-forced-zero flow variables
+//!   near the time boundaries, so the reductions matter a lot),
 //! * a **two-phase bounded-variable revised simplex** ([`simplex`]) on a sparse
-//!   LU-factorized basis with eta updates ([`basis`]), devex candidate-list
-//!   pricing, a Bland anti-cycling fallback, and **warm starts** from a prior
-//!   basis ([`simplex::solve_standard_form_from`]),
+//!   LU-factorized basis with eta updates and Markowitz-tie-broken pivoting
+//!   ([`basis`]), a crash slack basis, devex candidate-list pricing, an
+//!   EXPAND anti-cycling ratio test, and **warm starts** from a prior basis
+//!   ([`simplex::solve_standard_form_from`]) re-optimized by a dual simplex,
 //! * a **branch-and-bound MILP solver** ([`milp`]) with a rounding heuristic,
 //!   relative-gap early stop (the paper's "early stop at 30%" mode), a time
-//!   limit (the paper's 2-hour Gurobi timeout), and **hot node re-solves**:
-//!   each child starts from its parent's optimal basis instead of a cold
-//!   all-artificial phase 1.
+//!   limit (the paper's 2-hour Gurobi timeout), **hot node re-solves** (each
+//!   child starts from its parent's optimal basis instead of a cold
+//!   all-artificial phase 1), and **per-node presolve** (bound propagation
+//!   plus light probing feeding the dual re-solve's override list).
 //!
 //! The solver is deterministic: the same model always produces the same
 //! solution, mirroring the reliability claim TE-CCL makes versus TACCL.

@@ -14,7 +14,13 @@
 //!   built *once* at the root; every child node re-solves with only a bound
 //!   override list and its parent's optimal basis, so the simplex repairs a
 //!   single bound violation instead of re-running phase 1 from the
-//!   all-artificial basis (see [`crate::simplex::solve_standard_form_from`]).
+//!   all-artificial basis (see [`crate::simplex::solve_standard_form_from`]),
+//! * **per-node presolve**: before each node's LP re-solve, a lightweight
+//!   bound-propagation pass (row-activity implied bounds, integer rounding,
+//!   and light probing on binary variables) tightens the node's override
+//!   list — or proves the node infeasible without any LP work. The root
+//!   presolve is layout-preserving, so the propagated bounds feed straight
+//!   into the dual simplex's bound-override path with the shared basis.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -48,12 +54,10 @@ pub struct MilpConfig {
     /// (disable to force cold phase-1 starts at every node, e.g. for
     /// benchmarking the warm-start win).
     pub warm_start: bool,
-    /// Whether to run presolve before building the standard form. Disable
-    /// when an external caller warm-starts the root relaxation across solves
-    /// of identically-shaped models (A* rounds): presolve's reductions depend
-    /// on bounds/rhs, so it would change the column layout between rounds and
-    /// invalidate the carried basis.
-    pub presolve: bool,
+    /// Whether to run the per-node presolve (bound propagation + light
+    /// probing) before each node's LP re-solve. Disable only to measure its
+    /// effect — it never changes the reported optimum.
+    pub node_presolve: bool,
 }
 
 impl Default for MilpConfig {
@@ -64,7 +68,7 @@ impl Default for MilpConfig {
             node_limit: 200_000,
             rounding_heuristic: true,
             warm_start: true,
-            presolve: true,
+            node_presolve: true,
         }
     }
 }
@@ -161,24 +165,28 @@ impl MilpSolver {
         // `better(a, b)` returns true if objective a is strictly better than b.
         let better = |a: f64, b: f64| if maximize { a > b + 1e-9 } else { a < b - 1e-9 };
 
-        // Presolve ONCE; the whole tree shares the reduced model's standard
-        // form and only varies bounds. Bound tightenings from branching only
-        // shrink domains, so the root reduction stays valid at every node.
-        // (With `config.presolve` off the model is used as-is, keeping the
-        // column layout identical across same-shaped models so a carried
-        // root basis stays valid.)
-        let (red, post) = if self.config.presolve {
-            presolve::presolve(model)?
-        } else {
-            presolve::identity(model)
-        };
+        // Presolve ONCE; the whole tree shares the tightened model's standard
+        // form and only varies bounds. The presolve is layout-preserving
+        // (fixings are `lb == ub` pins, freed rows get relaxed slacks), so
+        // the column space is identical to the raw model's — any basis from
+        // any node, round, or differently-presolved sibling solve stays
+        // valid. Bound tightenings from branching only shrink domains, so
+        // the root reductions hold at every node.
+        let (red, post) = presolve::presolve(model)?;
         if let Some(early) = post.trivial_outcome() {
             let mut sol = post.recover(early, model);
             sol.stats.solve_time = start.elapsed();
             return Ok(sol);
         }
-        let sf = StandardForm::from_model(&red);
+        let mut sf = StandardForm::from_model(&red);
+        post.relax_free_rows(&mut sf);
+        let sf = sf;
         let num_red_vars = red.num_vars();
+        // Per-node presolve shares the same row view for the whole tree.
+        let mut node_presolver = self
+            .config
+            .node_presolve
+            .then(|| presolve::NodePresolver::new(&red, &post));
         // Original-model integer variables and their reduced columns.
         let int_vars: Vec<usize> = model
             .vars
@@ -189,8 +197,10 @@ impl MilpSolver {
             .collect();
 
         let mut stats = SolveStats {
-            presolved_vars: post.reduced_vars,
-            presolved_cons: post.reduced_cons,
+            presolved_vars: post.original_vars - post.cols_fixed,
+            presolved_cons: post.original_cons - post.rows_freed,
+            cols_fixed: post.cols_fixed,
+            rows_freed: post.rows_freed,
             ..Default::default()
         };
 
@@ -237,7 +247,7 @@ impl MilpSolver {
         // The root relaxation is already solved; hand it to the first pop.
         let mut root_relax = Some(root);
 
-        while let Some(HeapNode { node, .. }) = heap.pop() {
+        while let Some(HeapNode { mut node, .. }) = heap.pop() {
             // Global bound = best over the open nodes and the node being
             // processed (the heap is ordered by bound).
             best_bound = node.parent_bound;
@@ -267,6 +277,17 @@ impl MilpSolver {
             let relax = match root_relax.take() {
                 Some(r) => r,
                 None => {
+                    // Per-node presolve: propagate the branching bounds
+                    // through the rows (plus light probing) before paying for
+                    // the LP. The tightenings land in the override list the
+                    // dual simplex consumes; a propagation-proven infeasible
+                    // node is pruned with no LP work at all.
+                    if let Some(np) = node_presolver.as_mut() {
+                        match np.tighten(&mut node.overrides) {
+                            None => continue, // infeasible by propagation
+                            Some(t) => stats.node_tightenings += t,
+                        }
+                    }
                     let warm = if self.config.warm_start {
                         node.warm.as_deref()
                     } else {
@@ -332,12 +353,9 @@ impl MilpSolver {
                             }
                         }
                     }
-                    // Branch on the reduced column of variable j. A branched
-                    // variable is fractional in the relaxation, so presolve
-                    // cannot have fixed it and the mapping always exists.
-                    let Some(red_j) = post.mapping[j] else {
-                        continue;
-                    };
+                    // Branch on variable j. Presolve preserves the column
+                    // layout, so the model index IS the standard-form column.
+                    let red_j = j;
                     let v = relax.values[j];
                     let floor = v.floor();
                     let ceil = v.ceil();

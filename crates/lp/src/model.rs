@@ -223,36 +223,26 @@ impl Model {
     }
 
     /// Like [`Model::solve_lp_relaxation`], but warm-started from the basis of
-    /// a previous relaxation of the same (or an identically-shaped) model.
+    /// a previous solve of the same (or an identically-shaped) model.
     ///
-    /// The basis lives in the *presolved standard-form* space, so it is only
-    /// usable when presolve produces the same reduction; otherwise the simplex
-    /// detects the shape mismatch and silently falls back to a cold start.
-    /// The returned [`Solution::basis`] can be fed into the next call.
+    /// Presolve is layout-preserving (it only tightens bounds and frees
+    /// redundant rows), so the basis keeps its meaning regardless of how the
+    /// previous solve was presolved; a genuinely mismatched basis (different
+    /// model shape) silently falls back to a cold start. The returned
+    /// [`Solution::basis`] can be fed into the next call.
     pub fn solve_lp_relaxation_warm(
         &self,
         warm: Option<&crate::basis::SimplexBasis>,
     ) -> Result<Solution, LpError> {
-        self.solve_lp_relaxation_impl(warm, true)
-    }
-
-    fn solve_lp_relaxation_impl(
-        &self,
-        warm: Option<&crate::basis::SimplexBasis>,
-        presolve: bool,
-    ) -> Result<Solution, LpError> {
         self.validate()?;
         let start = std::time::Instant::now();
-        let (reduced, post) = if presolve {
-            presolve::presolve(self)?
-        } else {
-            presolve::identity(self)
-        };
+        let (tightened, post) = presolve::presolve(self)?;
         let mut sol = if let Some(early) = post.trivial_outcome() {
             early
         } else {
-            let sf = crate::standard::StandardForm::from_model(&reduced);
-            simplex::solve_standard_form_from(&sf, reduced.num_vars(), &[], warm)?
+            let mut sf = crate::standard::StandardForm::from_model(&tightened);
+            post.relax_free_rows(&mut sf);
+            simplex::solve_standard_form_from(&sf, tightened.num_vars(), &[], warm)?
         };
         sol = post.recover(sol, self);
         sol.stats.solve_time = start.elapsed();
@@ -274,9 +264,10 @@ impl Model {
 
     /// Like [`Model::solve_with`], but warm-started from the basis a previous
     /// solve of an identically-shaped model returned in [`Solution::basis`]
-    /// (for MILPs: the root relaxation's basis — build both models with
-    /// `config.presolve` disabled so the column layout matches). A mismatched
-    /// basis silently falls back to a cold start.
+    /// (for MILPs: the root relaxation's basis). Presolve preserves the
+    /// column layout, so the carried basis stays valid no matter how either
+    /// model presolves; a genuinely mismatched basis silently falls back to a
+    /// cold start.
     pub fn solve_with_warm(
         &self,
         config: &MilpConfig,
@@ -286,10 +277,7 @@ impl Model {
         if self.is_mip() {
             MilpSolver::new(config.clone()).solve_from(self, warm)
         } else {
-            // Honor `config.presolve` here too: the documented recipe for
-            // carrying a basis across identically-shaped models relies on the
-            // column layout staying fixed, which presolve would break.
-            self.solve_lp_relaxation_impl(warm, config.presolve)
+            self.solve_lp_relaxation_warm(warm)
         }
     }
 

@@ -226,9 +226,12 @@ fn cold_solve(
     Ok(sol)
 }
 
-/// Builds the initial cold-start state: non-basic structural/slack columns at
-/// a finite bound (or 0 if free) and an all-artificial basis absorbing the
-/// residual.
+/// Builds the initial cold-start state: non-basic structural columns at a
+/// finite bound (or 0 if free) and a **crash slack basis** — each row whose
+/// residual fits inside its slack's bounds starts with the slack basic (no
+/// phase-1 work at all for that row); only rows the slack cannot absorb get a
+/// basic artificial. Freed rows (presolve relaxes their slack to
+/// `(-inf, +inf)`) therefore never contribute phase-1 infeasibility.
 fn build_initial_state<'a>(
     sf: &'a StandardForm,
     lb_in: &[f64],
@@ -255,19 +258,38 @@ fn build_initial_state<'a>(
         }
     }
 
-    // Residual the artificial basis must absorb.
+    // Residual each row's basic column must absorb. Slack columns sit at 0 in
+    // `x` here; a slack chosen as the crash basic column is moved off its
+    // bound to the residual below, which keeps `A x = b` exact.
     let ax = sf.a.mul_dense(&x[..n]);
     let mut art_sign = vec![1.0; m];
     let mut basis = Vec::with_capacity(m);
     for i in 0..m {
         let r = sf.b[i] - ax[i];
-        art_sign[i] = if r >= 0.0 { 1.0 } else { -1.0 };
+        let slack = sf.num_structural + i;
         let j = n + i;
-        lb.push(0.0);
-        ub.push(f64::INFINITY);
-        x[j] = r.abs();
-        status[j] = VarStatus::Basic;
-        basis.push(j);
+        // The slack column is exactly `e_i`, so putting it basic with value
+        // `x[slack] + r` keeps the start point consistent; admissible when
+        // that value respects the slack's bounds. (The slack of a `<=` row
+        // absorbs any r >= 0, a freed row's slack absorbs anything.)
+        let crash = x[slack] + r;
+        if crash >= lb[slack] - FEAS_TOL && crash <= ub[slack] + FEAS_TOL {
+            x[slack] = crash;
+            status[slack] = VarStatus::Basic;
+            basis.push(slack);
+            // The artificial is never needed: pin it at zero, non-basic.
+            lb.push(0.0);
+            ub.push(0.0);
+            x[j] = 0.0;
+            status[j] = VarStatus::AtLower;
+        } else {
+            art_sign[i] = if r >= 0.0 { 1.0 } else { -1.0 };
+            lb.push(0.0);
+            ub.push(f64::INFINITY);
+            x[j] = r.abs();
+            status[j] = VarStatus::Basic;
+            basis.push(j);
+        }
     }
 
     let mut state = SimplexState {
@@ -792,6 +814,13 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
                 let mut scored: Vec<(f64, usize, f64, f64)> = Vec::new();
                 for (j, &cj) in cost.iter().enumerate().take(ncols) {
                     if state.status[j] == VarStatus::Basic {
+                        continue;
+                    }
+                    // Zero-range (presolve-fixed) columns can never enter;
+                    // skipping them before the dot product keeps the masses
+                    // of pinned columns the layout-preserving presolve leaves
+                    // behind nearly free.
+                    if state.ub[j] - state.lb[j] < DTOL {
                         continue;
                     }
                     let d = state.price_col(j, cj, &y);

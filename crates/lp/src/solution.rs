@@ -44,10 +44,20 @@ pub struct SolveStats {
     pub mip_gap: f64,
     /// Best dual bound proved (MILP) or the LP optimum (LP).
     pub best_bound: f64,
-    /// Variables in the model after presolve.
+    /// Variables left *free* (not fixed) by the layout-preserving presolve.
     pub presolved_vars: usize,
-    /// Constraints in the model after presolve.
+    /// Constraints left *active* (not freed) by the layout-preserving
+    /// presolve.
     pub presolved_cons: usize,
+    /// Variables presolve fixed by pinning `lb == ub` in the original column
+    /// space (the column itself stays in the model).
+    pub cols_fixed: usize,
+    /// Rows presolve proved redundant and freed (their standard-form slack is
+    /// relaxed to `(-inf, +inf)`; the row itself stays in the model).
+    pub rows_freed: usize,
+    /// Bound tightenings derived by the per-node presolve inside the
+    /// branch-and-bound tree (propagation + probing), summed over all nodes.
+    pub node_tightenings: usize,
     /// Number of LU basis (re)factorizations performed.
     pub factorizations: usize,
     /// LP solves started from a warm basis (branch-and-bound children, A*
@@ -71,6 +81,9 @@ impl SolveStats {
         self.factorizations += other.factorizations;
         self.warm_starts += other.warm_starts;
         self.cold_starts += other.cold_starts;
+        self.cols_fixed += other.cols_fixed;
+        self.rows_freed += other.rows_freed;
+        self.node_tightenings += other.node_tightenings;
         self.iteration_limit_hit |= other.iteration_limit_hit;
     }
 }
@@ -89,9 +102,11 @@ pub struct Solution {
     pub duals: Vec<f64>,
     /// Solve statistics.
     pub stats: SolveStats,
-    /// A simplex basis usable to warm-start a re-solve of the same standard
-    /// form: the final basis for pure LP solves, the **root relaxation's**
-    /// final basis for branch-and-bound solves (the cross-round A* carry).
+    /// A simplex basis usable to warm-start a re-solve of the same (or an
+    /// identically-shaped) standard form: the final basis for pure LP solves,
+    /// the **root relaxation's** final basis for branch-and-bound solves (the
+    /// cross-round A* carry). Presolve preserves the column layout, so the
+    /// basis stays meaningful across differently-presolved solves.
     pub basis: Option<crate::basis::SimplexBasis>,
 }
 

@@ -373,6 +373,134 @@ fn degenerate_alltoall_shaped_lp_solves_under_iteration_budget() {
     assert!((total_read - (n * (n - 1)) as f64).abs() < 1e-5);
 }
 
+/// Presolve-on-vs-off agreement over the random-LP corpus: the
+/// layout-preserving presolve must not change the answer — `Model::solve_lp_
+/// relaxation` (presolve on) and a raw standard-form solve (no presolve) must
+/// agree on status and objective to 1e-6 on every instance. On top of that,
+/// the *basis* of either solve must warm-start the other: presolve only
+/// tightens bounds and relaxes freed-row slacks, so the column space is one
+/// and the same.
+#[test]
+fn presolve_on_and_off_agree_and_share_one_column_space() {
+    let mut rng = Lcg(0x1a70_0071);
+    let mut solved = 0usize;
+    let mut crossed = 0usize;
+    for case in 0..200 {
+        let m = random_lp(&mut rng);
+        let nv = m.num_vars();
+        let sf_raw = StandardForm::from_model(&m);
+        let raw = solve_standard_form(&sf_raw, nv).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let pre = m
+            .solve_lp_relaxation()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            pre.status, raw.status,
+            "case {case}: presolve-on {:?} vs presolve-off {:?}",
+            pre.status, raw.status
+        );
+        if !pre.status.has_solution() {
+            continue;
+        }
+        solved += 1;
+        assert!(
+            (pre.objective - raw.objective).abs() < 1e-6,
+            "case {case}: presolve-on {} vs presolve-off {}",
+            pre.objective,
+            raw.objective
+        );
+
+        // One column space: the presolved solve's basis warm-starts the raw
+        // form, and the raw solve's basis warm-starts a presolved re-solve.
+        let (pre_basis, raw_basis) = (pre.basis.as_ref(), raw.basis.as_ref());
+        if let Some(b) = pre_basis {
+            let w = solve_standard_form_from(&sf_raw, nv, &[], Some(b)).unwrap();
+            assert_eq!(w.status, SolveStatus::Optimal, "case {case}");
+            assert_eq!(
+                w.stats.warm_starts, 1,
+                "case {case}: presolved basis rejected"
+            );
+            assert!((w.objective - raw.objective).abs() < 1e-6, "case {case}");
+            crossed += 1;
+        }
+        if let Some(b) = raw_basis {
+            let w = m.solve_lp_relaxation_warm(Some(b)).unwrap();
+            assert_eq!(w.status, SolveStatus::Optimal, "case {case}");
+            assert_eq!(w.stats.warm_starts, 1, "case {case}: raw basis rejected");
+            assert!((w.objective - raw.objective).abs() < 1e-6, "case {case}");
+        }
+    }
+    assert!(solved >= 80, "only {solved} optimal instances");
+    assert!(crossed >= 60, "only {crossed} cross-presolve warm starts");
+}
+
+/// Per-node presolve on-vs-off agreement over the random-MILP corpus, with
+/// B&B chains deep enough to exercise the propagation: statuses and
+/// objectives must match to 1e-6, and the tightening machinery must actually
+/// fire somewhere in the corpus.
+#[test]
+fn node_presolve_on_and_off_agree_on_random_milps() {
+    use teccl_lp::MilpConfig;
+    let mut rng = Lcg(0x9e0d_e135);
+    let mut solved = 0usize;
+    let mut tightenings = 0usize;
+    let mut nodes_with_tightening = 0usize;
+    for case in 0..40 {
+        // Knapsacks with a cardinality side constraint and mixed weights:
+        // branching one binary shrinks the residual capacity, which is what
+        // the row-activity propagation converts into fixings of the others.
+        let nvars = 4 + rng.below(8);
+        let mut m = Model::new(Sense::Maximize);
+        let xs: Vec<_> = (0..nvars)
+            .map(|j| m.add_binary_var(format!("x{j}"), rng.range(1.0, 10.0)))
+            .collect();
+        let terms: Vec<_> = xs.iter().map(|&x| (x, rng.range(1.0, 6.0))).collect();
+        m.add_cons("cap", &terms, ConstraintOp::Le, rng.range(4.0, 14.0));
+        let t2: Vec<_> = xs.iter().map(|&x| (x, 1.0)).collect();
+        m.add_cons(
+            "card",
+            &t2,
+            ConstraintOp::Le,
+            (2 + rng.below(nvars / 2)) as f64,
+        );
+        let on = m
+            .solve_with(&MilpConfig {
+                rounding_heuristic: false,
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let off = m
+            .solve_with(&MilpConfig {
+                rounding_heuristic: false,
+                node_presolve: false,
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(on.status, off.status, "case {case}");
+        if on.status.has_solution() {
+            assert!(
+                (on.objective - off.objective).abs() < 1e-6,
+                "case {case}: node-presolve on {} vs off {}",
+                on.objective,
+                off.objective
+            );
+            solved += 1;
+        }
+        tightenings += on.stats.node_tightenings;
+        if on.stats.node_tightenings > 0 {
+            nodes_with_tightening += 1;
+        }
+        assert_eq!(
+            off.stats.node_tightenings, 0,
+            "case {case}: off must not tighten"
+        );
+    }
+    assert!(solved >= 30, "only {solved} solved MILPs");
+    assert!(
+        tightenings > 0 && nodes_with_tightening >= 5,
+        "per-node presolve never fired: {tightenings} tightenings in {nodes_with_tightening} runs"
+    );
+}
+
 #[test]
 fn milp_warm_and_cold_nodes_agree_on_random_corpus() {
     use teccl_lp::MilpConfig;

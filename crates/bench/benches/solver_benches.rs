@@ -101,6 +101,47 @@ fn bench_presolve_warm_rounds(h: &mut Harness) {
     });
 }
 
+/// Schedule-service benches: steady-state hit latency (which must never
+/// fall off the no-solve path) and request throughput at a fixed hit ratio
+/// (one evicted key per 64-request batch → exactly one solve per batch).
+fn bench_service(h: &mut Harness) {
+    use teccl_service::CacheStatus;
+    let (svc, pool) = teccl_bench::service_bench_fixture();
+    // Pre-solve every key once so hits are hits.
+    for req in &pool {
+        svc.request(req.clone()).expect("fixture request solves");
+    }
+
+    let hot = pool[1].clone();
+    let solves_before = svc.stats().solves;
+    h.bench_function("service/cache_hit_latency", || {
+        let served = svc.request(hot.clone()).expect("hit");
+        assert_eq!(
+            served.cache,
+            CacheStatus::Hit,
+            "cache hit fell off the no-solve path"
+        );
+    });
+    let stats = svc.stats();
+    assert_eq!(
+        stats.solves, solves_before,
+        "cache hits must not invoke the solver"
+    );
+
+    let cold_key = pool[0].key().hash;
+    h.bench_function("service/throughput", || {
+        // 64 requests over 8 keys, one of which was just evicted: exactly
+        // one solve, the rest in-memory hits (or coalesced with that solve).
+        svc.evict_key(cold_key);
+        let tickets: Vec<_> = (0..64)
+            .map(|i| svc.submit(pool[i % pool.len()].clone()))
+            .collect();
+        for t in tickets {
+            t.wait().expect("batch request solves");
+        }
+    });
+}
+
 fn bench_baselines(h: &mut Harness) {
     let topo = teccl_topology::dgx1();
     let gpus: Vec<NodeId> = topo.gpus().collect();
@@ -148,6 +189,7 @@ fn main() {
     bench_simplex_warm_vs_cold(&mut h);
     bench_dual_and_degenerate(&mut h);
     bench_presolve_warm_rounds(&mut h);
+    bench_service(&mut h);
     bench_baselines(&mut h);
     bench_simulator(&mut h);
 }

@@ -111,6 +111,47 @@ fn main() {
         );
     });
 
+    // Schedule service: steady-state cache-hit latency and batch throughput
+    // at a fixed hit ratio (one evicted key per 64-request batch → exactly
+    // one solve per batch). The hit bench is a CI gate: a hit that falls off
+    // the no-solve path (any cache status but Hit, or a moved solve counter)
+    // aborts the process and fails the bench smoke.
+    {
+        use teccl_service::CacheStatus;
+        let (svc, pool) = teccl_bench::service_bench_fixture();
+        for req in &pool {
+            svc.request(req.clone()).expect("fixture request solves");
+        }
+        let hot = pool[1].clone();
+        let solves_before = svc.stats().solves;
+        h.bench_function("service/cache_hit_latency", || {
+            let served = svc.request(hot.clone()).expect("hit");
+            assert_eq!(
+                served.cache,
+                CacheStatus::Hit,
+                "cache hit fell off the no-solve path"
+            );
+        });
+        let stats = svc.stats();
+        assert_eq!(
+            stats.solves, solves_before,
+            "cache hits must not invoke the solver (solves {} -> {})",
+            solves_before, stats.solves
+        );
+        assert_eq!(stats.solve_errors, 0);
+
+        let cold_key = pool[0].key().hash;
+        h.bench_function("service/throughput", || {
+            svc.evict_key(cold_key);
+            let tickets: Vec<_> = (0..64)
+                .map(|i| svc.submit(pool[i % pool.len()].clone()))
+                .collect();
+            for t in tickets {
+                t.wait().expect("batch request solves");
+            }
+        });
+    }
+
     // Solver counters alongside the timings: the warm/cold split is the perf
     // claim, so regressions must be visible here too.
     print_table(

@@ -412,6 +412,38 @@ pub fn warm_rounds_fixture() -> (Scenario, SolverConfig, SolverConfig) {
     (scenario, warm, cold)
 }
 
+/// Fixture for the schedule-service benches (`service/throughput`,
+/// `service/cache_hit_latency`): a started service plus a pool of 8 small,
+/// distinct requests. The throughput bench evicts one key per batch so every
+/// 64-request batch performs exactly one solve (63/64 ≈ 98% hit ratio —
+/// fixed by construction); the hit-latency bench must never leave the
+/// no-solve path.
+pub fn service_bench_fixture() -> (
+    teccl_service::ScheduleService,
+    Vec<teccl_service::SolveRequest>,
+) {
+    use teccl_collective::CollectiveKind::*;
+    let svc = teccl_service::ScheduleService::start(teccl_service::ServiceConfig {
+        workers: 2,
+        cache_capacity: 64,
+        disk_dir: None,
+    })
+    .expect("service starts");
+    let mut pool = Vec::new();
+    for (i, kind) in [AllGather, AllToAll, Broadcast, Gather].iter().enumerate() {
+        for n in [3usize, 4] {
+            pool.push(teccl_service::SolveRequest::new(
+                teccl_topology::ring_topology(n, 1e9, 0.0),
+                *kind,
+                1,
+                (32 + 16 * i) as f64 * 1024.0,
+            ));
+        }
+    }
+    assert_eq!(pool.len(), 8);
+    (svc, pool)
+}
+
 /// Runs the TACCL-like baseline on a scenario.
 pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
     let cfg = TacclConfig {

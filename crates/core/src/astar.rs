@@ -40,6 +40,11 @@ pub struct AStarOutcome {
     /// Solver statistics aggregated across every round's MILP (simplex
     /// iterations, B&B nodes, factorizations, warm/cold starts).
     pub stats: SolveStats,
+    /// The last round's root-relaxation basis (the most recently published
+    /// warm-start hint): a later solve of a same-shaped round — e.g. a
+    /// cache-adjacent request in the schedule service — can start from it via
+    /// [`solve_astar_from`].
+    pub final_basis: Option<SimplexBasis>,
 }
 
 /// Solves `demand` with the A* technique. `tau` is the epoch duration.
@@ -49,6 +54,21 @@ pub fn solve_astar(
     chunk_bytes: f64,
     config: &SolverConfig,
     tau: f64,
+) -> Result<AStarOutcome, TeCclError> {
+    solve_astar_from(topology, demand, chunk_bytes, config, tau, None)
+}
+
+/// [`solve_astar`] with an externally supplied basis for the first round's
+/// root relaxation (rounds then carry their own basis as usual when
+/// `astar_warm_rounds` is on). A basis whose shape does not match the first
+/// round's model silently falls back to a cold start inside the LP layer.
+pub fn solve_astar_from(
+    topology: &Topology,
+    demand: &DemandMatrix,
+    chunk_bytes: f64,
+    config: &SolverConfig,
+    tau: f64,
+    initial_basis: Option<&SimplexBasis>,
 ) -> Result<AStarOutcome, TeCclError> {
     if demand.is_empty() {
         return Err(TeCclError::EmptyDemand);
@@ -98,7 +118,8 @@ pub fn solve_astar(
             config.buffer_mode,
             crate::config::BufferMode::NoStoreAndForward
         );
-    let mut carried_basis: Option<SimplexBasis> = None;
+    let mut carried_basis: Option<SimplexBasis> = initial_basis.cloned();
+    let mut final_basis: Option<SimplexBasis> = None;
 
     for round in 0..config.astar_max_rounds {
         // Remaining demands: a triple is satisfied once the destination holds
@@ -123,6 +144,7 @@ pub fn solve_astar(
                 solver_time: start.elapsed().as_secs_f64(),
                 initial_holders,
                 stats,
+                final_basis,
             });
         }
 
@@ -197,11 +219,22 @@ pub fn solve_astar(
         )?;
         let sol = form.solve_from(config, carried_basis.as_ref())?;
         stats.absorb(&sol.stats);
-        if warm_rounds && sol.basis.is_some() {
+        if warm_rounds {
             // A round that produced no basis (e.g. a presolve-trivial or
             // basis-less outcome) keeps the previous one rather than dropping
             // the warm chain for the rest of the run.
-            carried_basis = sol.basis.clone();
+            if sol.basis.is_some() {
+                carried_basis = sol.basis.clone();
+            }
+        } else {
+            // Without warm rounds the externally supplied basis only applies
+            // to the first round — later rounds are differently shaped
+            // (remaining-demand builds), so retrying it would just burn a
+            // failed warm attempt per round.
+            carried_basis = None;
+        }
+        if sol.basis.is_some() {
+            final_basis = sol.basis.clone();
         }
         let round_sends = form.sends(&sol);
 
@@ -275,6 +308,7 @@ pub fn solve_astar(
             solver_time: start.elapsed().as_secs_f64(),
             initial_holders,
             stats,
+            final_basis,
         })
     } else {
         Err(TeCclError::AStarDidNotConverge {

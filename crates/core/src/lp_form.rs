@@ -319,12 +319,24 @@ impl LpFormulation {
 
     /// Solves the LP.
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, TeCclError> {
+        self.solve_from(config, None)
+    }
+
+    /// Solves the LP, optionally warm-starting from the basis of a previous
+    /// solve of an identically-shaped formulation (the schedule service's
+    /// cache-adjacent warm start). A mismatched or stale basis silently
+    /// degrades to a cold start.
+    pub fn solve_from(
+        &self,
+        config: &SolverConfig,
+        warm: Option<&teccl_lp::SimplexBasis>,
+    ) -> Result<Solution, TeCclError> {
         let milp_config = MilpConfig {
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
             warm_start: config.warm_start,
             ..Default::default()
         };
-        let sol = self.model.solve_with(&milp_config)?;
+        let sol = self.model.solve_with_warm(&milp_config, warm)?;
         match sol.status {
             SolveStatus::Infeasible => Err(TeCclError::InfeasibleWithEpochs(self.num_epochs)),
             SolveStatus::Unbounded => Err(TeCclError::NoSolution),

@@ -4,11 +4,11 @@
 use std::time::{Duration, Instant};
 
 use teccl_collective::{DemandMatrix, TenantDemand};
-use teccl_lp::{SolveStats, SolveStatus};
+use teccl_lp::{SimplexBasis, SolveStats, SolveStatus};
 use teccl_schedule::Schedule;
 use teccl_topology::Topology;
 
-use crate::astar::solve_astar;
+use crate::astar::solve_astar_from;
 use crate::config::{SolverConfig, SwitchModel};
 use crate::epochs::{delta_epochs, epoch_duration, estimate_num_epochs, kappa_epochs};
 use crate::error::TeCclError;
@@ -52,6 +52,13 @@ pub struct SolveOutcome {
     /// factorizations, warm/cold starts) aggregated over the whole solve —
     /// across rounds for A*.
     pub stats: SolveStats,
+    /// The final warm-start basis the solve published (the root relaxation's
+    /// basis for MILPs, the final LP basis for LPs, the last round's root
+    /// basis for A*), if any: the schedule service feeds it into
+    /// [`TeCcl::solve_from`] so a cache-adjacent request (same topology and
+    /// collective, neighbouring buffer-size bucket) re-optimizes from it
+    /// instead of starting cold.
+    pub basis: Option<SimplexBasis>,
 }
 
 /// The TE-CCL collective communication optimizer.
@@ -114,12 +121,28 @@ impl TeCcl {
         demand: &DemandMatrix,
         chunk_bytes: f64,
     ) -> Result<SolveOutcome, TeCclError> {
+        self.solve_from(demand, chunk_bytes, None)
+    }
+
+    /// [`TeCcl::solve`] with an externally supplied warm-start basis — the
+    /// re-entrant entry point the schedule service uses from its worker
+    /// threads. The basis is handed to the root relaxation of whichever
+    /// formulation the dispatcher picks; a basis of the wrong shape (from a
+    /// different size bucket whose epoch count differs, say) silently falls
+    /// back to a cold start inside the LP layer, so a stale hint can cost a
+    /// failed warm attempt but never correctness.
+    pub fn solve_from(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+        basis: Option<&SimplexBasis>,
+    ) -> Result<SolveOutcome, TeCclError> {
         if !demand.benefits_from_copy() {
-            self.solve_lp(demand, chunk_bytes)
+            self.solve_lp_from(demand, chunk_bytes, basis)
         } else if self.topology.num_gpus() > ASTAR_GPU_THRESHOLD {
-            self.solve_astar(demand, chunk_bytes)
+            self.solve_astar_from(demand, chunk_bytes, basis)
         } else {
-            self.solve_milp(demand, chunk_bytes)
+            self.solve_milp_from(demand, chunk_bytes, basis)
         }
     }
 
@@ -129,6 +152,16 @@ impl TeCcl {
         &self,
         demand: &DemandMatrix,
         chunk_bytes: f64,
+    ) -> Result<SolveOutcome, TeCclError> {
+        self.solve_milp_from(demand, chunk_bytes, None)
+    }
+
+    /// [`TeCcl::solve_milp`] warm-started from a prior basis.
+    pub fn solve_milp_from(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+        basis: Option<&SimplexBasis>,
     ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, groups, tau, k0) = self.prepare(demand, chunk_bytes);
@@ -142,7 +175,7 @@ impl TeCcl {
         for _attempt in 0..3 {
             let form =
                 MilpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau, &options)?;
-            match form.solve(&self.config) {
+            match form.solve_from(&self.config, basis) {
                 Ok(sol) => {
                     let sends = form.sends(&sol);
                     let pruned = prune_sends(&sends, demand, form.initial_holders(), |a, b| {
@@ -166,6 +199,7 @@ impl TeCcl {
                         epoch_duration: tau,
                         mip_gap: sol.stats.mip_gap,
                         stats: sol.stats.clone(),
+                        basis: sol.basis,
                     });
                 }
                 Err(TeCclError::InfeasibleWithEpochs(_)) => {
@@ -184,6 +218,16 @@ impl TeCcl {
         demand: &DemandMatrix,
         chunk_bytes: f64,
     ) -> Result<SolveOutcome, TeCclError> {
+        self.solve_lp_from(demand, chunk_bytes, None)
+    }
+
+    /// [`TeCcl::solve_lp`] warm-started from a prior basis.
+    pub fn solve_lp_from(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+        basis: Option<&SimplexBasis>,
+    ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, _groups, tau, k0) = self.prepare(demand, chunk_bytes);
 
@@ -191,7 +235,7 @@ impl TeCcl {
         let mut last_err = TeCclError::NoSolution;
         for _attempt in 0..3 {
             let form = LpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau)?;
-            match form.solve(&self.config) {
+            match form.solve_from(&self.config, basis) {
                 Ok(sol) => {
                     let sends = form.extract_sends(&sol, demand);
                     let mut schedule = schedule_from_sends(
@@ -212,6 +256,7 @@ impl TeCcl {
                         epoch_duration: tau,
                         mip_gap: 0.0,
                         stats: sol.stats.clone(),
+                        basis: sol.basis,
                     });
                 }
                 Err(TeCclError::InfeasibleWithEpochs(_)) => {
@@ -230,9 +275,19 @@ impl TeCcl {
         demand: &DemandMatrix,
         chunk_bytes: f64,
     ) -> Result<SolveOutcome, TeCclError> {
+        self.solve_astar_from(demand, chunk_bytes, None)
+    }
+
+    /// [`TeCcl::solve_astar`] with a warm-start basis for the first round.
+    pub fn solve_astar_from(
+        &self,
+        demand: &DemandMatrix,
+        chunk_bytes: f64,
+        basis: Option<&SimplexBasis>,
+    ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, _groups, tau, _k) = self.prepare(demand, chunk_bytes);
-        let out = solve_astar(&topo, demand, chunk_bytes, &self.config, tau)?;
+        let out = solve_astar_from(&topo, demand, chunk_bytes, &self.config, tau, basis)?;
         let delta_of = |a, b| {
             topo.link_between(a, b)
                 .map(|l| delta_epochs(l, tau) + kappa_epochs(l, chunk_bytes, tau) - 1)
@@ -256,6 +311,7 @@ impl TeCcl {
             epoch_duration: tau,
             mip_gap: f64::NAN,
             stats: out.stats.clone(),
+            basis: out.final_basis,
         })
     }
 

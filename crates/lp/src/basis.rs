@@ -64,6 +64,68 @@ pub struct SimplexBasis {
     pub status: Vec<VarStatus>,
 }
 
+impl SimplexBasis {
+    /// Serializes the basis to JSON: the `basic` column list plus a compact
+    /// status string (one char per column: `B`asic, `L`ower, `U`pper,
+    /// `F`ree). Used by the schedule service to persist warm-start hints
+    /// alongside cached schedules.
+    pub fn to_json_value(&self) -> teccl_util::json::Value {
+        use teccl_util::json::Value;
+        let status: String = self
+            .status
+            .iter()
+            .map(|s| match s {
+                VarStatus::Basic => 'B',
+                VarStatus::AtLower => 'L',
+                VarStatus::AtUpper => 'U',
+                VarStatus::Free => 'F',
+            })
+            .collect();
+        Value::obj(vec![
+            (
+                "basic",
+                Value::Arr(self.basic.iter().map(|&b| Value::from(b)).collect()),
+            ),
+            ("status", Value::from(status)),
+        ])
+    }
+
+    /// Deserializes a basis from the JSON produced by
+    /// [`SimplexBasis::to_json_value`]. A shape- or content-invalid document
+    /// is an error here; a shape-*mismatched* (but well-formed) basis is fine
+    /// — the warm-start path falls back to a cold solve on its own.
+    pub fn from_json_value(
+        v: &teccl_util::json::Value,
+    ) -> Result<SimplexBasis, teccl_util::json::JsonError> {
+        use teccl_util::json::{JsonError, Value};
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        let basic = v
+            .get("basic")
+            .and_then(Value::as_arr)
+            .ok_or(bad("missing basic"))?
+            .iter()
+            .map(|b| b.as_usize().ok_or(bad("bad basic entry")))
+            .collect::<Result<Vec<usize>, _>>()?;
+        let status = v
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or(bad("missing status"))?
+            .chars()
+            .map(|c| match c {
+                'B' => Ok(VarStatus::Basic),
+                'L' => Ok(VarStatus::AtLower),
+                'U' => Ok(VarStatus::AtUpper),
+                'F' => Ok(VarStatus::Free),
+                _ => Err(bad("bad status char")),
+            })
+            .collect::<Result<Vec<VarStatus>, _>>()?;
+        Ok(SimplexBasis { basic, status })
+    }
+}
+
 /// One product-form update: pivot row `r`, pivot value `w[r]`, and the other
 /// non-zeros of the transformed entering column `w`.
 #[derive(Debug, Clone)]

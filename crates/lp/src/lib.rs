@@ -66,9 +66,74 @@ pub use simplex::{solve_standard_form, solve_standard_form_from};
 pub use solution::{Solution, SolveStats, SolveStatus};
 pub use sparse::{SparseMatrix, SparseVec};
 pub use standard::StandardForm;
+pub use teccl_util::json::Value;
 
 /// Default feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-7;
 
 /// Tolerance used to decide whether a value is integral.
 pub const INT_TOL: f64 = 1e-6;
+
+#[cfg(test)]
+mod thread_safety_tests {
+    use super::*;
+
+    /// Compile-time assertion that everything the schedule service moves
+    /// across worker threads is `Send` (+ `Sync` where it is shared by
+    /// reference): solver inputs, solver state, and — the one that used to be
+    /// blocked by an `Rc<SimplexBasis>` inside the branch-and-bound nodes —
+    /// solver *results*.
+    #[test]
+    fn solver_types_are_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Model>();
+        assert_sync::<Model>();
+        assert_send::<StandardForm>();
+        assert_sync::<StandardForm>();
+        assert_send::<MilpSolver>();
+        assert_sync::<MilpSolver>();
+        assert_send::<Solution>();
+        assert_sync::<Solution>();
+        assert_send::<SimplexBasis>();
+        assert_sync::<SimplexBasis>();
+        assert_send::<SolveStats>();
+        assert_send::<LuFactors>();
+    }
+
+    #[test]
+    fn basis_json_roundtrip() {
+        use basis::VarStatus;
+        let b = SimplexBasis {
+            basic: vec![3, 0, 7],
+            status: vec![
+                VarStatus::Basic,
+                VarStatus::AtLower,
+                VarStatus::AtUpper,
+                VarStatus::Free,
+            ],
+        };
+        let v = b.to_json_value();
+        let back = SimplexBasis::from_json_value(&v).unwrap();
+        assert_eq!(back, b);
+        // And through actual text.
+        let back2 = SimplexBasis::from_json_value(&Value::parse(&v.to_json()).unwrap()).unwrap();
+        assert_eq!(back2, b);
+        assert!(SimplexBasis::from_json_value(&Value::parse("{}").unwrap()).is_err());
+        assert!(SimplexBasis::from_json_value(
+            &Value::parse(r#"{"basic":[],"status":"X"}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn solution_exports_its_basis() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.0, 1.0, false);
+        m.add_cons("c", &[(x, 1.0)], ConstraintOp::Le, 2.0);
+        let sol = m.solve().unwrap();
+        let v = sol.basis_to_json().expect("LP solve returns a basis");
+        let back = SimplexBasis::from_json_value(&v).unwrap();
+        assert_eq!(Some(&back), sol.basis.as_ref());
+    }
+}

@@ -24,7 +24,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::basis::SimplexBasis;
@@ -100,7 +100,7 @@ struct Node {
     overrides: Vec<(usize, f64, f64)>,
     parent_bound: f64,
     id: usize,
-    warm: Option<Rc<SimplexBasis>>,
+    warm: Option<Arc<SimplexBasis>>,
 }
 
 /// Heap ordering wrapper: best bound first (max for maximization problems —
@@ -231,7 +231,7 @@ impl MilpSolver {
         let mut heap = BinaryHeap::new();
         let mut next_id = 0usize;
         let score = |obj: f64| if maximize { obj } else { -obj };
-        let root_basis = root.basis.clone().map(Rc::new);
+        let root_basis = root.basis.clone().map(Arc::new);
         heap.push(HeapNode {
             score: score(root.objective),
             node: Node {
@@ -360,7 +360,7 @@ impl MilpSolver {
                     let floor = v.floor();
                     let ceil = v.ceil();
                     let (cur_lb, cur_ub) = current_bounds(&red, &node.overrides, red_j);
-                    let warm = relax.basis.map(Rc::new);
+                    let warm = relax.basis.map(Arc::new);
 
                     let mut down = node.overrides.clone();
                     down.push((red_j, cur_lb, floor.min(cur_ub)));

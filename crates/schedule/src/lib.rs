@@ -15,11 +15,13 @@
 //!   algorithmic bandwidth, solver time.
 
 pub mod metrics;
+pub mod output;
 pub mod schedule;
 pub mod sim;
 pub mod validate;
 
 pub use metrics::{percent_improvement, CollectiveMetrics};
+pub use output::ScheduleOutput;
 pub use schedule::{ChunkId, Schedule, Send};
 pub use sim::{simulate, SimError, SimReport};
 pub use validate::{validate, ValidationError, ValidationReport};

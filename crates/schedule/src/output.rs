@@ -1,0 +1,108 @@
+//! The serializable unit a solver hands to callers and caches: a schedule
+//! plus the metrics measured for it.
+//!
+//! This is the value the schedule service stores (in memory and on disk) and
+//! ships over the wire, so the JSON round-trip must be *exact*: deserializing
+//! a serialized output yields bit-identical metrics and a send-for-send
+//! identical schedule, and a validated schedule stays valid. The
+//! `teccl-util` JSON writer prints floats with Rust's shortest-round-trip
+//! formatting, which is what makes bit-exactness possible without a binary
+//! format.
+
+use teccl_util::json::{JsonError, Value};
+
+use crate::metrics::CollectiveMetrics;
+use crate::schedule::Schedule;
+
+/// A schedule together with its measured metrics.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutput {
+    /// The executable schedule.
+    pub schedule: Schedule,
+    /// The paper's metrics for this schedule (§6): transfer time, solver
+    /// time, output-buffer size, bytes on wire, algorithmic bandwidth.
+    pub metrics: CollectiveMetrics,
+}
+
+impl ScheduleOutput {
+    /// Serializes the output to JSON.
+    pub fn to_json_value(&self) -> Value {
+        Value::obj(vec![
+            ("schedule", self.schedule.to_json_value()),
+            ("metrics", self.metrics.to_json_value()),
+        ])
+    }
+
+    /// Deserializes an output from the JSON produced by
+    /// [`ScheduleOutput::to_json_value`].
+    pub fn from_json_value(v: &Value) -> Result<ScheduleOutput, JsonError> {
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: msg.to_string(),
+        };
+        Ok(ScheduleOutput {
+            schedule: Schedule::from_json_value(v.get("schedule").ok_or(bad("missing schedule"))?)?,
+            metrics: CollectiveMetrics::from_json_value(
+                v.get("metrics").ok_or(bad("missing metrics"))?,
+            )?,
+        })
+    }
+
+    /// Parses an output from a JSON string.
+    pub fn from_json_str(text: &str) -> Result<ScheduleOutput, JsonError> {
+        Self::from_json_value(&Value::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ChunkId;
+    use teccl_topology::NodeId;
+
+    fn sample() -> ScheduleOutput {
+        let mut s = Schedule::new("unit", 12345.5);
+        s.epoch_duration = 3.3e-6;
+        s.solver_time = 0.0721;
+        s.push(ChunkId::new(NodeId(0), 1), NodeId(0), NodeId(1), 0);
+        s.push(ChunkId::new(NodeId(1), 0), NodeId(1), NodeId(2), 2);
+        ScheduleOutput {
+            schedule: s,
+            metrics: CollectiveMetrics {
+                solver: "unit".into(),
+                epoch_duration: 3.3e-6,
+                transfer_time: 1.0 / 3.0, // not exactly representable in text unless shortest-round-trip
+                solver_time: 0.0721,
+                output_buffer_bytes: 16.0 * 1024.0 * 1024.0,
+                bytes_on_wire: 24690.0 + 0.1,
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let out = sample();
+        let text = out.to_json_value().to_json();
+        let back = ScheduleOutput::from_json_str(&text).unwrap();
+        assert_eq!(back.schedule.sends, out.schedule.sends);
+        assert_eq!(back.schedule.num_epochs, out.schedule.num_epochs);
+        assert_eq!(
+            back.schedule.chunk_bytes.to_bits(),
+            out.schedule.chunk_bytes.to_bits()
+        );
+        assert_eq!(back.metrics, out.metrics);
+        // Bit-exact, not just PartialEq-equal.
+        assert_eq!(
+            back.metrics.transfer_time.to_bits(),
+            out.metrics.transfer_time.to_bits()
+        );
+        // A second round trip is a fixed point.
+        assert_eq!(back.to_json_value().to_json(), text);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(ScheduleOutput::from_json_str("{}").is_err());
+        assert!(ScheduleOutput::from_json_str(r#"{"schedule": {}}"#).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! `teccl-cli` — client for the `teccld` schedule server.
+//!
+//! ```text
+//! teccl-cli solve --addr H:P --topology internal1x2 --collective all_gather \
+//!                 --buffer 16M [--chunks N] [--method astar] [...]
+//! teccl-cli batch --addr H:P --file requests.jsonl [--repeat N]
+//! teccl-cli stats --addr H:P
+//! teccl-cli evict --addr H:P
+//! ```
+//!
+//! `batch` replays a file of solve requests (one JSON object per line — the
+//! same documents the `solve` verb accepts, `verb` optional) against the
+//! server and reports per-cache-status latency percentiles, the visible face
+//! of the cache: misses cost a solve, hits cost a round trip.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use teccl_collective::chunk::{format_size, parse_size};
+use teccl_service::protocol::{parse_solve_reply, solve_request_line};
+use teccl_service::{builtin_topology, CacheStatus, RequestMethod, SolveRequest};
+use teccl_topology::Topology;
+use teccl_util::json::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        die("missing command (solve | batch | stats | evict; try --help)")
+    };
+    match command.as_str() {
+        "solve" => cmd_solve(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
+        "stats" => cmd_verb(&args[1..], "stats"),
+        "evict" => cmd_verb(&args[1..], "evict"),
+        "--help" | "-h" => print_help(),
+        other => die(&format!("unknown command `{other}` (try --help)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "teccl-cli — client for the teccld schedule server\n\n\
+         COMMANDS:\n  \
+         solve  --topology SPEC --collective KIND --buffer SIZE\n         \
+         [--chunks N] [--method auto|milp|lp|astar] [--addr H:P]\n         \
+         [--max-epochs K] [--early-stop GAP] [--time-limit-s S]\n  \
+         batch  --file requests.jsonl [--repeat N] [--addr H:P]\n  \
+         stats  [--addr H:P]\n  \
+         evict  [--addr H:P]\n\n\
+         SPEC is a builtin name (dgx1, ndv2x2, internal1x2, …) or @FILE.json;\n\
+         SIZE accepts 16M / 64K / 1G suffixes."
+    );
+}
+
+/// Flag parsing shared by the commands: `(addr, remaining key→value flags)`.
+fn parse_flags(args: &[String]) -> (String, Vec<(String, String)>) {
+    let mut addr = "127.0.0.1:7677".to_string();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        if flag == "--addr" {
+            addr = value.clone();
+        } else {
+            rest.push((flag.clone(), value.clone()));
+        }
+    }
+    (addr, rest)
+}
+
+struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Connection {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .unwrap_or_else(|e| die(&format!("clone stream: {e}"))),
+        );
+        Connection {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|_| self.writer.flush())
+            .unwrap_or_else(|e| die(&format!("send failed: {e}")));
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .unwrap_or_else(|e| die(&format!("receive failed: {e}")));
+        if n == 0 {
+            die("server closed the connection");
+        }
+        reply
+    }
+}
+
+fn cmd_verb(args: &[String], verb: &str) {
+    let (addr, rest) = parse_flags(args);
+    if let Some((flag, _)) = rest.first() {
+        die(&format!("unknown flag `{flag}` for {verb}"));
+    }
+    let reply = Connection::open(&addr).round_trip(&format!("{{\"verb\":\"{verb}\"}}"));
+    match Value::parse(reply.trim()) {
+        Ok(v) => println!("{}", v.to_json_pretty()),
+        Err(_) => die("malformed server reply"),
+    }
+}
+
+fn cmd_solve(args: &[String]) {
+    let (addr, rest) = parse_flags(args);
+    let mut topology: Option<Topology> = None;
+    let mut collective = None;
+    let mut buffer = None;
+    let mut chunks = 1usize;
+    let mut method = RequestMethod::Auto;
+    let mut config = teccl_core::SolverConfig::default();
+    for (flag, value) in &rest {
+        match flag.as_str() {
+            "--topology" => topology = Some(resolve_topology(value)),
+            "--collective" => {
+                collective = Some(
+                    teccl_service::key::collective_from_name(value)
+                        .unwrap_or_else(|| die(&format!("unknown collective `{value}`"))),
+                )
+            }
+            "--buffer" => {
+                buffer =
+                    Some(parse_size(value).unwrap_or_else(|| die(&format!("bad size `{value}`"))))
+            }
+            "--chunks" => chunks = parse_num(value, "--chunks"),
+            "--method" => {
+                method = RequestMethod::from_name(value)
+                    .unwrap_or_else(|| die(&format!("unknown method `{value}`")))
+            }
+            "--max-epochs" => config.max_epochs = Some(parse_num(value, "--max-epochs")),
+            "--early-stop" => {
+                config.early_stop_gap =
+                    Some(value.parse().unwrap_or_else(|_| die("bad --early-stop")))
+            }
+            "--time-limit-s" => {
+                config.time_limit = Some(std::time::Duration::from_secs_f64(
+                    value.parse().unwrap_or_else(|_| die("bad --time-limit-s")),
+                ))
+            }
+            other => die(&format!("unknown flag `{other}` for solve")),
+        }
+    }
+    let request = SolveRequest {
+        topology: topology.unwrap_or_else(|| die("--topology is required")),
+        collective: collective.unwrap_or_else(|| die("--collective is required")),
+        chunks,
+        output_buffer: buffer.unwrap_or_else(|| die("--buffer is required")),
+        method,
+        config,
+    };
+
+    let start = Instant::now();
+    let reply = Connection::open(&addr).round_trip(&solve_request_line(&request));
+    let elapsed = start.elapsed();
+    match parse_solve_reply(&reply) {
+        Ok(r) => {
+            let m = &r.output.metrics;
+            println!(
+                "{} ({}) in {:.3} ms: {} sends over {} epochs, transfer {:.3} us, \
+                 algo bw {:.3} GB/s, chunk {}",
+                r.key,
+                r.cache.name(),
+                elapsed.as_secs_f64() * 1e3,
+                r.output.schedule.num_sends(),
+                r.output.schedule.num_epochs,
+                m.transfer_time * 1e6,
+                m.algorithmic_bandwidth_gbps(),
+                format_size(r.chunk_bytes),
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn cmd_batch(args: &[String]) {
+    let (addr, rest) = parse_flags(args);
+    let mut file = None;
+    let mut repeat = 1usize;
+    for (flag, value) in &rest {
+        match flag.as_str() {
+            "--file" => file = Some(value.clone()),
+            "--repeat" => repeat = parse_num(value, "--repeat"),
+            other => die(&format!("unknown flag `{other}` for batch")),
+        }
+    }
+    let file = file.unwrap_or_else(|| die("--file is required"));
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| die(&format!("read {file}: {e}")));
+    // Pre-parse every line so a malformed file fails before any traffic.
+    let requests: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let v = Value::parse(l).unwrap_or_else(|e| die(&format!("bad request line: {e}")));
+            let req = SolveRequest::from_json_value(&v)
+                .unwrap_or_else(|e| die(&format!("bad request line: {e}")));
+            solve_request_line(&req)
+        })
+        .collect();
+    if requests.is_empty() {
+        die("request file is empty");
+    }
+
+    let mut conn = Connection::open(&addr);
+    // Latencies in microseconds, bucketed by the server-reported cache status.
+    let mut by_status: Vec<(CacheStatus, Vec<f64>)> = vec![
+        (CacheStatus::Hit, Vec::new()),
+        (CacheStatus::DiskHit, Vec::new()),
+        (CacheStatus::Coalesced, Vec::new()),
+        (CacheStatus::Miss, Vec::new()),
+    ];
+    let batch_start = Instant::now();
+    let mut errors = 0usize;
+    for _ in 0..repeat {
+        for line in &requests {
+            let t = Instant::now();
+            let reply = conn.round_trip(line);
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            match parse_solve_reply(&reply) {
+                Ok(r) => by_status
+                    .iter_mut()
+                    .find(|(s, _)| *s == r.cache)
+                    .expect("all statuses present")
+                    .1
+                    .push(us),
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+    let wall = batch_start.elapsed().as_secs_f64();
+    let total = requests.len() * repeat;
+    println!(
+        "{} requests in {:.3} s ({:.1} req/s), {} errors",
+        total,
+        wall,
+        total as f64 / wall,
+        errors
+    );
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>12}",
+        "status", "count", "p50_us", "p90_us", "p99_us"
+    );
+    for (status, mut lat) in by_status {
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "{:<10} {:>7} {:>12.1} {:>12.1} {:>12.1}",
+            status.name(),
+            lat.len(),
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.90),
+            percentile(&lat, 0.99),
+        );
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Resolves `--topology`: a builtin name or `@file.json`.
+fn resolve_topology(spec: &str) -> Topology {
+    if let Some(path) = spec.strip_prefix('@') {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+        return Topology::from_json_str(&text)
+            .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+    }
+    builtin_topology(spec).unwrap_or_else(|| die(&format!("unknown builtin topology `{spec}`")))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag} must be a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("teccl-cli: {msg}");
+    std::process::exit(2);
+}

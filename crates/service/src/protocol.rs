@@ -1,0 +1,194 @@
+//! The `teccld` wire protocol: line-delimited JSON over TCP.
+//!
+//! One request per line, one response per line, no framing beyond `\n` (the
+//! `teccl-util` JSON writer never emits raw newlines inside a compact
+//! document). Three verbs:
+//!
+//! * `solve` — `{"verb":"solve", ...solve-request fields...}` → the cached
+//!   or freshly solved schedule with metrics and cache status,
+//! * `stats` — `{"verb":"stats"}` → the service counters,
+//! * `evict` — `{"verb":"evict"}` → clears the cache (memory + disk).
+//!
+//! Responses always carry `"status": "ok" | "error"`.
+
+use teccl_util::json::Value;
+
+use crate::key::SolveRequest;
+use crate::service::{CacheStatus, ServedSchedule, ServiceStats};
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Solve (or fetch) a schedule.
+    Solve(Box<SolveRequest>),
+    /// Report service counters.
+    Stats,
+    /// Clear the schedule cache.
+    Evict,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Value::parse(line.trim()).map_err(|e| e.to_string())?;
+    match v.get("verb").and_then(Value::as_str) {
+        Some("solve") => Ok(Request::Solve(Box::new(
+            SolveRequest::from_json_value(&v).map_err(|e| e.to_string())?,
+        ))),
+        Some("stats") => Ok(Request::Stats),
+        Some("evict") => Ok(Request::Evict),
+        Some(other) => Err(format!("unknown verb `{other}`")),
+        None => Err("missing verb".into()),
+    }
+}
+
+/// Builds a `solve` request line from a [`SolveRequest`].
+pub fn solve_request_line(req: &SolveRequest) -> String {
+    let mut v = req.to_json_value();
+    if let Value::Obj(pairs) = &mut v {
+        pairs.insert(0, ("verb".to_string(), Value::from("solve")));
+    }
+    v.to_json()
+}
+
+/// The response to a successful `solve`.
+pub fn solve_response(served: &ServedSchedule) -> Value {
+    let e = &served.entry;
+    Value::obj(vec![
+        ("status", Value::from("ok")),
+        ("cache", Value::from(served.cache.name())),
+        ("key", Value::from(format!("{:016x}", e.key.hash))),
+        ("chunk_bytes", Value::from(e.chunk_bytes)),
+        ("output", e.output.to_json_value()),
+        (
+            "solve",
+            Value::obj(vec![
+                (
+                    "simplex_iterations",
+                    Value::from(e.stats.simplex_iterations),
+                ),
+                ("warm_starts", Value::from(e.stats.warm_starts)),
+                ("cold_starts", Value::from(e.stats.cold_starts)),
+                ("nodes_explored", Value::from(e.stats.nodes_explored)),
+                (
+                    "iteration_limit_hit",
+                    Value::from(e.stats.iteration_limit_hit),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The response to `stats`.
+pub fn stats_response(stats: &ServiceStats) -> Value {
+    Value::obj(vec![
+        ("status", Value::from("ok")),
+        ("stats", stats.to_json_value()),
+    ])
+}
+
+/// The response to `evict`.
+pub fn evict_response(evicted: usize) -> Value {
+    Value::obj(vec![
+        ("status", Value::from("ok")),
+        ("evicted", Value::from(evicted)),
+    ])
+}
+
+/// An error response.
+pub fn error_response(message: &str) -> Value {
+    Value::obj(vec![
+        ("status", Value::from("error")),
+        ("message", Value::from(message)),
+    ])
+}
+
+/// Client-side view of a parsed response line.
+#[derive(Debug)]
+pub struct SolveReply {
+    /// How the server satisfied the request.
+    pub cache: CacheStatus,
+    /// The request key (hex) under which the schedule is cached.
+    pub key: String,
+    /// Chunk size of the served schedule.
+    pub chunk_bytes: f64,
+    /// The schedule and metrics.
+    pub output: teccl_schedule::ScheduleOutput,
+}
+
+/// Parses a `solve` response line (client side).
+pub fn parse_solve_reply(line: &str) -> Result<SolveReply, String> {
+    let v = Value::parse(line.trim()).map_err(|e| e.to_string())?;
+    match v.get("status").and_then(Value::as_str) {
+        Some("ok") => {}
+        Some("error") => {
+            return Err(v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown server error")
+                .to_string())
+        }
+        _ => return Err("malformed response".into()),
+    }
+    let cache = match v.get("cache").and_then(Value::as_str) {
+        Some("hit") => CacheStatus::Hit,
+        Some("disk_hit") => CacheStatus::DiskHit,
+        Some("coalesced") => CacheStatus::Coalesced,
+        Some("miss") => CacheStatus::Miss,
+        _ => return Err("missing cache status".into()),
+    };
+    Ok(SolveReply {
+        cache,
+        key: v
+            .get("key")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        chunk_bytes: v
+            .get("chunk_bytes")
+            .and_then(Value::as_f64)
+            .ok_or("missing chunk_bytes")?,
+        output: teccl_schedule::ScheduleOutput::from_json_value(
+            v.get("output").ok_or("missing output")?,
+        )
+        .map_err(|e| e.to_string())?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teccl_collective::CollectiveKind;
+    use teccl_topology::ring_topology;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let req = SolveRequest::new(
+            ring_topology(3, 1e9, 0.0),
+            CollectiveKind::AllGather,
+            1,
+            64.0 * 1024.0,
+        );
+        let line = solve_request_line(&req);
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            Request::Solve(back) => assert_eq!(back.key(), req.key()),
+            other => panic!("wrong verb: {other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"verb":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"verb":"evict"}"#).unwrap(),
+            Request::Evict
+        ));
+        assert!(parse_request(r#"{"verb":"purge"}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn error_replies_surface_message() {
+        let line = error_response("boom").to_json();
+        assert_eq!(parse_solve_reply(&line).unwrap_err(), "boom");
+    }
+}

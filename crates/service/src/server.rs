@@ -1,0 +1,124 @@
+//! The TCP front end: a thread-per-connection line server over
+//! [`crate::protocol`], backed by a shared [`ScheduleService`].
+//!
+//! Connection threads block inside [`ScheduleService::request`] while a solve
+//! is in flight, so N clients asking for the same schedule cost one solve and
+//! N (cheap) parked threads — the single-flight logic lives in the service,
+//! not here.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::protocol::{
+    error_response, evict_response, parse_request, solve_response, stats_response, Request,
+};
+use crate::service::ScheduleService;
+
+/// A running server. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] (tests) or [`ServerHandle::wait`] (the daemon).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<ScheduleService>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (relevant with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The backing service (e.g. to read stats in-process).
+    pub fn service(&self) -> &Arc<ScheduleService> {
+        &self.service
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, short of
+    /// [`ServerHandle::shutdown`] from another thread).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting connections and shuts the service down. Connections
+    /// that are already established finish their current request and then
+    /// fail on the next one.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.service.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves the
+/// protocol on it with the given service.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    service: Arc<ScheduleService>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_service = Arc::clone(&service);
+    let accept_thread = std::thread::Builder::new()
+        .name("teccld-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&accept_service);
+                let _ = std::thread::Builder::new()
+                    .name("teccld-conn".into())
+                    .spawn(move || handle_connection(stream, &service));
+            }
+        })?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+/// Serves one connection until EOF or a write error.
+fn handle_connection(stream: TcpStream, service: &ScheduleService) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => error_response(&e),
+            Ok(Request::Stats) => stats_response(&service.stats()),
+            Ok(Request::Evict) => evict_response(service.evict()),
+            Ok(Request::Solve(req)) => match service.request(*req) {
+                Ok(served) => solve_response(&served),
+                Err(e) => error_response(&e.to_string()),
+            },
+        };
+        if writer
+            .write_all(format!("{}\n", response.to_json()).as_bytes())
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

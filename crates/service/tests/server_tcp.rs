@@ -1,0 +1,111 @@
+//! End-to-end test of `teccld`'s TCP protocol: a real Table-4 request
+//! (Internal1 x2, ALLGATHER, 16 MB output buffer, A* — the first row of the
+//! paper's Table 4 at this reproduction's scale) round-trips over a socket,
+//! the reply's schedule validates, and the second ask is a cache hit that
+//! performed no solver work.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use teccl_collective::CollectiveKind;
+use teccl_service::protocol::{parse_solve_reply, solve_request_line};
+use teccl_service::{
+    serve, CacheStatus, RequestMethod, ScheduleService, ServiceConfig, SolveRequest,
+};
+use teccl_util::json::Value;
+
+fn table4_request() -> SolveRequest {
+    let mut req = SolveRequest::new(
+        teccl_topology::internal1(2),
+        CollectiveKind::AllGather,
+        1,
+        16.0 * 1024.0 * 1024.0,
+    )
+    .with_method(RequestMethod::AStar);
+    // The experiment harness's quick_config: early stop at 30%, bounded time.
+    req.config.early_stop_gap = Some(0.3);
+    req.config.time_limit = Some(std::time::Duration::from_secs(60));
+    req
+}
+
+#[test]
+fn table4_request_roundtrips_over_tcp() {
+    let service = Arc::new(
+        ScheduleService::start(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let handle = serve("127.0.0.1:0", Arc::clone(&service)).unwrap();
+    let addr = handle.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut round_trip = |request: &str| -> String {
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .and_then(|_| writer.flush())
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        line.clone()
+    };
+
+    // 1. Solve the Table-4 request; the schedule must come back intact.
+    let req = table4_request();
+    let reply = parse_solve_reply(&round_trip(&solve_request_line(&req))).unwrap();
+    assert_eq!(reply.cache, CacheStatus::Miss);
+    assert!(reply.output.schedule.num_sends() > 0);
+    assert!(reply.output.metrics.transfer_time > 0.0);
+    assert!((reply.chunk_bytes - req.chunk_bytes()).abs() < 1e-6);
+    // Validate the wire-delivered schedule against the demand (the default
+    // switch model leaves the topology untransformed).
+    let report =
+        teccl_schedule::validate(&req.topology, &req.demand(), &reply.output.schedule, false);
+    assert!(report.is_valid(), "{:?}", report.errors);
+
+    // 2. The identical request again: a hit, and — the acceptance gate — the
+    //    solver counters did not move.
+    let before = service.stats();
+    let reply2 = parse_solve_reply(&round_trip(&solve_request_line(&req))).unwrap();
+    assert_eq!(reply2.cache, CacheStatus::Hit);
+    assert_eq!(reply2.output.schedule.sends, reply.output.schedule.sends);
+    assert_eq!(reply2.output.metrics, reply.output.metrics);
+    let after = service.stats();
+    assert_eq!(after.solves, before.solves);
+    assert_eq!(
+        after.solve_simplex_iterations,
+        before.solve_simplex_iterations
+    );
+    assert_eq!(after.hits, before.hits + 1);
+
+    // 3. The stats verb reflects the conversation.
+    let stats_line = round_trip(r#"{"verb":"stats"}"#);
+    let v = Value::parse(stats_line.trim()).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    let stats = v.get("stats").unwrap();
+    assert_eq!(stats.get("solves").and_then(Value::as_usize), Some(1));
+    assert_eq!(stats.get("hits").and_then(Value::as_usize), Some(1));
+
+    // 4. Evict, then the same request is a miss (and a fresh solve) again.
+    let evict_line = round_trip(r#"{"verb":"evict"}"#);
+    let v = Value::parse(evict_line.trim()).unwrap();
+    assert_eq!(v.get("evicted").and_then(Value::as_usize), Some(1));
+    let reply3 = parse_solve_reply(&round_trip(&solve_request_line(&req))).unwrap();
+    assert_eq!(reply3.cache, CacheStatus::Miss);
+    assert_eq!(
+        reply3.output.schedule.sends.len(),
+        reply.output.schedule.sends.len()
+    );
+
+    // 5. Malformed input gets an error response, not a hangup.
+    let err_line = round_trip(r#"{"verb":"solve"}"#);
+    let v = Value::parse(err_line.trim()).unwrap();
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+
+    handle.shutdown();
+}

@@ -392,6 +392,42 @@ impl Topology {
         Self::from_json_value(&Value::parse(text)?)
     }
 
+    /// A deterministic 64-bit fingerprint of the topology *graph*: node kinds
+    /// and chassis in index order, links in canonical `(src, dst)` order
+    /// (insertion order of equal links does not matter), capacities and α
+    /// quantized so floating-point noise does not split otherwise identical
+    /// topologies. Names are deliberately excluded — renaming a cluster must
+    /// not invalidate its cached schedules. Stable across runs and machines
+    /// (FNV-1a via [`teccl_util::hash`]), unlike `std::hash`'s per-process
+    /// randomized SipHash.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = teccl_util::hash::StableHasher::new();
+        h.write_usize(self.nodes.len());
+        for n in &self.nodes {
+            h.write_u64(match n.kind {
+                NodeKind::Gpu => 0,
+                NodeKind::Switch => 1,
+            });
+            h.write_usize(n.chassis);
+        }
+        // Canonical edge ordering: sort by (src, dst). `validate` rejects
+        // duplicate directed links, so the order is total.
+        let mut order: Vec<usize> = (0..self.links.len()).collect();
+        order.sort_by_key(|&i| (self.links[i].src.0, self.links[i].dst.0));
+        h.write_usize(self.links.len());
+        for i in order {
+            let l = &self.links[i];
+            h.write_usize(l.src.0);
+            h.write_usize(l.dst.0);
+            // β = 1/capacity in picoseconds-per-byte resolution and α in
+            // picoseconds: fine enough to separate every real link class
+            // (25 vs 50 GB/s, 0.6 vs 0.7 µs), coarse enough to absorb noise.
+            h.write_f64_quantized(1.0 / l.capacity, 1e12);
+            h.write_f64_quantized(l.alpha, 1e12);
+        }
+        h.finish()
+    }
+
     /// Removes a link (used by the failure-adaptation example). Link ids are
     /// re-assigned, so callers should re-query them afterwards.
     pub fn without_link(&self, src: NodeId, dst: NodeId) -> Topology {
@@ -645,5 +681,79 @@ mod tests {
         assert_eq!(back.num_links(), 2);
         assert!(back.validate().is_ok());
         assert_eq!(back.out_links(NodeId(0)).count(), 1);
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_and_link_insertion_order() {
+        let t = two_gpu_topo();
+        let mut renamed = t.clone();
+        renamed.name = "other".into();
+        renamed.nodes[0].name = "x".into();
+        assert_eq!(t.fingerprint(), renamed.fingerprint());
+        // Same links added in the opposite order.
+        let mut rev = Topology::new("pair-rev");
+        let a = rev.add_gpu("a", 0);
+        let b = rev.add_gpu("b", 0);
+        rev.add_link(b, a, 1e9, 1e-6);
+        rev.add_link(a, b, 1e9, 1e-6);
+        assert_eq!(t.fingerprint(), rev.fingerprint());
+        // JSON round-trip preserves the fingerprint.
+        let back = Topology::from_json_str(&t.to_json_value().to_json()).unwrap();
+        assert_eq!(t.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_structure_and_parameters() {
+        let t = two_gpu_topo();
+        let cut = t.without_link(NodeId(0), NodeId(1));
+        assert_ne!(t.fingerprint(), cut.fingerprint());
+        let slow = {
+            let mut s = Topology::new("slow");
+            let a = s.add_gpu("a", 0);
+            let b = s.add_gpu("b", 0);
+            s.add_bilink(a, b, 5e8, 1e-6);
+            s
+        };
+        assert_ne!(t.fingerprint(), slow.fingerprint());
+        assert_ne!(t.fingerprint(), t.with_alpha_scaled(2.0).fingerprint());
+        // A switch is not a GPU, even with identical links.
+        let mut sw = Topology::new("sw");
+        let a = sw.add_gpu("a", 0);
+        let b = sw.add_switch("b", 0);
+        sw.add_bilink(a, b, 1e9, 1e-6);
+        assert_ne!(t.fingerprint(), sw.fingerprint());
+    }
+
+    /// The ISSUE/serving requirement: every prebuilt topology (including the
+    /// chassis variants) must fingerprint distinctly, and repeated
+    /// construction must fingerprint stably (the builders are deterministic,
+    /// so two runs of the same binary — and, with FNV, two machines — agree).
+    #[test]
+    fn prebuilt_topologies_fingerprint_distinctly_and_stably() {
+        use crate::builders::*;
+        type Builder = fn() -> Topology;
+        let build: Vec<(&str, Builder)> = vec![
+            ("dgx1", dgx1),
+            ("ndv2x1", || ndv2(1)),
+            ("ndv2x2", || ndv2(2)),
+            ("ndv2x4", || ndv2(4)),
+            ("dgx2x1", || dgx2(1)),
+            ("dgx2x2", || dgx2(2)),
+            ("internal1x1", || internal1(1)),
+            ("internal1x2", || internal1(2)),
+            ("internal1x4", || internal1(4)),
+            ("internal2x2", || internal2(2)),
+            ("internal2x4", || internal2(4)),
+            ("internal2x6", || internal2(6)),
+            ("fig2", fig2_topology),
+        ];
+        let mut seen = std::collections::BTreeMap::new();
+        for (name, f) in &build {
+            let fp = f().fingerprint();
+            assert_eq!(fp, f().fingerprint(), "{name} must hash stably");
+            if let Some(prev) = seen.insert(fp, *name) {
+                panic!("fingerprint collision: {prev} vs {name}");
+            }
+        }
     }
 }

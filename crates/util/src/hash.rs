@@ -1,0 +1,181 @@
+//! A stable, dependency-free 64-bit hasher for content-addressed keys.
+//!
+//! `std::hash` deliberately randomizes `SipHash` per process, which makes it
+//! useless for fingerprints that must be identical across runs and machines
+//! (on-disk schedule cache names, request deduplication). This is FNV-1a with
+//! explicit, endianness-independent encodings for the primitive types the
+//! fingerprints need — including *quantized* floats, so values that differ
+//! only by measurement noise (an α read from two configuration files, a
+//! capacity computed two ways) still land on the same key.
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher with a stable byte encoding.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian byte encoding).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `i64`.
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` widened to 64 bits (so 32- and 64-bit builds agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a float by its exact bit pattern (use for values that must
+    /// match exactly; prefer [`StableHasher::write_f64_quantized`] for
+    /// physical quantities).
+    pub fn write_f64_bits(&mut self, v: f64) -> &mut Self {
+        // Normalize the two zeros and all NaN payloads.
+        let v = if v == 0.0 {
+            0.0
+        } else if v.is_nan() {
+            f64::NAN
+        } else {
+            v
+        };
+        self.write_u64(v.to_bits())
+    }
+
+    /// Absorbs a float quantized to `1/scale` resolution: `round(v * scale)`.
+    /// E.g. `scale = 1e12` hashes a link α in picosecond resolution, so two
+    /// α values differing by floating-point noise hash identically.
+    pub fn write_f64_quantized(&mut self, v: f64, scale: f64) -> &mut Self {
+        if !v.is_finite() {
+            // Distinguish +inf / -inf / NaN from every finite value.
+            return self.write_u64(v.to_bits()).write_i64(i64::MIN);
+        }
+        self.write_i64((v * scale).round() as i64)
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot convenience: FNV-1a of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Buckets a positive size (bytes) onto a half-octave log₂ grid:
+/// `round(2 · log₂ size)`. Sizes within ~19% of each other share a bucket, so
+/// near-identical requests (16 MB vs 17 MB) are served from one cache entry,
+/// while the canonical power-of-two sweep points (…, 4 MB, 16 MB, 64 MB) all
+/// land in distinct buckets. Non-positive / non-finite sizes map to
+/// `i64::MIN` (never a valid bucket neighbour).
+pub fn size_bucket(bytes: f64) -> i64 {
+    if bytes <= 0.0 || bytes.is_nan() || !bytes.is_finite() {
+        return i64::MIN;
+    }
+    (2.0 * bytes.log2()).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_known_vector() {
+        // FNV-1a test vectors: "" and "a".
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let run = || {
+            let mut h = StableHasher::new();
+            h.write_str("topo")
+                .write_u64(7)
+                .write_f64_quantized(0.7e-6, 1e12);
+            h.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn quantization_merges_noise_and_splits_real_deltas() {
+        let h = |v: f64| {
+            let mut h = StableHasher::new();
+            h.write_f64_quantized(v, 1e12);
+            h.finish()
+        };
+        assert_eq!(h(0.7e-6), h(0.7e-6 + 1e-16));
+        assert_ne!(h(0.7e-6), h(1.3e-6));
+    }
+
+    #[test]
+    fn zero_normalization() {
+        let h = |v: f64| {
+            let mut h = StableHasher::new();
+            h.write_f64_bits(v);
+            h.finish()
+        };
+        assert_eq!(h(0.0), h(-0.0));
+    }
+
+    #[test]
+    fn size_buckets() {
+        // The paper's sweep points are all distinct…
+        let sweep = [16e3, 64e3, 256e3, 1e6, 4e6, 16e6, 64e6, 256e6];
+        let buckets: Vec<i64> = sweep.iter().map(|&s| size_bucket(s)).collect();
+        let mut dedup = buckets.clone();
+        dedup.dedup();
+        assert_eq!(buckets.len(), dedup.len());
+        // …while near-identical sizes coalesce.
+        assert_eq!(size_bucket(16.0e6), size_bucket(16.5e6));
+        assert!(size_bucket(-1.0) == i64::MIN && size_bucket(f64::NAN) == i64::MIN);
+    }
+}

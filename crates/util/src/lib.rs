@@ -9,9 +9,14 @@
 //!   machine-readable benchmark output.
 //! * [`rng`] — a tiny deterministic PRNG (splitmix64 seeded xorshift) for the
 //!   randomized baselines and property-style tests.
+//! * [`hash`] — a stable (cross-run, cross-machine) FNV-1a 64-bit hasher with
+//!   quantized-float encodings, used for content-addressed schedule-cache
+//!   keys and topology fingerprints.
 
+pub mod hash;
 pub mod json;
 pub mod rng;
 
+pub use hash::{fnv1a64, size_bucket, StableHasher};
 pub use json::Value;
 pub use rng::Rng64;

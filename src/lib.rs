@@ -12,7 +12,10 @@
 //! * [`collective`] — collective demand matrices (ALLGATHER, ALLTOALL, …),
 //! * [`core`] — the TE-CCL optimizer (general MILP, LP, and A* formulations),
 //! * [`schedule`] — schedules, validation, the α–β simulator and metrics,
-//! * [`baselines`] — ring, shortest-path, SCCL-like and TACCL-like baselines.
+//! * [`baselines`] — ring, shortest-path, SCCL-like and TACCL-like baselines,
+//! * [`service`] — the schedule service: content-addressed schedule cache,
+//!   single-flight concurrent solve orchestrator, and the `teccld` /
+//!   `teccl-cli` binaries.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@ pub use teccl_collective as collective;
 pub use teccl_core as core;
 pub use teccl_lp as lp;
 pub use teccl_schedule as schedule;
+pub use teccl_service as service;
 pub use teccl_topology as topology;
 pub use teccl_util as util;
 

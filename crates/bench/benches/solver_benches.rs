@@ -140,6 +140,23 @@ fn bench_service(h: &mut Harness) {
             t.wait().expect("batch request solves");
         }
     });
+
+    // Degraded fallback: an already-expired deadline on a request whose
+    // exact solve takes tens of seconds must descend the ladder to the
+    // instant baseline — without a single simplex pivot.
+    let (fb_svc, fb_req) = teccl_bench::degraded_fallback_fixture();
+    let fb_hash = fb_req.key().hash;
+    h.bench_function("service/degraded_fallback_latency", || {
+        fb_svc.evict_key(fb_hash);
+        let served = fb_svc.request(fb_req.clone()).expect("fallback serves");
+        assert_eq!(served.quality, teccl_service::Quality::Baseline);
+    });
+    assert_eq!(
+        fb_svc.stats().solve_simplex_iterations,
+        0,
+        "the baseline fallback must never touch the simplex"
+    );
+    fb_svc.shutdown();
 }
 
 fn bench_baselines(h: &mut Harness) {

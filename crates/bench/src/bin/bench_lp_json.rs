@@ -150,6 +150,24 @@ fn main() {
                 t.wait().expect("batch request solves");
             }
         });
+
+        // Degraded fallback: an already-expired deadline on a request whose
+        // exact solve takes tens of seconds must descend the ladder to the
+        // instant baseline — without a single simplex pivot. CI gate: any
+        // pivot on this path aborts the process and fails the bench smoke.
+        let (fb_svc, fb_req) = teccl_bench::degraded_fallback_fixture();
+        let fb_hash = fb_req.key().hash;
+        h.bench_function("service/degraded_fallback_latency", || {
+            fb_svc.evict_key(fb_hash);
+            let served = fb_svc.request(fb_req.clone()).expect("fallback serves");
+            assert_eq!(served.quality, teccl_service::Quality::Baseline);
+        });
+        assert_eq!(
+            fb_svc.stats().solve_simplex_iterations,
+            0,
+            "the baseline fallback must never touch the simplex"
+        );
+        fb_svc.shutdown();
     }
 
     // Solver counters alongside the timings: the warm/cold split is the perf

@@ -427,6 +427,9 @@ pub fn service_bench_fixture() -> (
         workers: 2,
         cache_capacity: 64,
         disk_dir: None,
+        // Benches must be immune to an ambient TECCL_FAULT_PLAN.
+        fault_plan: Some(String::new()),
+        ..Default::default()
     })
     .expect("service starts");
     let mut pool = Vec::new();
@@ -442,6 +445,31 @@ pub fn service_bench_fixture() -> (
     }
     assert_eq!(pool.len(), 8);
     (svc, pool)
+}
+
+/// Fixture for the `service/degraded_fallback_latency` bench: a service plus
+/// a large ALLTOALL request whose deadline is already expired at submission,
+/// so every request descends the degradation ladder straight to the instant
+/// baseline. Background upgrades are off — the bench measures the fallback,
+/// not a shadow exact solve.
+pub fn degraded_fallback_fixture() -> (teccl_service::ScheduleService, teccl_service::SolveRequest)
+{
+    let svc = teccl_service::ScheduleService::start(teccl_service::ServiceConfig {
+        workers: 1,
+        cache_capacity: 16,
+        disk_dir: None,
+        background_upgrade: false,
+        fault_plan: Some(String::new()),
+    })
+    .expect("service starts");
+    let req = teccl_service::SolveRequest::new(
+        teccl_topology::internal1(2),
+        CollectiveKind::AllToAll,
+        1,
+        16.0 * 1024.0 * 1024.0,
+    )
+    .with_deadline(std::time::Duration::ZERO);
+    (svc, req)
 }
 
 /// Runs the TACCL-like baseline on a scenario.

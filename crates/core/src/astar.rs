@@ -70,6 +70,34 @@ pub fn solve_astar_from(
     tau: f64,
     initial_basis: Option<&SimplexBasis>,
 ) -> Result<AStarOutcome, TeCclError> {
+    solve_astar_budgeted(
+        topology,
+        demand,
+        chunk_bytes,
+        config,
+        tau,
+        initial_basis,
+        None,
+    )
+}
+
+/// [`solve_astar_from`] under a cooperative [`teccl_util::SolveBudget`].
+///
+/// The budget is checked at the top of every round and inside every round's
+/// MILP pivots. A* has no usable partial result — a prefix of rounds leaves
+/// demands unsatisfied — so an exhausted budget always surfaces as
+/// [`TeCclError::Budget`]; the serving layer degrades to a cached or
+/// baseline schedule instead.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_astar_budgeted(
+    topology: &Topology,
+    demand: &DemandMatrix,
+    chunk_bytes: f64,
+    config: &SolverConfig,
+    tau: f64,
+    initial_basis: Option<&SimplexBasis>,
+    budget: Option<&teccl_util::SolveBudget>,
+) -> Result<AStarOutcome, TeCclError> {
     if demand.is_empty() {
         return Err(TeCclError::EmptyDemand);
     }
@@ -122,6 +150,13 @@ pub fn solve_astar_from(
     let mut final_basis: Option<SimplexBasis> = None;
 
     for round in 0..config.astar_max_rounds {
+        // Budget check once per round (the per-pivot checks inside the
+        // round's MILP cover cancellation mid-round).
+        if let Some(b) = budget {
+            if let Some(cause) = b.exceeded() {
+                return Err(TeCclError::Budget(cause));
+            }
+        }
         // Remaining demands: a triple is satisfied once the destination holds
         // the chunk (or it is in flight towards it).
         let mut remaining = DemandMatrix::new(demand.num_nodes, demand.num_chunks);
@@ -217,7 +252,13 @@ pub fn solve_astar_from(
             tau,
             &options,
         )?;
-        let sol = form.solve_from(config, carried_basis.as_ref())?;
+        let sol = form.solve_budgeted(config, carried_basis.as_ref(), budget)?;
+        // A budget-stopped round solution is an uncertified relaxation point
+        // — its sends may be empty or wasteful and later rounds would build
+        // on them. Treat it like an exhausted budget instead.
+        if let Some(cause) = sol.stats.budget_stop {
+            return Err(TeCclError::Budget(cause));
+        }
         stats.absorb(&sol.stats);
         if warm_rounds {
             // A round that produced no basis (e.g. a presolve-trivial or

@@ -25,6 +25,11 @@ pub enum TeCclError {
         rounds: usize,
         remaining_demands: usize,
     },
+    /// A cooperative [`teccl_util::SolveBudget`] stopped the solve (cancel,
+    /// deadline, or iteration cap) before any feasible schedule existed.
+    /// When an incumbent exists the solver instead returns a normal outcome
+    /// with `stats.budget_stop` set.
+    Budget(teccl_util::BudgetExceeded),
 }
 
 impl fmt::Display for TeCclError {
@@ -41,6 +46,7 @@ impl fmt::Display for TeCclError {
                 f,
                 "A* did not satisfy all demands after {rounds} rounds ({remaining_demands} remaining)"
             ),
+            TeCclError::Budget(cause) => write!(f, "solve budget exhausted: {cause}"),
         }
     }
 }
@@ -49,7 +55,10 @@ impl std::error::Error for TeCclError {}
 
 impl From<LpError> for TeCclError {
     fn from(e: LpError) -> Self {
-        TeCclError::Lp(e)
+        match e {
+            LpError::Budget(cause) => TeCclError::Budget(cause),
+            other => TeCclError::Lp(other),
+        }
     }
 }
 

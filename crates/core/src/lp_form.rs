@@ -331,9 +331,23 @@ impl LpFormulation {
         config: &SolverConfig,
         warm: Option<&teccl_lp::SimplexBasis>,
     ) -> Result<Solution, TeCclError> {
+        self.solve_budgeted(config, warm, None)
+    }
+
+    /// [`LpFormulation::solve_from`] under a cooperative [`SolveBudget`]:
+    /// the solver checks the budget at every pivot and, when it trips, hands
+    /// back the best primal-feasible point found so far (a usable if
+    /// suboptimal schedule) with `stats.budget_stop` set.
+    pub fn solve_budgeted(
+        &self,
+        config: &SolverConfig,
+        warm: Option<&teccl_lp::SimplexBasis>,
+        budget: Option<&teccl_util::SolveBudget>,
+    ) -> Result<Solution, TeCclError> {
         let milp_config = MilpConfig {
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
             warm_start: config.warm_start,
+            budget: budget.cloned(),
             ..Default::default()
         };
         let sol = self.model.solve_with_warm(&milp_config, warm)?;

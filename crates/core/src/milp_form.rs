@@ -590,10 +590,24 @@ impl MilpFormulation {
         config: &SolverConfig,
         warm: Option<&teccl_lp::SimplexBasis>,
     ) -> Result<Solution, TeCclError> {
+        self.solve_budgeted(config, warm, None)
+    }
+
+    /// [`MilpFormulation::solve_from`] under a cooperative [`SolveBudget`]:
+    /// pivots, dual re-solves and branch-and-bound nodes all check it, and
+    /// an exhausted budget returns the best incumbent found so far with
+    /// `stats.budget_stop` set (or [`TeCclError::Budget`] if none exists).
+    pub fn solve_budgeted(
+        &self,
+        config: &SolverConfig,
+        warm: Option<&teccl_lp::SimplexBasis>,
+        budget: Option<&teccl_util::SolveBudget>,
+    ) -> Result<Solution, TeCclError> {
         let milp_config = MilpConfig {
             rel_gap: config.early_stop_gap.unwrap_or(1e-6),
             time_limit: config.time_limit.or(Some(Duration::from_secs(600))),
             warm_start: config.warm_start,
+            budget: budget.cloned(),
             ..Default::default()
         };
         let sol = self.model.solve_with_warm(&milp_config, warm)?;

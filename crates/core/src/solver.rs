@@ -8,7 +8,9 @@ use teccl_lp::{SimplexBasis, SolveStats, SolveStatus};
 use teccl_schedule::Schedule;
 use teccl_topology::Topology;
 
-use crate::astar::solve_astar_from;
+use teccl_util::SolveBudget;
+
+use crate::astar::solve_astar_budgeted;
 use crate::config::{SolverConfig, SwitchModel};
 use crate::epochs::{delta_epochs, epoch_duration, estimate_num_epochs, kappa_epochs};
 use crate::error::TeCclError;
@@ -71,6 +73,11 @@ pub struct SolveOutcome {
 pub struct TeCcl {
     topology: Topology,
     config: SolverConfig,
+    /// Cooperative budget threaded into every solve this instance runs. Kept
+    /// out of [`SolverConfig`] on purpose: a deadline is a property of one
+    /// request, not of the problem, and must not perturb the content-
+    /// addressed cache keys the service derives from the config.
+    budget: Option<SolveBudget>,
 }
 
 /// GPU count above which the automatic dispatcher prefers A* over the
@@ -81,7 +88,28 @@ const ASTAR_GPU_THRESHOLD: usize = 12;
 impl TeCcl {
     /// Creates a solver for a topology.
     pub fn new(topology: Topology, config: SolverConfig) -> Self {
-        Self { topology, config }
+        Self {
+            topology,
+            config,
+            budget: None,
+        }
+    }
+
+    /// Attaches a cooperative [`SolveBudget`] (deadline / cancel flag /
+    /// iteration cap) checked inside every pivot, branch-and-bound node and
+    /// A* round of every solve run through this instance. When it trips:
+    /// MILP/LP solves return their best incumbent with `stats.budget_stop`
+    /// set, or [`TeCclError::Budget`] when no feasible point exists yet; A*
+    /// always returns [`TeCclError::Budget`] (a prefix of rounds is not a
+    /// schedule).
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The attached budget, if any.
+    pub fn budget(&self) -> Option<&SolveBudget> {
+        self.budget.as_ref()
     }
 
     /// The configuration in use.
@@ -175,7 +203,7 @@ impl TeCcl {
         for _attempt in 0..3 {
             let form =
                 MilpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau, &options)?;
-            match form.solve_from(&self.config, basis) {
+            match form.solve_budgeted(&self.config, basis, self.budget.as_ref()) {
                 Ok(sol) => {
                     let sends = form.sends(&sol);
                     let pruned = prune_sends(&sends, demand, form.initial_holders(), |a, b| {
@@ -235,7 +263,7 @@ impl TeCcl {
         let mut last_err = TeCclError::NoSolution;
         for _attempt in 0..3 {
             let form = LpFormulation::build(&topo, demand, chunk_bytes, &self.config, k, tau)?;
-            match form.solve_from(&self.config, basis) {
+            match form.solve_budgeted(&self.config, basis, self.budget.as_ref()) {
                 Ok(sol) => {
                     let sends = form.extract_sends(&sol, demand);
                     let mut schedule = schedule_from_sends(
@@ -287,7 +315,15 @@ impl TeCcl {
     ) -> Result<SolveOutcome, TeCclError> {
         let start = Instant::now();
         let (topo, _groups, tau, _k) = self.prepare(demand, chunk_bytes);
-        let out = solve_astar_from(&topo, demand, chunk_bytes, &self.config, tau, basis)?;
+        let out = solve_astar_budgeted(
+            &topo,
+            demand,
+            chunk_bytes,
+            &self.config,
+            tau,
+            basis,
+            self.budget.as_ref(),
+        )?;
         let delta_of = |a, b| {
             topo.link_between(a, b)
                 .map(|l| delta_epochs(l, tau) + kappa_epochs(l, chunk_bytes, tau) - 1)

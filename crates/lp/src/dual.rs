@@ -123,6 +123,7 @@ pub(crate) fn dual_simplex(
     cost: &[f64],
     d: Vec<f64>,
     max_iters: usize,
+    budget: Option<&teccl_util::SolveBudget>,
 ) -> Result<DualOutcome, LpError> {
     let m = state.m;
     let ncols = state.n + state.m;
@@ -166,6 +167,14 @@ pub(crate) fn dual_simplex(
     loop {
         if local_iters > max_iters {
             return Err(LpError::IterationLimit(max_iters));
+        }
+        // Cooperative cancellation, one check per dual pivot (mirrors the
+        // primal loop). The basis is not primal feasible mid-dual, so the
+        // caller surfaces this as a hard stop, not an incumbent.
+        if let Some(b) = budget {
+            if let Err(cause) = b.charge(1) {
+                return Err(LpError::Budget(cause));
+            }
         }
 
         if local_iters > 0

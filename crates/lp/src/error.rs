@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use teccl_util::budget::BudgetExceeded;
+
 /// Errors returned by the LP / MILP solver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
@@ -18,6 +20,11 @@ pub enum LpError {
     IterationLimit(usize),
     /// Internal numerical failure (e.g. pivot element too small).
     Numerical(String),
+    /// A cooperative [`teccl_util::SolveBudget`] stopped the solve (cancel,
+    /// deadline, or shared iteration cap) before any feasible point was
+    /// found. When an incumbent exists the solver returns it as a normal
+    /// `Solution` with `stats.budget_stop` set instead of this error.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for LpError {
@@ -40,6 +47,7 @@ impl fmt::Display for LpError {
                 write!(f, "simplex iteration limit ({n}) exceeded")
             }
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::Budget(cause) => write!(f, "solve budget exhausted: {cause}"),
         }
     }
 }
@@ -68,6 +76,8 @@ mod tests {
         assert!(e.to_string().contains("c0"));
         let e = LpError::NonFiniteCoefficient("rhs".into());
         assert!(e.to_string().contains("rhs"));
+        let e = LpError::Budget(BudgetExceeded::DeadlineExceeded);
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

@@ -62,11 +62,12 @@ pub use basis::{LuFactors, SimplexBasis, VarStatus};
 pub use error::LpError;
 pub use milp::{MilpConfig, MilpSolver};
 pub use model::{ConstraintOp, Model, Sense, VarId};
-pub use simplex::{solve_standard_form, solve_standard_form_from};
+pub use simplex::{solve_standard_form, solve_standard_form_budgeted, solve_standard_form_from};
 pub use solution::{Solution, SolveStats, SolveStatus};
 pub use sparse::{SparseMatrix, SparseVec};
 pub use standard::StandardForm;
 pub use teccl_util::json::Value;
+pub use teccl_util::{BudgetExceeded, SolveBudget};
 
 /// Default feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-7;

@@ -35,6 +35,7 @@ use crate::simplex;
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use crate::standard::StandardForm;
 use crate::INT_TOL;
+use teccl_util::SolveBudget;
 
 /// Configuration for the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -58,6 +59,12 @@ pub struct MilpConfig {
     /// probing) before each node's LP re-solve. Disable only to measure its
     /// effect — it never changes the reported optimum.
     pub node_presolve: bool,
+    /// Cooperative budget (deadline / cancel / iteration cap) checked once
+    /// per simplex pivot and once per branch-and-bound node. On exhaustion
+    /// the best incumbent found so far is returned with
+    /// [`SolveStats::budget_stop`] set; with no incumbent the solve fails
+    /// with [`LpError::Budget`].
+    pub budget: Option<SolveBudget>,
 }
 
 impl Default for MilpConfig {
@@ -69,6 +76,7 @@ impl Default for MilpConfig {
             rounding_heuristic: true,
             warm_start: true,
             node_presolve: true,
+            budget: None,
         }
     }
 }
@@ -204,10 +212,18 @@ impl MilpSolver {
             ..Default::default()
         };
 
+        let budget = self.config.budget.as_ref();
+
         // Root relaxation (dual re-optimized from the carried basis, when one
-        // is provided and still fits the standard form's shape).
-        let root_red = simplex::solve_standard_form_from(&sf, num_red_vars, &[], root_warm)?;
+        // is provided and still fits the standard form's shape). A budget
+        // stop here without a primal-feasible point propagates as an error —
+        // there is nothing to degrade to yet.
+        let root_red =
+            simplex::solve_standard_form_budgeted(&sf, num_red_vars, &[], root_warm, budget)?;
         stats.absorb(&root_red.stats);
+        // A budget-stopped root is a feasible point, not a dual bound; the
+        // final gap/bound report must not treat its objective as proved.
+        let root_budget_stopped = stats.budget_stop.is_some();
         // The root basis is what the next same-shaped solve warm-starts from.
         let carried_basis = root_red.basis.clone();
         let root = post.recover(root_red, model);
@@ -270,6 +286,20 @@ impl MilpSolver {
                     break;
                 }
             }
+            // Cooperative budget, checked between nodes as well as inside
+            // each node's pivots (catches a cancel while the tree is hot but
+            // the LPs are cheap). Skipped while the already-solved root
+            // relaxation is pending: a budget-stopped root still carries a
+            // feasible point the harvest below must get to see.
+            if root_relax.is_none() {
+                if let Some(b) = budget {
+                    if let Some(cause) = b.exceeded() {
+                        stats.budget_stop = stats.budget_stop.or(Some(cause));
+                        hit_limit = true;
+                        break;
+                    }
+                }
+            }
             stats.nodes_explored += 1;
 
             // Solve this node's relaxation: shared standard form + this
@@ -293,18 +323,55 @@ impl MilpSolver {
                     } else {
                         None
                     };
-                    let red_sol = simplex::solve_standard_form_from(
+                    let red_sol = match simplex::solve_standard_form_budgeted(
                         &sf,
                         num_red_vars,
                         &node.overrides,
                         warm,
-                    )?;
+                        budget,
+                    ) {
+                        Ok(s) => s,
+                        // Budget exhausted with no feasible point at this
+                        // node: keep whatever incumbent the tree already
+                        // produced; fail only if there is none.
+                        Err(LpError::Budget(cause)) => {
+                            if incumbent.is_some() {
+                                stats.budget_stop = stats.budget_stop.or(Some(cause));
+                                hit_limit = true;
+                                break;
+                            }
+                            return Err(LpError::Budget(cause));
+                        }
+                        Err(e) => return Err(e),
+                    };
                     stats.absorb(&red_sol.stats);
                     post.recover(red_sol, model)
                 }
             };
             if !relax.status.has_solution() {
                 continue; // infeasible branch
+            }
+            // A budget stop *inside* this node's LP left a feasible point
+            // that is not a valid bound: harvest it as an incumbent when it
+            // is integral (the common pure-LP case), then stop the search.
+            if stats.budget_stop.is_some() {
+                hit_limit = true;
+                let integral = int_vars
+                    .iter()
+                    .all(|&j| (relax.values[j] - relax.values[j].round()).abs() <= INT_TOL);
+                if integral {
+                    let mut cand = relax.clone();
+                    round_integrals(&mut cand, &int_vars);
+                    cand.objective = model.eval_objective(&cand.values);
+                    cand.basis = None;
+                    if incumbent
+                        .as_ref()
+                        .is_none_or(|inc| better(cand.objective, inc.objective))
+                    {
+                        incumbent = Some(cand);
+                    }
+                }
+                break;
             }
             if let Some(inc) = &incumbent {
                 if !better(relax.objective, inc.objective) {
@@ -397,11 +464,19 @@ impl MilpSolver {
         }
 
         stats.solve_time = start.elapsed();
-        stats.best_bound = best_bound;
+        stats.best_bound = if root_budget_stopped {
+            f64::NAN
+        } else {
+            best_bound
+        };
 
         match incumbent {
             Some(mut inc) => {
-                let g = gap(best_bound, inc.objective);
+                let g = if root_budget_stopped {
+                    f64::INFINITY
+                } else {
+                    gap(best_bound, inc.objective)
+                };
                 stats.mip_gap = g;
                 inc.status = if g <= self.config.rel_gap.max(1e-6) && !hit_limit {
                     SolveStatus::Optimal
@@ -416,6 +491,12 @@ impl MilpSolver {
                 Ok(inc)
             }
             None => {
+                // Budget exhausted with nothing to show: a typed error, so
+                // callers can tell "ran out of time" from "proved
+                // infeasible" and degrade accordingly.
+                if let Some(cause) = stats.budget_stop {
+                    return Err(LpError::Budget(cause));
+                }
                 stats.mip_gap = f64::INFINITY;
                 Ok(Solution {
                     status: if hit_limit {

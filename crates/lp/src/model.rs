@@ -234,6 +234,19 @@ impl Model {
         &self,
         warm: Option<&crate::basis::SimplexBasis>,
     ) -> Result<Solution, LpError> {
+        self.solve_lp_relaxation_budgeted(warm, None)
+    }
+
+    /// [`Model::solve_lp_relaxation_warm`] under a cooperative
+    /// [`SolveBudget`](teccl_util::SolveBudget), checked once per pivot. A
+    /// budget stop mid-phase-2 returns the current primal-feasible vertex as
+    /// `Feasible` with `stats.budget_stop` set; a stop before primal
+    /// feasibility fails with [`LpError::Budget`].
+    pub fn solve_lp_relaxation_budgeted(
+        &self,
+        warm: Option<&crate::basis::SimplexBasis>,
+        budget: Option<&teccl_util::SolveBudget>,
+    ) -> Result<Solution, LpError> {
         self.validate()?;
         let start = std::time::Instant::now();
         let (tightened, post) = presolve::presolve(self)?;
@@ -242,7 +255,7 @@ impl Model {
         } else {
             let mut sf = crate::standard::StandardForm::from_model(&tightened);
             post.relax_free_rows(&mut sf);
-            simplex::solve_standard_form_from(&sf, tightened.num_vars(), &[], warm)?
+            simplex::solve_standard_form_budgeted(&sf, tightened.num_vars(), &[], warm, budget)?
         };
         sol = post.recover(sol, self);
         sol.stats.solve_time = start.elapsed();
@@ -256,8 +269,8 @@ impl Model {
     }
 
     /// Solves the model with an explicit MILP configuration (time limit,
-    /// relative-gap early stop, node limit). The configuration is ignored for
-    /// pure LPs.
+    /// relative-gap early stop, node limit). For pure LPs only the
+    /// cooperative budget is honoured; the B&B knobs are ignored.
     pub fn solve_with(&self, config: &MilpConfig) -> Result<Solution, LpError> {
         self.solve_with_warm(config, None)
     }
@@ -277,7 +290,7 @@ impl Model {
         if self.is_mip() {
             MilpSolver::new(config.clone()).solve_from(self, warm)
         } else {
-            self.solve_lp_relaxation_warm(warm)
+            self.solve_lp_relaxation_budgeted(warm, config.budget.as_ref())
         }
     }
 

@@ -35,6 +35,7 @@ use crate::model::Model;
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use crate::sparse::SparseVec;
 use crate::standard::StandardForm;
+use teccl_util::budget::{BudgetExceeded, SolveBudget};
 
 /// Outcome of a single simplex phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +121,21 @@ pub fn solve_standard_form_from(
     overrides: &[(usize, f64, f64)],
     warm: Option<&SimplexBasis>,
 ) -> Result<Solution, LpError> {
+    solve_standard_form_budgeted(sf, num_model_vars, overrides, warm, None)
+}
+
+/// [`solve_standard_form_from`] with a cooperative [`SolveBudget`] checked
+/// once per pivot. When the budget trips mid-phase-2 the solver extracts the
+/// current primal-feasible vertex as a `Feasible` solution with
+/// [`SolveStats::budget_stop`] set; a budget stop before primal feasibility
+/// exists (phase 1, warm dual re-solve) returns [`LpError::Budget`].
+pub fn solve_standard_form_budgeted(
+    sf: &StandardForm,
+    num_model_vars: usize,
+    overrides: &[(usize, f64, f64)],
+    warm: Option<&SimplexBasis>,
+    budget: Option<&SolveBudget>,
+) -> Result<Solution, LpError> {
     let m = sf.num_rows();
     let n = sf.num_cols();
 
@@ -142,15 +158,22 @@ pub fn solve_standard_form_from(
     let mut wasted = WarmFallback::default();
     if let Some(wb) = warm {
         if wb.basic.len() == m && wb.status.len() == n {
-            match try_warm_solve(sf, &lb, &ub, wb, num_model_vars) {
+            match try_warm_solve(sf, &lb, &ub, wb, num_model_vars, budget) {
                 Ok(sol) => return Ok(sol),
-                // Fall through to a cold start, but keep the work the failed
-                // warm attempt burned so the counters stay honest.
-                Err(fb) => wasted = fb,
+                // A budget stop inside the warm attempt must not silently
+                // escalate into a (more expensive) cold start.
+                Err(fb) => {
+                    if let Some(e) = fb.hard {
+                        return Err(e);
+                    }
+                    // Fall through to a cold start, but keep the work the
+                    // failed warm attempt burned so the counters stay honest.
+                    wasted = fb;
+                }
             }
         }
     }
-    let mut sol = cold_solve(sf, &lb, &ub, num_model_vars)?;
+    let mut sol = cold_solve(sf, &lb, &ub, num_model_vars, budget)?;
     sol.stats.simplex_iterations += wasted.iterations;
     sol.stats.dual_iterations += wasted.dual_iterations;
     sol.stats.factorizations += wasted.factorizations;
@@ -158,12 +181,14 @@ pub fn solve_standard_form_from(
 }
 
 /// Work performed by a warm-start attempt that had to be abandoned
-/// (stale/singular basis or a numerical failure mid-re-solve).
+/// (stale/singular basis or a numerical failure mid-re-solve). A `hard`
+/// error (budget exhaustion) aborts the solve instead of going cold.
 #[derive(Debug, Default)]
 struct WarmFallback {
     iterations: usize,
     dual_iterations: usize,
     factorizations: usize,
+    hard: Option<LpError>,
 }
 
 fn infeasible(num_model_vars: usize, iterations: usize) -> Solution {
@@ -189,6 +214,7 @@ fn cold_solve(
     lb: &[f64],
     ub: &[f64],
     num_model_vars: usize,
+    budget: Option<&SolveBudget>,
 ) -> Result<Solution, LpError> {
     let m = sf.num_rows();
     let n = sf.num_cols();
@@ -196,9 +222,11 @@ fn cold_solve(
     let max_iters = 200 * (m + n) + 20_000;
 
     // ---- Phase 1: drive artificials to zero. ----
+    // A budget stop here propagates as an error: no primal-feasible point
+    // exists yet, so there is no incumbent to hand back.
     let mut phase1_cost = vec![0.0; n + m];
     phase1_cost[n..].fill(1.0);
-    let outcome = run_phase(&mut state, &phase1_cost, max_iters)?;
+    let outcome = run_phase(&mut state, &phase1_cost, max_iters, budget)?;
     // Phase 1 objective is bounded below by zero, so "unbounded" here is a
     // numerical failure.
     if outcome == PhaseOutcome::Unbounded {
@@ -221,7 +249,7 @@ fn cold_solve(
         }
     }
 
-    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars, true)?;
+    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars, true, budget)?;
     sol.stats.cold_starts = 1;
     Ok(sol)
 }
@@ -324,6 +352,7 @@ fn try_warm_solve(
     ub_in: &[f64],
     warm: &SimplexBasis,
     num_model_vars: usize,
+    budget: Option<&SolveBudget>,
 ) -> Result<Solution, WarmFallback> {
     let m = sf.num_rows();
     let n = sf.num_cols();
@@ -401,6 +430,7 @@ fn try_warm_solve(
         iterations: state.iterations,
         dual_iterations: state.dual_iterations,
         factorizations: state.factorizations,
+        hard: None,
     };
     if state.refactorize().is_err() {
         // Singular warm basis -> caller goes cold.
@@ -432,7 +462,7 @@ fn try_warm_solve(
             Ok(d) => d,
             Err(_) => return Err(fallback(&state)),
         };
-        match dual::dual_simplex(&mut state, &cost, d, max_iters) {
+        match dual::dual_simplex(&mut state, &cost, d, max_iters, budget) {
             Ok(DualOutcome::Optimal) => {}
             Ok(DualOutcome::Infeasible) => {
                 let mut sol = infeasible(num_model_vars, state.iterations);
@@ -441,6 +471,14 @@ fn try_warm_solve(
                 sol.stats.warm_starts = 1;
                 return Ok(sol);
             }
+            // A budget stop mid-dual has no primal-feasible point to hand
+            // back, and a cold restart would only burn more of an exhausted
+            // budget — abort the solve instead of falling back.
+            Err(e @ LpError::Budget(_)) => {
+                let mut fb = fallback(&state);
+                fb.hard = Some(e);
+                return Err(fb);
+            }
             Err(_) => return Err(fallback(&state)),
         }
     }
@@ -448,7 +486,7 @@ fn try_warm_solve(
     // Certify with the true costs (the dual may have run against shifted
     // costs; the basis it leaves behind is primal feasible, so phase 2 needs
     // no perturbation pre-pass and typically terminates in one pricing scan).
-    match finish_phase2(&mut state, max_iters, num_model_vars, false) {
+    match finish_phase2(&mut state, max_iters, num_model_vars, false, budget) {
         Ok(mut sol) => {
             sol.stats.warm_starts = 1;
             Ok(sol)
@@ -471,11 +509,13 @@ fn finish_phase2(
     max_iters: usize,
     num_model_vars: usize,
     perturb: bool,
+    budget: Option<&SolveBudget>,
 ) -> Result<Solution, LpError> {
     let sf = state.sf;
     let n = state.n;
     let m = state.m;
     let mut iteration_limit_hit = false;
+    let mut budget_stop: Option<BudgetExceeded> = None;
     let mut phase2_cost = vec![0.0; n + m];
     phase2_cost[..n].copy_from_slice(&sf.c);
     // Large TE-CCL objectives are near-degenerate (masses of alternate
@@ -496,13 +536,28 @@ fn finish_phase2(
         // limit here just means the true-cost pass starts from wherever the
         // perturbed walk got to (still primal feasible). An exhausted budget
         // is still recorded so callers can flag the row as uncertified.
-        match run_phase(state, &pcost, max_iters) {
+        match run_phase(state, &pcost, max_iters, budget) {
             Ok(_) => {}
             Err(LpError::IterationLimit(_)) => iteration_limit_hit = true,
+            Err(LpError::Budget(cause)) => budget_stop = Some(cause),
             Err(e) => return Err(e),
         }
     }
-    let outcome = run_phase(state, &phase2_cost, max_iters)?;
+    // Phase 2 preserves primal feasibility, so a budget stop anywhere past
+    // this point still has a feasible vertex to hand back: skip (or abandon)
+    // the true-cost pass and extract the incumbent as `Feasible`.
+    let outcome = if budget_stop.is_some() {
+        PhaseOutcome::Optimal
+    } else {
+        match run_phase(state, &phase2_cost, max_iters, budget) {
+            Ok(o) => o,
+            Err(LpError::Budget(cause)) => {
+                budget_stop = Some(cause);
+                PhaseOutcome::Optimal
+            }
+            Err(e) => return Err(e),
+        }
+    };
     // Restore an exactly consistent vertex: the EXPAND ratio test lets basic
     // values drift within the working tolerance; recomputing them from the
     // (exactly on-bound) non-basic values wipes that drift before extraction.
@@ -518,6 +573,7 @@ fn finish_phase2(
         dual_iterations: state.dual_iterations,
         factorizations: state.factorizations,
         iteration_limit_hit,
+        budget_stop,
         ..Default::default()
     };
     if outcome == PhaseOutcome::Unbounded {
@@ -548,13 +604,20 @@ fn finish_phase2(
         status: state.status[..n].to_vec(),
     };
 
+    // A budget-stopped extraction is a feasible vertex, not a certified
+    // optimum: report `Feasible` and claim no dual bound.
+    let (status, best_bound) = if budget_stop.is_some() {
+        (SolveStatus::Feasible, f64::NAN)
+    } else {
+        (SolveStatus::Optimal, objective)
+    };
     Ok(Solution {
-        status: SolveStatus::Optimal,
+        status,
         objective,
         values,
         duals,
         stats: SolveStats {
-            best_bound: objective,
+            best_bound,
             ..stats
         },
         basis: Some(basis),
@@ -734,6 +797,7 @@ fn run_phase(
     state: &mut SimplexState,
     cost: &[f64],
     max_iters: usize,
+    budget: Option<&SolveBudget>,
 ) -> Result<PhaseOutcome, LpError> {
     let m = state.m;
     let ncols = state.n + state.m;
@@ -773,6 +837,13 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
                 );
             }
             return Err(LpError::IterationLimit(max_iters));
+        }
+        // Cooperative cancellation: one check per pivot, so a cancel or an
+        // expired deadline interrupts the solve within a single iteration.
+        if let Some(b) = budget {
+            if let Err(cause) = b.charge(1) {
+                return Err(LpError::Budget(cause));
+            }
         }
         local_iters += 1;
         state.iterations += 1;

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use teccl_util::budget::BudgetExceeded;
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveStatus {
@@ -69,6 +71,11 @@ pub struct SolveStats {
     /// optimality (the result then rests on an uncertified incumbent and must
     /// be reported as such, not as converged).
     pub iteration_limit_hit: bool,
+    /// Set when a cooperative [`teccl_util::SolveBudget`] stopped the solve
+    /// early (cancel / deadline / iteration cap). The solution then carries
+    /// the best incumbent found before the stop, with `status::Feasible` at
+    /// best — never `Optimal`.
+    pub budget_stop: Option<BudgetExceeded>,
 }
 
 impl SolveStats {
@@ -85,6 +92,7 @@ impl SolveStats {
         self.rows_freed += other.rows_freed;
         self.node_tightenings += other.node_tightenings;
         self.iteration_limit_hit |= other.iteration_limit_hit;
+        self.budget_stop = self.budget_stop.or(other.budget_stop);
     }
 }
 

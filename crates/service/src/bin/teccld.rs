@@ -6,8 +6,11 @@
 //!
 //! ```text
 //! teccld [--addr 127.0.0.1:7677] [--workers N] [--cache-capacity N]
-//!        [--disk-cache DIR]
+//!        [--disk-cache DIR] [--fault-plan SPEC]
 //! ```
+//!
+//! `--fault-plan` (or the `TECCL_FAULT_PLAN` env var) injects deterministic
+//! faults for robustness testing — see `teccl_service::fault`.
 
 use std::sync::Arc;
 
@@ -36,11 +39,13 @@ fn main() {
                     .unwrap_or_else(|_| die("--cache-capacity must be a positive integer"));
             }
             "--disk-cache" => config.disk_dir = Some(value("--disk-cache").into()),
+            "--fault-plan" => config.fault_plan = Some(value("--fault-plan")),
             "--help" | "-h" => {
                 println!(
                     "teccld — TE-CCL schedule server\n\n\
                      USAGE:\n  teccld [--addr HOST:PORT] [--workers N] \
-                     [--cache-capacity N] [--disk-cache DIR]\n\n\
+                     [--cache-capacity N] [--disk-cache DIR] \
+                     [--fault-plan SPEC]\n\n\
                      Protocol: one JSON request per line over TCP; verbs \
                      `solve`, `stats`, `evict`.\nSee crates/service/README.md."
                 );

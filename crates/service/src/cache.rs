@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use teccl_lp::{SimplexBasis, SolveStats};
@@ -17,7 +18,50 @@ use teccl_schedule::ScheduleOutput;
 use teccl_topology::Topology;
 use teccl_util::json::Value;
 
+use crate::fault::FaultPlan;
 use crate::key::{RequestKey, SolveRequest};
+
+/// How good a schedule is relative to the exact optimum — the rung of the
+/// degradation ladder it was served from. Ordered best-first, so
+/// `a < b` means "a is a better answer than b".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Quality {
+    /// The certified optimum of the requested formulation.
+    Exact,
+    /// The best feasible point a deadline-stopped solve had in hand,
+    /// validated and simulated like any other schedule.
+    Incumbent,
+    /// A validated cache entry for a *neighbouring* size bucket of the same
+    /// request family (same topology / collective / chunks / config — the
+    /// demand is identical, only the chunk size differs).
+    Stale,
+    /// An instant textbook schedule (ring all-gather or shortest-path
+    /// unicast) built without touching the solver at all.
+    Baseline,
+}
+
+impl Quality {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Quality::Exact => "exact",
+            Quality::Incumbent => "incumbent",
+            Quality::Stale => "stale",
+            Quality::Baseline => "baseline",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_name(s: &str) -> Option<Quality> {
+        Some(match s {
+            "exact" => Quality::Exact,
+            "incumbent" => Quality::Incumbent,
+            "stale" => Quality::Stale,
+            "baseline" => Quality::Baseline,
+            _ => return None,
+        })
+    }
+}
 
 /// A cached, validated solve result.
 #[derive(Debug, Clone)]
@@ -36,6 +80,10 @@ pub struct CacheEntry {
     /// untouched — the service-level counters prove no new simplex work
     /// happened.
     pub stats: SolveStats,
+    /// How this entry ranks against the exact optimum. Anything below
+    /// [`Quality::Exact`] lives in memory only and is upgraded in the
+    /// background; the disk store holds exact entries exclusively.
+    pub quality: Quality,
 }
 
 impl CacheEntry {
@@ -53,6 +101,7 @@ impl CacheEntry {
             ("topology_used", self.topology_used.to_json_value()),
             ("output", self.output.to_json_value()),
             ("stats", stats_to_json(&self.stats)),
+            ("quality", Value::from(self.quality.name())),
         ];
         if let Some(b) = basis {
             pairs.push(("basis", b.to_json_value()));
@@ -95,6 +144,12 @@ impl CacheEntry {
                 .and_then(Value::as_f64)
                 .ok_or(bad("missing chunk_bytes"))?,
             stats: stats_from_json(v.get("stats")),
+            // Files written before quality tags existed are all exact solves.
+            quality: v
+                .get("quality")
+                .and_then(Value::as_str)
+                .and_then(Quality::from_name)
+                .unwrap_or(Quality::Exact),
         };
         let basis = match v.get("basis") {
             Some(b) => Some(SimplexBasis::from_json_value(b)?),
@@ -179,6 +234,24 @@ impl ScheduleCache {
         }
     }
 
+    /// Finds the best entry of a request `family` other than `exclude_hash`
+    /// — the "stale" rung of the degradation ladder. Same family means same
+    /// topology, collective, chunk count and config, so the schedule
+    /// satisfies the identical demand; only its chunk size is off. Prefers
+    /// better quality, then recency; never returns a baseline entry (the
+    /// caller can build a fresh baseline for free).
+    pub fn find_family(&self, family: u64, exclude_hash: u64) -> Option<Arc<CacheEntry>> {
+        self.map
+            .values()
+            .filter(|(e, _)| {
+                e.key.family == family
+                    && e.key.hash != exclude_hash
+                    && e.quality < Quality::Baseline
+            })
+            .max_by_key(|(e, tick)| (std::cmp::Reverse(e.quality), *tick))
+            .map(|(e, _)| Arc::clone(e))
+    }
+
     /// Removes one entry; returns whether it existed.
     pub fn evict(&mut self, hash: u64) -> bool {
         self.map.remove(&hash).is_some()
@@ -202,10 +275,15 @@ impl ScheduleCache {
     }
 }
 
-/// The on-disk half of the cache: one JSON file per key.
+/// The on-disk half of the cache: one JSON file per key. A file that fails
+/// to parse or validate is **quarantined** — renamed to `<file>.corrupt` and
+/// counted — so one bad sector (or a crash mid-write by an older build)
+/// costs one re-solve, not a poisoned key that fails on every restart.
 #[derive(Debug, Clone)]
 pub struct DiskStore {
     dir: PathBuf,
+    quarantined: Arc<AtomicU64>,
+    fault: Arc<FaultPlan>,
 }
 
 impl DiskStore {
@@ -213,7 +291,32 @@ impl DiskStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(DiskStore { dir })
+        Ok(DiskStore {
+            dir,
+            quarantined: Arc::new(AtomicU64::new(0)),
+            fault: Arc::new(FaultPlan::none()),
+        })
+    }
+
+    /// Attaches a fault-injection plan (`corrupt-disk-read`).
+    pub fn with_fault_plan(mut self, fault: Arc<FaultPlan>) -> DiskStore {
+        self.fault = fault;
+        self
+    }
+
+    /// How many corrupt files this store has quarantined since it was opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Moves a bad file out of the addressable namespace and counts it.
+    /// A rename failure (e.g. the file vanished) is ignored: either way the
+    /// key no longer resolves to the bad content.
+    fn quarantine(&self, path: &Path) {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".corrupt");
+        let _ = std::fs::rename(path, &target);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The file a key is stored at.
@@ -222,8 +325,13 @@ impl DiskStore {
     }
 
     /// Persists an entry (write-to-temp + rename, so readers never observe a
-    /// torn file).
+    /// torn file). Degraded entries are silently skipped: disk is the
+    /// long-lived tier, and a deadline-shaped answer must not outlive the
+    /// deadline that shaped it.
     pub fn save(&self, entry: &CacheEntry, basis: Option<&SimplexBasis>) -> std::io::Result<()> {
+        if entry.quality != Quality::Exact {
+            return Ok(());
+        }
         let text = entry.to_json_value(basis).to_json_pretty();
         let tmp = self.dir.join(format!("sched-{:016x}.tmp", entry.key.hash));
         std::fs::write(&tmp, format!("{text}\n"))?;
@@ -233,22 +341,39 @@ impl DiskStore {
     /// Loads and *re-validates* an entry for a request: the stored key must
     /// match, the stored schedule must validate against the demand implied by
     /// the request, and the metrics must belong to the stored schedule.
-    /// Anything less returns `None` — on-disk state is never trusted blindly.
+    /// Anything less quarantines the file and returns `None` — on-disk state
+    /// is never trusted blindly, and a file that failed once would fail on
+    /// every future probe too.
     pub fn load(
         &self,
         key: RequestKey,
         request: &SolveRequest,
     ) -> Option<(CacheEntry, Option<SimplexBasis>)> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let v = Value::parse(&text).ok()?;
-        let (entry, basis) = CacheEntry::from_json_value(&v).ok()?;
+        let path = self.path_for(key);
+        // Missing is the normal cache-miss case, not a corruption.
+        let text = std::fs::read_to_string(&path).ok()?;
+        let text = if self.fault.should_corrupt_disk_read() {
+            "{injected corrupt-disk-read".to_string()
+        } else {
+            text
+        };
+        let parsed = Value::parse(&text)
+            .ok()
+            .and_then(|v| CacheEntry::from_json_value(&v).ok());
+        let Some((entry, basis)) = parsed else {
+            self.quarantine(&path);
+            return None;
+        };
         if entry.key != key {
+            // The content does not belong under this name — same treatment.
+            self.quarantine(&path);
             return None;
         }
         let demand = request.demand();
         let report =
             teccl_schedule::validate(&entry.topology_used, &demand, &entry.output.schedule, false);
         if !report.is_valid() {
+            self.quarantine(&path);
             return None;
         }
         Some((entry, basis))
@@ -310,6 +435,7 @@ mod tests {
                 warm_starts: 1,
                 ..Default::default()
             },
+            quality: Quality::Exact,
         }
     }
 
@@ -359,21 +485,78 @@ mod tests {
         assert_eq!(back.output.schedule.sends, entry.output.schedule.sends);
         assert_eq!(back.output.metrics, entry.output.metrics);
         assert_eq!(back.stats.simplex_iterations, 42);
+        assert_eq!(back.quality, Quality::Exact);
         assert_eq!(back_basis.as_ref(), Some(&basis));
-        // A key mismatch (content moved) is rejected.
+        // A missing file is a plain miss, not a corruption.
         let mut other = entry.key;
         other.hash ^= 0xdead;
         assert!(store.load(other, &req).is_none());
-        // Corrupt file → rejected, not trusted.
+        assert_eq!(store.quarantined(), 0);
+        // Corrupt file → quarantined (renamed aside and counted), not trusted.
         std::fs::write(store.path_for(entry.key), "{not json").unwrap();
         assert!(store.load(entry.key, &req).is_none());
-        // A schedule that does not satisfy the demand is rejected even if the
-        // file parses: drop the relay's second hop.
+        assert_eq!(store.quarantined(), 1);
+        assert!(!store.path_for(entry.key).exists(), "bad file moved aside");
+        // A schedule that does not satisfy the demand is quarantined even if
+        // the file parses: drop the relay's second hop.
         let mut broken = entry.clone();
         broken.output.schedule.sends.truncate(1);
         store.save(&broken, None).unwrap();
         assert!(store.load(entry.key, &req).is_none());
+        assert_eq!(store.quarantined(), 2);
+        // The key is re-solvable: a fresh save works and loads again.
+        store.save(&entry, None).unwrap();
+        assert!(store.load(entry.key, &req).is_some());
         assert!(store.evict_all() >= 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_entries_never_reach_disk() {
+        let dir = std::env::temp_dir().join(format!("teccl-store-degr-{}", std::process::id()));
+        let store = DiskStore::open(&dir).unwrap();
+        store.evict_all();
+        let req = broadcast_request();
+        let mut entry = entry_for(&req, 0);
+        entry.quality = Quality::Incumbent;
+        store.save(&entry, None).unwrap();
+        assert!(!store.path_for(entry.key).exists());
+        assert!(store.load(entry.key, &req).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn find_family_prefers_quality_then_recency() {
+        let req = broadcast_request();
+        let mut cache = ScheduleCache::new(8);
+        let mut exact = entry_for(&req, 1);
+        exact.key.family = 77;
+        let mut incumbent = entry_for(&req, 2);
+        incumbent.key.family = 77;
+        incumbent.quality = Quality::Incumbent;
+        let mut baseline = entry_for(&req, 3);
+        baseline.key.family = 77;
+        baseline.quality = Quality::Baseline;
+        cache.insert(Arc::new(exact.clone()));
+        cache.insert(Arc::new(incumbent));
+        cache.insert(Arc::new(baseline.clone()));
+        let found = cache.find_family(77, 0).expect("family member found");
+        assert_eq!(
+            found.key.hash, exact.key.hash,
+            "exact beats fresher incumbent"
+        );
+        // Excluding the requesting key itself, and never serving a baseline.
+        let found = cache.find_family(77, exact.key.hash).unwrap();
+        assert_eq!(found.quality, Quality::Incumbent);
+        assert!(
+            cache.find_family(78, 0).is_none(),
+            "other families invisible"
+        );
+        cache.evict(exact.key.hash);
+        cache.evict(found.key.hash);
+        assert!(
+            cache.find_family(77, 0).is_none(),
+            "a lone baseline entry is not worth serving stale"
+        );
     }
 }

@@ -119,6 +119,14 @@ pub struct SolveRequest {
     pub method: RequestMethod,
     /// Solver configuration.
     pub config: SolverConfig,
+    /// How long the caller is willing to wait (measured from submission).
+    /// When it expires the service serves the best degraded answer it has
+    /// (see `teccl_service::service::Quality`) instead of blocking.
+    ///
+    /// Deliberately **excluded** from [`SolveRequest::key`]: a deadline
+    /// changes how long we wait, not which schedule is correct, so
+    /// deadline-bearing requests must share cache entries with patient ones.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl SolveRequest {
@@ -136,12 +144,19 @@ impl SolveRequest {
             output_buffer,
             method: RequestMethod::Auto,
             config: SolverConfig::default(),
+            deadline: None,
         }
     }
 
     /// Sets the formulation.
     pub fn with_method(mut self, method: RequestMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Sets the serving deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -190,14 +205,18 @@ impl SolveRequest {
 
     /// Serializes the request (used by the wire protocol and request files).
     pub fn to_json_value(&self) -> Value {
-        Value::obj(vec![
+        let mut pairs = vec![
             ("topology", self.topology.to_json_value()),
             ("collective", Value::from(collective_name(self.collective))),
             ("chunks", Value::from(self.chunks)),
             ("output_buffer", Value::from(self.output_buffer)),
             ("method", Value::from(self.method.name())),
             ("config", config_to_json(&self.config)),
-        ])
+        ];
+        if let Some(d) = self.deadline {
+            pairs.push(("deadline_ms", Value::from(d.as_secs_f64() * 1e3)));
+        }
+        Value::obj(pairs)
     }
 
     /// Deserializes a request. `topology` may be a full topology document or
@@ -245,6 +264,16 @@ impl SolveRequest {
             None => SolverConfig::default(),
             Some(c) => config_from_json(c)?,
         };
+        let deadline = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => {
+                let ms = d
+                    .as_f64()
+                    .filter(|ms| *ms >= 0.0 && ms.is_finite())
+                    .ok_or(bad("bad deadline_ms"))?;
+                Some(std::time::Duration::from_secs_f64(ms / 1e3))
+            }
+        };
         Ok(SolveRequest {
             topology,
             collective,
@@ -252,6 +281,7 @@ impl SolveRequest {
             output_buffer,
             method,
             config,
+            deadline,
         })
     }
 }
@@ -552,6 +582,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(req.key(), base_request().key());
+    }
+
+    #[test]
+    fn deadline_rides_the_wire_but_not_the_key() {
+        let patient = base_request();
+        let hurried = base_request().with_deadline(std::time::Duration::from_millis(100));
+        assert_eq!(
+            hurried.key(),
+            patient.key(),
+            "deadline must not split the cache"
+        );
+        let back = SolveRequest::from_json_value(&hurried.to_json_value()).unwrap();
+        assert_eq!(back.deadline, Some(std::time::Duration::from_millis(100)));
+        let back = SolveRequest::from_json_value(&patient.to_json_value()).unwrap();
+        assert_eq!(back.deadline, None);
+        let neg = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"deadline_ms":-3}"#;
+        assert!(SolveRequest::from_json_value(&Value::parse(neg).unwrap()).is_err());
     }
 
     #[test]

@@ -21,16 +21,23 @@
 //! * [`protocol`] / [`server`] — a line-delimited-JSON-over-TCP protocol
 //!   (`solve` / `stats` / `evict`) served by the `teccld` binary and driven
 //!   by the `teccl-cli` batch client.
+//! * [`fault`] / [`sync`] — deterministic fault injection (panics, stalls,
+//!   corrupt reads, dropped connections via `TECCL_FAULT_PLAN`) and
+//!   poison-recovering lock helpers, so the robustness story — deadline
+//!   degradation ladder, worker respawn, disk quarantine — is testable.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 
 pub mod cache;
+pub mod fault;
 pub mod key;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod sync;
 
-pub use cache::{CacheEntry, DiskStore, ScheduleCache};
+pub use cache::{CacheEntry, DiskStore, Quality, ScheduleCache};
+pub use fault::FaultPlan;
 pub use key::{builtin_topology, RequestKey, RequestMethod, SolveRequest};
 pub use server::{serve, ServerHandle};
 pub use service::{

@@ -13,6 +13,7 @@
 
 use teccl_util::json::Value;
 
+use crate::cache::Quality;
 use crate::key::SolveRequest;
 use crate::service::{CacheStatus, ServedSchedule, ServiceStats};
 
@@ -56,6 +57,7 @@ pub fn solve_response(served: &ServedSchedule) -> Value {
     Value::obj(vec![
         ("status", Value::from("ok")),
         ("cache", Value::from(served.cache.name())),
+        ("quality", Value::from(served.quality.name())),
         ("key", Value::from(format!("{:016x}", e.key.hash))),
         ("chunk_bytes", Value::from(e.chunk_bytes)),
         ("output", e.output.to_json_value()),
@@ -107,6 +109,9 @@ pub fn error_response(message: &str) -> Value {
 pub struct SolveReply {
     /// How the server satisfied the request.
     pub cache: CacheStatus,
+    /// How the answer ranks against the exact optimum (`exact` unless a
+    /// deadline forced a degraded rung of the ladder).
+    pub quality: Quality,
     /// The request key (hex) under which the schedule is cached.
     pub key: String,
     /// Chunk size of the served schedule.
@@ -136,8 +141,15 @@ pub fn parse_solve_reply(line: &str) -> Result<SolveReply, String> {
         Some("miss") => CacheStatus::Miss,
         _ => return Err("missing cache status".into()),
     };
+    // Older servers predate quality tags; everything they serve is exact.
+    let quality = v
+        .get("quality")
+        .and_then(Value::as_str)
+        .and_then(Quality::from_name)
+        .unwrap_or(Quality::Exact);
     Ok(SolveReply {
         cache,
+        quality,
         key: v
             .get("key")
             .and_then(Value::as_str)

@@ -113,6 +113,12 @@ fn handle_connection(stream: TcpStream, service: &ScheduleService) {
                 Err(e) => error_response(&e.to_string()),
             },
         };
+        // Fault injection: hang up instead of answering (the request itself
+        // was fully processed — clients must treat a dropped connection as
+        // retriable, and a retry is served from cache).
+        if service.fault_plan().should_drop_connection() {
+            return;
+        }
         if writer
             .write_all(format!("{}\n", response.to_json()).as_bytes())
             .and_then(|_| writer.flush())

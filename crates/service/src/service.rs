@@ -13,20 +13,38 @@
 //! * **Validation**: every solved schedule is validated and simulated before
 //!   it is cached or served; the service never hands out an unchecked
 //!   schedule, whether it came from a solver, memory, or disk.
+//! * **Deadlines & degradation**: a request with a deadline runs its solve
+//!   under a cooperative [`SolveBudget`]; when the deadline expires the
+//!   service serves the best answer on a fixed ladder — the solver's
+//!   incumbent, a stale same-family cache entry, or an instant baseline —
+//!   tagged with a [`Quality`], while the exact solve continues in the
+//!   background to upgrade the cache entry.
+//! * **Fault isolation**: solves run under `catch_unwind`, a panicked solve
+//!   fans a typed [`ServiceError::WorkerPanicked`] to its waiters (never a
+//!   hang), dead workers are respawned, poisoned locks are recovered, and
+//!   corrupt disk entries are quarantined. All of it is deterministically
+//!   testable through [`crate::fault::FaultPlan`].
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use teccl_core::TeCcl;
-use teccl_lp::SimplexBasis;
+use teccl_baselines::{ring_all_gather, shortest_path_schedule};
+use teccl_collective::CollectiveKind;
+use teccl_core::{TeCcl, TeCclError};
+use teccl_lp::{SimplexBasis, SolveStats};
 use teccl_schedule::{simulate, validate, CollectiveMetrics, ScheduleOutput};
+use teccl_topology::NodeId;
 use teccl_util::json::Value;
+use teccl_util::SolveBudget;
 
-use crate::cache::{CacheEntry, DiskStore, ScheduleCache};
+use crate::cache::{CacheEntry, DiskStore, Quality, ScheduleCache};
+use crate::fault::FaultPlan;
 use crate::key::{RequestKey, RequestMethod, SolveRequest};
+use crate::sync::{lock_recover, wait_recover};
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +78,10 @@ pub struct ServedSchedule {
     pub entry: Arc<CacheEntry>,
     /// How this particular request was satisfied.
     pub cache: CacheStatus,
+    /// How the answer ranks against the exact optimum. Usually the entry's
+    /// own quality; [`Quality::Stale`] when a deadline was met by borrowing
+    /// a neighbouring size bucket's entry.
+    pub quality: Quality,
 }
 
 /// Why a request failed.
@@ -70,6 +92,10 @@ pub enum ServiceError {
     /// The solver returned, but its schedule failed validation or simulation
     /// — a bug worth surfacing loudly rather than caching.
     InvalidSchedule(String),
+    /// The worker thread panicked while solving this request. The panic was
+    /// contained: the service keeps serving, and every waiter coalesced onto
+    /// this solve receives exactly this error.
+    WorkerPanicked(String),
     /// The service is shutting down and dropped the request.
     ShuttingDown,
 }
@@ -81,6 +107,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::InvalidSchedule(m) => {
                 write!(f, "solver produced an invalid schedule: {m}")
             }
+            ServiceError::WorkerPanicked(m) => write!(f, "worker panicked during solve: {m}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -109,10 +136,22 @@ pub struct ServiceStats {
     pub solve_errors: u64,
     /// Solves launched with a published warm-start basis from the family.
     pub hinted_solves: u64,
-    /// Total simplex iterations spent by all solves — unchanged by hits.
+    /// Total simplex iterations spent by all solves — unchanged by hits
+    /// *and* by baseline fallbacks, which never touch the simplex.
     pub solve_simplex_iterations: u64,
     /// Total wall-clock seconds spent inside the solver.
     pub solve_time_s: f64,
+    /// Requests served below [`Quality::Exact`] (incumbent/stale/baseline).
+    pub degraded: u64,
+    /// Background exact re-solves that upgraded a degraded cache entry.
+    pub background_upgrades: u64,
+    /// Solves that panicked on a worker thread (contained, not fatal).
+    pub worker_panics: u64,
+    /// Worker threads respawned after dying.
+    pub worker_respawns: u64,
+    /// Corrupt disk-store files quarantined since startup (gauge from the
+    /// store).
+    pub disk_quarantined: u64,
     /// Entries currently in the in-memory cache (gauge, not a counter).
     pub cached_entries: u64,
 }
@@ -134,6 +173,11 @@ impl ServiceStats {
                 Value::from(self.solve_simplex_iterations),
             ),
             ("solve_time_s", Value::from(self.solve_time_s)),
+            ("degraded", Value::from(self.degraded)),
+            ("background_upgrades", Value::from(self.background_upgrades)),
+            ("worker_panics", Value::from(self.worker_panics)),
+            ("worker_respawns", Value::from(self.worker_respawns)),
+            ("disk_quarantined", Value::from(self.disk_quarantined)),
             ("cached_entries", Value::from(self.cached_entries)),
         ])
     }
@@ -152,6 +196,11 @@ impl ServiceStats {
             hinted_solves: num("hinted_solves") as u64,
             solve_simplex_iterations: num("solve_simplex_iterations") as u64,
             solve_time_s: num("solve_time_s"),
+            degraded: num("degraded") as u64,
+            background_upgrades: num("background_upgrades") as u64,
+            worker_panics: num("worker_panics") as u64,
+            worker_respawns: num("worker_respawns") as u64,
+            disk_quarantined: num("disk_quarantined") as u64,
             cached_entries: num("cached_entries") as u64,
         }
     }
@@ -166,6 +215,13 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Optional on-disk store directory.
     pub disk_dir: Option<std::path::PathBuf>,
+    /// When a deadline forces a degraded answer, keep solving in the
+    /// background and upgrade the cache entry to the exact result.
+    pub background_upgrade: bool,
+    /// Fault-injection spec (see [`crate::fault`]). `None` consults the
+    /// `TECCL_FAULT_PLAN` environment variable; `Some("")` is explicitly
+    /// inert regardless of the environment.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -174,11 +230,13 @@ impl Default for ServiceConfig {
             workers: 2,
             cache_capacity: 256,
             disk_dir: None,
+            background_upgrade: true,
+            fault_plan: None,
         }
     }
 }
 
-type Reply = Result<(Arc<CacheEntry>, CacheStatus), ServiceError>;
+type Reply = Result<(Arc<CacheEntry>, CacheStatus, Quality), ServiceError>;
 
 /// A pending response. Blocks on [`Ticket::wait`]; dropping it abandons the
 /// request (the solve still completes and lands in the cache).
@@ -191,7 +249,11 @@ impl Ticket {
     /// Blocks until the request is served or fails.
     pub fn wait(self) -> Result<ServedSchedule, ServiceError> {
         match self.rx.recv() {
-            Ok(Ok((entry, cache))) => Ok(ServedSchedule { entry, cache }),
+            Ok(Ok((entry, cache, quality))) => Ok(ServedSchedule {
+                entry,
+                cache,
+                quality,
+            }),
             Ok(Err(e)) => Err(e),
             // The service dropped the sender without replying: shutdown.
             Err(_) => Err(ServiceError::ShuttingDown),
@@ -203,6 +265,12 @@ impl Ticket {
 struct Job {
     request: SolveRequest,
     key: RequestKey,
+    /// When the request entered the queue — the deadline clock starts here,
+    /// so queue wait counts against the budget.
+    submitted: Instant,
+    /// A background exact re-solve of a degraded entry (no waiters when
+    /// enqueued; never re-degrades).
+    upgrade: bool,
 }
 
 /// All mutable service state behind one mutex. Held only for queue/cache/map
@@ -224,6 +292,8 @@ struct Inner {
     state: Mutex<State>,
     work: Condvar,
     disk: Option<DiskStore>,
+    fault: Arc<FaultPlan>,
+    background_upgrade: bool,
 }
 
 /// The schedule service: submit [`SolveRequest`]s, receive validated,
@@ -236,8 +306,13 @@ pub struct ScheduleService {
 impl ScheduleService {
     /// Starts a service (spawning its worker threads).
     pub fn start(config: ServiceConfig) -> std::io::Result<ScheduleService> {
+        let fault = Arc::new(match &config.fault_plan {
+            Some(spec) => FaultPlan::parse(spec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+            None => FaultPlan::from_env(),
+        });
         let disk = match &config.disk_dir {
-            Some(dir) => Some(DiskStore::open(dir)?),
+            Some(dir) => Some(DiskStore::open(dir)?.with_fault_plan(Arc::clone(&fault))),
             None => None,
         };
         let inner = Arc::new(Inner {
@@ -251,15 +326,11 @@ impl ScheduleService {
             }),
             work: Condvar::new(),
             disk,
+            fault,
+            background_upgrade: config.background_upgrade,
         });
         let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("teccl-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
+            .map(|i| spawn_worker(Arc::clone(&inner), format!("teccl-worker-{i}")))
             .collect();
         Ok(ScheduleService {
             inner,
@@ -267,23 +338,64 @@ impl ScheduleService {
         })
     }
 
+    /// The fault-injection plan this service runs under (inert by default).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.inner.fault
+    }
+
+    /// Respawns any worker thread that has died (a panic that escaped the
+    /// solve guard, e.g. in the publish path). Called on every submit so a
+    /// dead worker costs at most one queued request's latency.
+    fn ensure_workers(&self) {
+        let mut workers = lock_recover(&self.workers);
+        if workers.iter().all(|w| !w.is_finished()) {
+            return;
+        }
+        for slot in workers.iter_mut() {
+            if !slot.is_finished() {
+                continue;
+            }
+            let name = {
+                let mut st = lock_recover(&self.inner.state);
+                if st.shutdown {
+                    return;
+                }
+                st.stats.worker_respawns += 1;
+                format!("teccl-worker-r{}", st.stats.worker_respawns)
+            };
+            let fresh = spawn_worker(Arc::clone(&self.inner), name);
+            let dead = std::mem::replace(slot, fresh);
+            let _ = dead.join();
+        }
+    }
+
     /// Submits a request; returns immediately with a [`Ticket`].
     pub fn submit(&self, request: SolveRequest) -> Ticket {
+        self.ensure_workers();
         let key = request.key();
         let (tx, rx) = channel();
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock_recover(&self.inner.state);
             st.stats.requests += 1;
             if st.shutdown {
                 let _ = tx.send(Err(ServiceError::ShuttingDown));
                 return Ticket { rx };
             }
             // 1. In-memory hit: reply immediately, no solver, no queue.
+            //    A degraded entry only satisfies deadline-bearing callers; a
+            //    patient caller re-solves for the exact answer (coalescing
+            //    onto the background upgrade if one is in flight).
             if let Some(entry) = st.cache.get(key.hash) {
-                st.stats.hits += 1;
-                st.stats.cached_entries = st.cache.len() as u64;
-                let _ = tx.send(Ok((entry, CacheStatus::Hit)));
-                return Ticket { rx };
+                if entry.quality == Quality::Exact || request.deadline.is_some() {
+                    st.stats.hits += 1;
+                    if entry.quality != Quality::Exact {
+                        st.stats.degraded += 1;
+                    }
+                    st.stats.cached_entries = st.cache.len() as u64;
+                    let quality = entry.quality;
+                    let _ = tx.send(Ok((entry, CacheStatus::Hit, quality)));
+                    return Ticket { rx };
+                }
             }
             // 2. Single-flight: an identical solve is already running or
             //    queued (checked before the disk probe so joiners never pay
@@ -310,14 +422,14 @@ impl ScheduleService {
             .as_ref()
             .expect("checked above")
             .load(key, &request);
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_recover(&self.inner.state);
         if st.shutdown {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
             return Ticket { rx };
         }
         if let Some((entry, basis)) = loaded {
             // Promote to memory (idempotent if a racing probe got here
-            // first) and serve.
+            // first) and serve. Disk entries are always exact.
             let entry = Arc::new(entry);
             st.cache.insert(Arc::clone(&entry));
             if let Some(b) = basis {
@@ -325,16 +437,23 @@ impl ScheduleService {
             }
             st.stats.disk_hits += 1;
             st.stats.cached_entries = st.cache.len() as u64;
-            let _ = tx.send(Ok((entry, CacheStatus::DiskHit)));
+            let quality = entry.quality;
+            let _ = tx.send(Ok((entry, CacheStatus::DiskHit, quality)));
             return Ticket { rx };
         }
         // Nothing on disk. The world may have moved while we probed:
         // re-check memory and in-flight before owning the solve.
         if let Some(entry) = st.cache.get(key.hash) {
-            st.stats.hits += 1;
-            st.stats.cached_entries = st.cache.len() as u64;
-            let _ = tx.send(Ok((entry, CacheStatus::Hit)));
-            return Ticket { rx };
+            if entry.quality == Quality::Exact || request.deadline.is_some() {
+                st.stats.hits += 1;
+                if entry.quality != Quality::Exact {
+                    st.stats.degraded += 1;
+                }
+                st.stats.cached_entries = st.cache.len() as u64;
+                let quality = entry.quality;
+                let _ = tx.send(Ok((entry, CacheStatus::Hit, quality)));
+                return Ticket { rx };
+            }
         }
         if st.inflight.contains_key(&key.hash) {
             st.stats.coalesced += 1;
@@ -356,7 +475,12 @@ impl ScheduleService {
     ) -> Ticket {
         st.stats.misses += 1;
         st.inflight.insert(key.hash, vec![(tx, CacheStatus::Miss)]);
-        st.queue.push_back(Job { request, key });
+        st.queue.push_back(Job {
+            request,
+            key,
+            submitted: Instant::now(),
+            upgrade: false,
+        });
         drop(st);
         self.inner.work.notify_one();
         Ticket { rx }
@@ -369,9 +493,12 @@ impl ScheduleService {
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let st = self.inner.state.lock().unwrap();
+        let st = lock_recover(&self.inner.state);
         let mut s = st.stats.clone();
         s.cached_entries = st.cache.len() as u64;
+        if let Some(store) = &self.inner.disk {
+            s.disk_quarantined = store.quarantined();
+        }
         s
     }
 
@@ -379,7 +506,7 @@ impl ScheduleService {
     /// how many in-memory entries were dropped. Published warm-start bases
     /// are kept — they are hints, not results.
     pub fn evict(&self) -> usize {
-        let n = self.inner.state.lock().unwrap().cache.evict_all();
+        let n = lock_recover(&self.inner.state).cache.evict_all();
         if let Some(store) = &self.inner.disk {
             store.evict_all();
         }
@@ -388,14 +515,14 @@ impl ScheduleService {
 
     /// Removes a single key from the in-memory cache.
     pub fn evict_key(&self, hash: u64) -> bool {
-        self.inner.state.lock().unwrap().cache.evict(hash)
+        lock_recover(&self.inner.state).cache.evict(hash)
     }
 
     /// Stops accepting work, fails queued-but-unstarted requests, and joins
     /// the workers. Called automatically on drop.
     pub fn shutdown(&self) {
         let orphans: Vec<(Sender<Reply>, CacheStatus)> = {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock_recover(&self.inner.state);
             if st.shutdown {
                 return;
             }
@@ -414,7 +541,7 @@ impl ScheduleService {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
         }
         self.inner.work.notify_all();
-        let mut workers = self.workers.lock().unwrap();
+        let mut workers = lock_recover(&self.workers);
         for w in workers.drain(..) {
             let _ = w.join();
         }
@@ -427,12 +554,27 @@ impl Drop for ScheduleService {
     }
 }
 
-/// Worker: pop a job, solve it (outside the lock), validate, cache, publish
-/// the basis, fan the result out to every waiter.
+/// What a finished unit of work produced: the entry to serve, the basis to
+/// publish, the simplex iterations spent, and the quality to report.
+type JobResult = Result<(Arc<CacheEntry>, Option<SimplexBasis>, usize, Quality), ServiceError>;
+
+/// Why a solve attempt produced nothing servable on its own.
+enum SolveFail {
+    /// The budget ran out with no validated incumbent — descend the ladder
+    /// (stale entry, then baseline).
+    Degrade(String),
+    /// A real failure; no fallback would make it right.
+    Fatal(ServiceError),
+}
+
+/// Worker: pop a job, solve it (outside the lock, panic-contained, under the
+/// request's deadline budget), walk the degradation ladder if the budget ran
+/// out, validate, cache, publish the basis, fan the result out to every
+/// waiter, and enqueue a background exact upgrade for degraded answers.
 fn worker_loop(inner: &Inner) {
     loop {
         let (job, hint) = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = lock_recover(&inner.state);
             let job = loop {
                 if let Some(job) = st.queue.pop_front() {
                     break job;
@@ -440,7 +582,7 @@ fn worker_loop(inner: &Inner) {
                 if st.shutdown {
                     return;
                 }
-                st = inner.work.wait(st).unwrap();
+                st = wait_recover(&inner.work, st);
             };
             let hint = warm_hint(&st.basis_book, job.key);
             if hint.is_some() {
@@ -450,31 +592,90 @@ fn worker_loop(inner: &Inner) {
         };
 
         let key = job.key;
-        let result = solve_job(&job, hint.as_ref());
+        // The deadline clock started at submission; whatever queue wait ate
+        // is gone from the budget.
+        let budget = job
+            .request
+            .deadline
+            .map(|d| SolveBudget::with_deadline(d.saturating_sub(job.submitted.elapsed())));
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            solve_job(&job, hint.as_ref(), budget.as_ref(), &inner.fault)
+        }));
+
+        let panicked = attempt.is_err();
+        let result: JobResult = match attempt {
+            Ok(Ok(solved)) => Ok(solved),
+            Ok(Err(SolveFail::Fatal(e))) => Err(e),
+            Ok(Err(SolveFail::Degrade(reason))) => degrade(inner, &job, &reason),
+            // `&*`: downcast the payload itself, not the box around it.
+            Err(payload) => Err(ServiceError::WorkerPanicked(panic_message(&*payload))),
+        };
 
         // Publish and fan out.
-        let (waiters, to_disk) = {
-            let mut st = inner.state.lock().unwrap();
+        let (waiters, to_disk, upgrade_queued) = {
+            let mut st = lock_recover(&inner.state);
+            let waiters = st.inflight.remove(&key.hash).unwrap_or_default();
             let mut to_disk = None;
+            let mut upgrade_queued = false;
             match &result {
-                Ok((entry, basis, stats_delta)) => {
-                    st.cache.insert(Arc::clone(entry));
+                Ok((entry, basis, stats_delta, quality)) => {
+                    // A stale answer is a neighbouring key's entry — it is
+                    // already cached under its own hash, and caching it under
+                    // ours would mislabel the cache.
+                    if *quality != Quality::Stale {
+                        st.cache.insert(Arc::clone(entry));
+                    }
                     if let Some(b) = basis {
                         st.basis_book
                             .insert((key.family, key.size_bucket), b.clone());
                     }
-                    st.stats.solves += 1;
+                    if *quality <= Quality::Incumbent {
+                        st.stats.solves += 1;
+                        st.stats.solve_time_s += entry.stats.solve_time.as_secs_f64();
+                    }
                     st.stats.solve_simplex_iterations += *stats_delta as u64;
-                    st.stats.solve_time_s += entry.stats.solve_time.as_secs_f64();
+                    if *quality != Quality::Exact {
+                        st.stats.degraded += waiters.len() as u64;
+                        // Keep working toward the exact answer: re-enqueue the
+                        // request deadline-free with no waiters. A later
+                        // identical request coalesces onto it instead of
+                        // re-triggering a solve.
+                        if inner.background_upgrade && !job.upgrade && !st.shutdown {
+                            let mut request = job.request.clone();
+                            request.deadline = None;
+                            st.inflight.entry(key.hash).or_default();
+                            st.queue.push_back(Job {
+                                request,
+                                key,
+                                submitted: Instant::now(),
+                                upgrade: true,
+                            });
+                            upgrade_queued = true;
+                        }
+                    } else if job.upgrade {
+                        st.stats.background_upgrades += 1;
+                    }
                     st.stats.cached_entries = st.cache.len() as u64;
-                    if inner.disk.is_some() {
+                    if inner.disk.is_some() && *quality == Quality::Exact {
                         to_disk = Some((Arc::clone(entry), basis.clone()));
                     }
                 }
-                Err(_) => st.stats.solve_errors += 1,
+                Err(e) => {
+                    st.stats.solve_errors += 1;
+                    if matches!(e, ServiceError::WorkerPanicked(_)) {
+                        st.stats.worker_panics += 1;
+                    }
+                }
             }
-            (st.inflight.remove(&key.hash).unwrap_or_default(), to_disk)
+            debug_assert!(
+                !panicked || result.is_err(),
+                "a panic must surface as an error"
+            );
+            (waiters, to_disk, upgrade_queued)
         };
+        if upgrade_queued {
+            inner.work.notify_one();
+        }
         // Disk IO happens outside the lock; the in-memory entry is already
         // visible, so a racing identical request hits memory meanwhile.
         if let Some(store) = &inner.disk {
@@ -484,12 +685,91 @@ fn worker_loop(inner: &Inner) {
         }
         for (tx, status) in waiters {
             let reply = match &result {
-                Ok((entry, _, _)) => Ok((Arc::clone(entry), status)),
+                Ok((entry, _, _, quality)) => Ok((Arc::clone(entry), status, *quality)),
                 Err(e) => Err(e.clone()),
             };
             let _ = tx.send(reply);
         }
     }
+}
+
+/// Spawns one worker thread.
+fn spawn_worker(inner: Arc<Inner>, name: String) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&inner))
+        .expect("spawn worker")
+}
+
+/// Renders a panic payload into something a waiter can read.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The lower rungs of the ladder, in order: a validated same-family cache
+/// entry (identical demand, neighbouring chunk size), else an instant
+/// baseline schedule. Neither touches the simplex.
+fn degrade(inner: &Inner, job: &Job, reason: &str) -> JobResult {
+    let stale = lock_recover(&inner.state)
+        .cache
+        .find_family(job.key.family, job.key.hash);
+    if let Some(entry) = stale {
+        return Ok((entry, None, 0, Quality::Stale));
+    }
+    build_baseline(&job.request, job.key, reason).map(|e| (e, None, 0, Quality::Baseline))
+}
+
+/// Builds, validates and simulates a solver-free baseline schedule: the NCCL
+/// ring for ALLGATHER when the GPUs form a usable ring, shortest-path unicast
+/// (fully general) otherwise.
+fn build_baseline(
+    request: &SolveRequest,
+    key: RequestKey,
+    reason: &str,
+) -> Result<Arc<CacheEntry>, ServiceError> {
+    let started = Instant::now();
+    let demand = request.demand();
+    let chunk_bytes = request.chunk_bytes();
+    let topo = &request.topology;
+    let schedule = match request.collective {
+        CollectiveKind::AllGather => {
+            let gpus: Vec<NodeId> = topo.gpus().collect();
+            ring_all_gather(topo, &gpus, request.chunks, chunk_bytes)
+                .unwrap_or_else(|| shortest_path_schedule(topo, &demand, chunk_bytes))
+        }
+        _ => shortest_path_schedule(topo, &demand, chunk_bytes),
+    };
+    let report = validate(topo, &demand, &schedule, false);
+    if !report.is_valid() {
+        return Err(ServiceError::Solve(format!(
+            "{reason}; baseline fallback is invalid too: {:?}",
+            report.errors
+        )));
+    }
+    let sim = simulate(topo, &demand, &schedule)
+        .map_err(|e| ServiceError::Solve(format!("{reason}; baseline failed simulation: {e}")))?;
+    let metrics = CollectiveMetrics {
+        solver: schedule.name.clone(),
+        epoch_duration: schedule.epoch_duration,
+        transfer_time: sim.transfer_time,
+        solver_time: started.elapsed().as_secs_f64(),
+        output_buffer_bytes: request.output_buffer,
+        bytes_on_wire: sim.bytes_on_wire,
+    };
+    Ok(Arc::new(CacheEntry {
+        key,
+        output: ScheduleOutput { schedule, metrics },
+        topology_used: topo.clone(),
+        chunk_bytes,
+        stats: SolveStats::default(),
+        quality: Quality::Baseline,
+    }))
 }
 
 /// Picks a warm-start basis for a key: its own bucket first, then the
@@ -505,36 +785,89 @@ fn warm_hint(book: &HashMap<(u64, i64), SimplexBasis>, key: RequestKey) -> Optio
     None
 }
 
-/// Runs one solve end to end: dispatch, validate, simulate, package.
-/// Returns the entry, the basis to publish, and the simplex iterations spent.
-#[allow(clippy::type_complexity)]
+/// Runs one solve end to end: fault hooks, budget, dispatch, validate,
+/// simulate, package. Returns the entry, the basis to publish, the simplex
+/// iterations spent, and the achieved quality (exact, or incumbent when the
+/// budget stopped the solver at its best feasible point).
 fn solve_job(
     job: &Job,
     hint: Option<&SimplexBasis>,
-) -> Result<(Arc<CacheEntry>, Option<SimplexBasis>, usize), ServiceError> {
+    budget: Option<&SolveBudget>,
+    fault: &FaultPlan,
+) -> Result<(Arc<CacheEntry>, Option<SimplexBasis>, usize, Quality), SolveFail> {
+    if let Some(delay) = fault.slow_solve_delay() {
+        std::thread::sleep(delay);
+    }
+    if fault.should_panic_in_solve() {
+        panic!("injected fault: panic-in-solve");
+    }
+    // A deadline that expired in the queue (or during an injected stall)
+    // goes straight to the fallback ladder — zero simplex pivots.
+    if let Some(cause) = budget.and_then(SolveBudget::exceeded) {
+        return Err(SolveFail::Degrade(format!(
+            "budget exhausted before the solve started: {cause}"
+        )));
+    }
     let req = &job.request;
     let demand = req.demand();
     let chunk_bytes = req.chunk_bytes();
-    let solver = TeCcl::new(req.topology.clone(), req.config.clone());
+    let mut solver = TeCcl::new(req.topology.clone(), req.config.clone());
+    if let Some(b) = budget {
+        solver = solver.with_budget(b.clone());
+    }
     let solve_started = Instant::now();
     let outcome = match req.method {
         RequestMethod::Auto => solver.solve_from(&demand, chunk_bytes, hint),
         RequestMethod::Milp => solver.solve_milp_from(&demand, chunk_bytes, hint),
         RequestMethod::Lp => solver.solve_lp_from(&demand, chunk_bytes, hint),
         RequestMethod::AStar => solver.solve_astar_from(&demand, chunk_bytes, hint),
-    }
-    .map_err(|e| ServiceError::Solve(e.to_string()))?;
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        // Budget ran out with nothing feasible in hand: not a solver bug,
+        // descend the ladder.
+        Err(TeCclError::Budget(cause)) => {
+            return Err(SolveFail::Degrade(format!(
+                "solve budget exhausted: {cause}"
+            )))
+        }
+        Err(e) => return Err(SolveFail::Fatal(ServiceError::Solve(e.to_string()))),
+    };
     let solver_time = solve_started.elapsed().as_secs_f64();
+    let quality = if outcome.stats.budget_stop.is_some() {
+        Quality::Incumbent
+    } else {
+        Quality::Exact
+    };
 
     let report = validate(&outcome.topology_used, &demand, &outcome.schedule, false);
     if !report.is_valid() {
-        return Err(ServiceError::InvalidSchedule(format!(
+        // An invalid *exact* schedule is a solver bug worth surfacing; an
+        // invalid incumbent just means this rung of the ladder is empty.
+        if quality == Quality::Incumbent {
+            return Err(SolveFail::Degrade(format!(
+                "deadline-stopped incumbent failed validation: {:?}",
+                report.errors
+            )));
+        }
+        return Err(SolveFail::Fatal(ServiceError::InvalidSchedule(format!(
             "{:?}",
             report.errors
-        )));
+        ))));
     }
-    let sim = simulate(&outcome.topology_used, &demand, &outcome.schedule)
-        .map_err(|e| ServiceError::InvalidSchedule(e.to_string()))?;
+    let sim = match simulate(&outcome.topology_used, &demand, &outcome.schedule) {
+        Ok(sim) => sim,
+        Err(e) if quality == Quality::Incumbent => {
+            return Err(SolveFail::Degrade(format!(
+                "deadline-stopped incumbent failed simulation: {e}"
+            )))
+        }
+        Err(e) => {
+            return Err(SolveFail::Fatal(ServiceError::InvalidSchedule(
+                e.to_string(),
+            )))
+        }
+    };
 
     let metrics = CollectiveMetrics {
         solver: outcome.schedule.name.clone(),
@@ -554,8 +887,9 @@ fn solve_job(
         topology_used: outcome.topology_used,
         chunk_bytes,
         stats: outcome.stats,
+        quality,
     });
-    Ok((entry, outcome.basis, simplex_iterations))
+    Ok((entry, outcome.basis, simplex_iterations, quality))
 }
 
 #[cfg(test)]
@@ -573,11 +907,21 @@ mod tests {
         )
     }
 
+    /// A config that ignores any ambient `TECCL_FAULT_PLAN` so unit tests
+    /// stay deterministic under a chaos-enabled environment.
+    fn quiet_config() -> ServiceConfig {
+        ServiceConfig {
+            fault_plan: Some(String::new()),
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn hit_returns_validated_schedule_without_solving() {
-        let svc = ScheduleService::start(ServiceConfig::default()).unwrap();
+        let svc = ScheduleService::start(quiet_config()).unwrap();
         let first = svc.request(tiny_request()).unwrap();
         assert_eq!(first.cache, CacheStatus::Miss);
+        assert_eq!(first.quality, Quality::Exact);
         let after_miss = svc.stats();
         assert_eq!(after_miss.solves, 1);
         assert!(after_miss.solve_simplex_iterations > 0);
@@ -610,7 +954,7 @@ mod tests {
         // zero rounds allowed.
         let mut req = tiny_request().with_method(RequestMethod::AStar);
         req.config.astar_max_rounds = 0;
-        let svc = ScheduleService::start(ServiceConfig::default()).unwrap();
+        let svc = ScheduleService::start(quiet_config()).unwrap();
         let t1 = svc.submit(req.clone());
         let t2 = svc.submit(req);
         let (r1, r2) = (t1.wait(), t2.wait());
@@ -620,7 +964,7 @@ mod tests {
 
     #[test]
     fn evict_key_forces_resolve_with_published_basis() {
-        let svc = ScheduleService::start(ServiceConfig::default()).unwrap();
+        let svc = ScheduleService::start(quiet_config()).unwrap();
         let req = SolveRequest::new(
             line_topology(3, 1e9, 0.0),
             CollectiveKind::AllToAll,
@@ -652,6 +996,7 @@ mod tests {
             workers: 1,
             cache_capacity: 16,
             disk_dir: Some(dir.clone()),
+            ..Default::default()
         };
         let first = {
             let svc = ScheduleService::start(cfg()).unwrap();

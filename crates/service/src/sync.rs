@@ -1,0 +1,50 @@
+//! Poison-recovering lock helpers.
+//!
+//! A worker that panics while holding the state mutex poisons it; with plain
+//! `lock().unwrap()` every later request would then panic too, turning one
+//! bad solve into a dead service. The service's invariants are all
+//! re-derivable (queue/cache/map bookkeeping — no multi-step critical
+//! sections that leave half-applied state), so the right response to poison
+//! is to clear it and keep serving.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, clearing poison left by a panicked holder.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Waits on `cv`, recovering the guard even if the mutex was poisoned while
+/// we slept (the poison flag itself is cleared on the next [`lock_recover`]).
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_clears_poison() {
+        let m = Mutex::new(7);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(r.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        assert!(!m.is_poisoned(), "poison cleared for future lockers");
+        assert!(m.lock().is_ok());
+    }
+}

@@ -34,6 +34,7 @@ fn table4_request_roundtrips_over_tcp() {
     let service = Arc::new(
         ScheduleService::start(ServiceConfig {
             workers: 2,
+            fault_plan: Some(String::new()),
             ..Default::default()
         })
         .unwrap(),

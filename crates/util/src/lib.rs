@@ -12,11 +12,16 @@
 //! * [`hash`] — a stable (cross-run, cross-machine) FNV-1a 64-bit hasher with
 //!   quantized-float encodings, used for content-addressed schedule-cache
 //!   keys and topology fingerprints.
+//! * [`budget`] — a shared cooperative [`budget::SolveBudget`] (deadline +
+//!   iteration cap + cancel flag) threaded from the schedule service down
+//!   into the simplex pivot loops.
 
+pub mod budget;
 pub mod hash;
 pub mod json;
 pub mod rng;
 
+pub use budget::{BudgetExceeded, SolveBudget};
 pub use hash::{fnv1a64, size_bucket, StableHasher};
 pub use json::Value;
 pub use rng::Rng64;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-baselines
 //!
 //! The comparison systems the TE-CCL paper evaluates against, reimplemented on

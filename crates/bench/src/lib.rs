@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-bench
 //!
 //! The experiment harness: one function per table/figure of the paper's

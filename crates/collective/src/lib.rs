@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-collective
 //!
 //! Collective-communication demands for TE-CCL.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-core
 //!
 //! The TE-CCL collective-communication optimizer: the paper's contribution.

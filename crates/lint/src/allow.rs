@@ -1,0 +1,122 @@
+//! The escape hatch: `// lint:allow(rule-name): reason`.
+//!
+//! An allow on its own line suppresses matching findings on the next code
+//! line; a trailing allow suppresses findings on its own line. The escape
+//! itself is linted: a missing or empty reason, or an unknown rule name, is
+//! an error (`lint-allow` meta-rule) — and meta-errors cannot themselves be
+//! allowed, so the reason requirement has no trapdoor.
+
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the colon (trimmed; may be empty = invalid).
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// The code line this allow applies to.
+    pub target_line: Option<u32>,
+}
+
+/// Extracts the allows from a file's comments and resolves their targets.
+pub fn collect_allows(file: &SourceFile) -> Vec<Allow> {
+    // Sorted list of lines that carry code tokens, for "next code line".
+    let mut code_lines: Vec<u32> = file.toks.iter().map(|t| t.line).collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    let mut out = Vec::new();
+    for c in &file.comments {
+        // An allow must be the whole comment: `// lint:allow(rule): reason`.
+        // Mentions embedded in prose (doc comments describing the syntax) are
+        // not escapes.
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Allow {
+                rule: String::new(),
+                reason: String::new(),
+                line: c.line,
+                target_line: None,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reason = match after.trim_start().strip_prefix(':') {
+            Some(r) => r.trim().to_string(),
+            None => String::new(),
+        };
+        let target_line = if c.trailing {
+            Some(c.line)
+        } else {
+            code_lines.iter().copied().find(|&l| l > c.line)
+        };
+        out.push(Allow {
+            rule,
+            reason,
+            line: c.line,
+            target_line,
+        });
+    }
+    out
+}
+
+/// Validates the allows themselves: every escape needs a known rule name and
+/// a non-empty reason. Returns `lint-allow` meta-findings.
+pub fn validate_allows(file: &SourceFile, allows: &[Allow], known_rules: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in allows {
+        if a.rule.is_empty() {
+            out.push(Finding::new(
+                "lint-allow",
+                &file.rel,
+                a.line,
+                "malformed lint:allow — expected `lint:allow(rule-name): reason`".to_string(),
+            ));
+            continue;
+        }
+        if !known_rules.contains(&a.rule.as_str()) {
+            out.push(Finding::new(
+                "lint-allow",
+                &file.rel,
+                a.line,
+                format!(
+                    "lint:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    known_rules.join(", ")
+                ),
+            ));
+        }
+        if a.reason.is_empty() {
+            out.push(Finding::new(
+                "lint-allow",
+                &file.rel,
+                a.line,
+                format!(
+                    "lint:allow({}) has no reason — escapes must say why \
+                     (`lint:allow({}): <reason>`)",
+                    a.rule, a.rule
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Returns the allow suppressing `finding`, if any. `lint-allow` meta
+/// findings are never suppressible.
+pub fn suppressing<'a>(allows: &'a [Allow], finding: &Finding) -> Option<&'a Allow> {
+    if finding.rule == "lint-allow" {
+        return None;
+    }
+    allows.iter().find(|a| {
+        a.rule == finding.rule && !a.reason.is_empty() && a.target_line == Some(finding.line)
+    })
+}

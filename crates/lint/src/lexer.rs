@@ -1,0 +1,371 @@
+//! A lightweight Rust lexer: just enough to tell identifiers, punctuation
+//! and literals apart, with comments preserved (the `lint:allow` escape
+//! hatch lives in them) and line numbers on every token.
+//!
+//! It is deliberately *not* a full lexer — no token trees, no macro
+//! expansion — but it is exact about the things that make naive text
+//! scanning wrong: string literals (including raw and byte strings),
+//! char literals vs. lifetimes, and nested block comments. A forbidden
+//! pattern inside a string or comment never becomes an identifier token,
+//! so the rules can match on token text without regex false positives.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`while`, `lock_recover`, `HashMap`, …).
+    Ident,
+    /// One punctuation character (`{`, `.`, `(`, `!`, …). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+    /// String / char / number literal (text preserved, quotes included).
+    Lit,
+}
+
+/// One code token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), preserved for the allow-escape parser.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Interior text, delimiters stripped (`// x` → ` x`).
+    pub text: String,
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// True when code tokens precede the comment on its starting line
+    /// (a trailing comment annotates its own line, not the next).
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end of file (the rustc build catches real
+/// syntax errors; the linter only needs to stay aligned).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_code_line: u32 = 0;
+
+    // Consumes a quoted string starting at the opening quote; returns the
+    // index one past the closing quote. `raw` disables escape processing.
+    let scan_string = |chars: &[char], start: usize, raw: bool, line: &mut u32| -> usize {
+        let mut j = start + 1;
+        while j < chars.len() {
+            match chars[j] {
+                '\\' if !raw => j += 2,
+                '"' => return j + 1,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        j
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: chars[start..j].iter().collect(),
+                    line,
+                    trailing: last_code_line == line,
+                });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: chars[start..end].iter().collect(),
+                    line: start_line,
+                    trailing: last_code_line == start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let end = scan_string(&chars, i, false, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: chars[i..end.min(chars.len())].iter().collect(),
+                    line,
+                });
+                last_code_line = line;
+                i = end;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a'`/`'\n'` are chars;
+                // `'static` (no closing quote right after the name) is a
+                // lifetime.
+                let next = chars.get(i + 1).copied();
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(n) if is_ident_start(n) => {
+                        // 'x' is a char, 'xy is a lifetime.
+                        let mut j = i + 2;
+                        while j < chars.len() && is_ident_continue(chars[j]) {
+                            j += 1;
+                        }
+                        chars.get(j) == Some(&'\'') && j == i + 2
+                    }
+                    Some(_) => true,
+                    None => false,
+                };
+                if is_char {
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'\\') {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    let end = (j + 1).min(chars.len());
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: chars[i..end].iter().collect(),
+                        line,
+                    });
+                    last_code_line = line;
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: chars[i..j].iter().collect(),
+                        line,
+                    });
+                    last_code_line = line;
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() {
+                    let d = chars[j];
+                    let continues_number = is_ident_continue(d)
+                        || (d == '.' && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()))
+                        || ((d == '+' || d == '-')
+                            && matches!(chars[j - 1], 'e' | 'E')
+                            && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit()));
+                    if !continues_number {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: chars[start..j].iter().collect(),
+                    line,
+                });
+                last_code_line = line;
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#"..".
+                let (is_raw_prefix, is_byte_prefix) = match text.as_str() {
+                    "r" | "br" => (true, false),
+                    "b" => (false, true),
+                    _ => (false, false),
+                };
+                if is_raw_prefix && matches!(chars.get(j), Some('"') | Some('#')) {
+                    // Count the # fence, then scan to `"` + fence.
+                    let mut hashes = 0;
+                    let mut k = j;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'"') {
+                        k += 1;
+                        'scan: while k < chars.len() {
+                            if chars[k] == '\n' {
+                                line += 1;
+                            }
+                            if chars[k] == '"' {
+                                let mut h = 0;
+                                while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    k += 1 + hashes;
+                                    break 'scan;
+                                }
+                            }
+                            k += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: chars[start..k].iter().collect(),
+                            line,
+                        });
+                        last_code_line = line;
+                        i = k;
+                        continue;
+                    }
+                }
+                if is_byte_prefix && chars.get(j) == Some(&'"') {
+                    let end = scan_string(&chars, j, false, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: chars[start..end.min(chars.len())].iter().collect(),
+                        line,
+                    });
+                    last_code_line = line;
+                    i = end;
+                    continue;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                last_code_line = line;
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                last_code_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let x = "DefaultHasher"; // DefaultHasher in a comment
+            /* HashMap in a block
+               comment */
+            let raw = r#"unwrap() inside raw "quoted" string"#;
+            let c = '"'; let lt: &'static str = "";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"DefaultHasher".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"quoted".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'z'; g(x, c, y) }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // 'z' stayed a literal, 'a stayed a lifetime token.
+        assert!(!ids.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n\"two\nline string\"\nb";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ after";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["after".to_string()]);
+    }
+}

@@ -1,0 +1,88 @@
+#![forbid(unsafe_code)]
+//! `teccl-lint` CLI: scan the workspace, print `file:line` diagnostics,
+//! optionally write the JSON report, exit non-zero on any unsuppressed
+//! finding.
+//!
+//! ```text
+//! teccl-lint --workspace [--root DIR] [--json PATH] [--quiet]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // --workspace is the only mode; accepted for self-description.
+            "--workspace" => {}
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "teccl-lint: workspace invariants checker\n\
+                     usage: teccl-lint [--workspace] [--root DIR] [--json PATH] [--quiet]\n\
+                     rules: {}",
+                    teccl_lint::rules::RULE_NAMES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = teccl_lint::discover_root(&start) else {
+        eprintln!("no workspace root found above {}", start.display());
+        return ExitCode::from(2);
+    };
+    let sources = match teccl_lint::collect_files(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to read workspace sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = teccl_lint::analyze(&sources);
+
+    if let Some(path) = &json {
+        let report = outcome.to_json(teccl_lint::rules::RULE_NAMES);
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+            eprintln!("failed to write JSON report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &outcome.errors {
+        println!("{}", f.render());
+    }
+    if !quiet {
+        for f in &outcome.allowed {
+            println!(
+                "{} (allowed: {})",
+                f.render(),
+                f.allowed.as_deref().unwrap_or("")
+            );
+        }
+        println!(
+            "teccl-lint: {} files scanned, {} error(s), {} allowed",
+            outcome.files_scanned,
+            outcome.errors.len(),
+            outcome.allowed.len()
+        );
+    }
+    if outcome.errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

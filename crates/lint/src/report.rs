@@ -1,0 +1,87 @@
+//! Findings and the machine-readable JSON report.
+
+use teccl_util::json::Value;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which rule fired (stable kebab-case name).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when a `lint:allow` suppressed this finding — kept in
+    /// the report for auditability, excluded from the exit code.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            allowed: None,
+        }
+    }
+
+    /// `file:line: [rule] message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("rule", Value::from(self.rule)),
+            ("file", Value::from(self.file.as_str())),
+            ("line", Value::from(self.line as u64)),
+            ("message", Value::from(self.message.as_str())),
+        ];
+        if let Some(reason) = &self.allowed {
+            fields.push(("allowed", Value::from(true)));
+            fields.push(("allow_reason", Value::from(reason.as_str())));
+        }
+        Value::obj(fields)
+    }
+}
+
+/// The full run outcome: errors fail the build, `allowed` documents every
+/// escape in force.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Unsuppressed findings (exit code 1 when non-empty).
+    pub errors: Vec<Finding>,
+    /// Findings suppressed by a valid `lint:allow`.
+    pub allowed: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Outcome {
+    /// Serializes the report (written as a CI artifact).
+    pub fn to_json(&self, rules: &[&str]) -> Value {
+        Value::obj(vec![
+            ("files_scanned", Value::from(self.files_scanned as u64)),
+            (
+                "rules",
+                Value::Arr(rules.iter().map(|r| Value::from(*r)).collect()),
+            ),
+            ("error_count", Value::from(self.errors.len() as u64)),
+            ("allowed_count", Value::from(self.allowed.len() as u64)),
+            (
+                "errors",
+                Value::Arr(self.errors.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "allowed",
+                Value::Arr(self.allowed.iter().map(Finding::to_json).collect()),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,61 @@
+//! **forbid-unsafe** — the workspace is `unsafe`-free and stays that way.
+//!
+//! Every crate root must carry `#![forbid(unsafe_code)]` (forbid, not deny:
+//! forbid cannot be overridden further down the tree), and no `.rs` file may
+//! contain an `unsafe` token at all. The compiler enforces the former once
+//! the attribute exists; this rule enforces that the attribute itself is
+//! never dropped in a refactor — and catches `unsafe` in files that are not
+//! reached by any crate root (fixtures, examples pending wiring).
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+const RULE: &str = "forbid-unsafe";
+
+/// True for crate-root library files that must carry the attribute.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// True if the token stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_attr(file: &SourceFile) -> bool {
+    let toks = &file.toks;
+    (0..toks.len()).any(|i| {
+        toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 7).is_some_and(|t| t.is_punct(']'))
+    })
+}
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        if is_crate_root(&file.rel) && !has_forbid_attr(file) {
+            out.push(Finding::new(
+                RULE,
+                &file.rel,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]` — the workspace is \
+                 unsafe-free and the attribute locks that in"
+                    .to_string(),
+            ));
+        }
+        for t in &file.toks {
+            if t.kind == TokKind::Ident && t.text == "unsafe" {
+                out.push(Finding::new(
+                    RULE,
+                    &file.rel,
+                    t.line,
+                    "`unsafe` token — the workspace forbids unsafe code".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}

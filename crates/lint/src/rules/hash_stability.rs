@@ -1,0 +1,96 @@
+//! **hash-stability** — files feeding content-addressed keys must stay
+//! deterministic across runs, machines and float noise.
+//!
+//! The service's whole caching story rests on `RequestKey` being a pure
+//! function of the request: the on-disk store names files by it, single-
+//! flight coalesces on it, warm-start families group by it. Three classic
+//! ways to silently break that:
+//!
+//! * `DefaultHasher` / `RandomState` — SipHash is randomized per process;
+//! * iterating a `HashMap` / `HashSet` while folding into a hash — iteration
+//!   order differs between runs (these files ban the types outright; use
+//!   `BTreeMap`/`BTreeSet` or sort explicitly);
+//! * hashing raw `f64::to_bits` — two α values differing by 1 ulp of
+//!   measurement noise split the cache (use the quantized writers).
+//!
+//! Scope: `crates/service/src/key.rs` and `crates/util/src/hash.rs` whole;
+//! in `crates/topology/src/graph.rs` only `fn fingerprint` (the rest of the
+//! graph code may use hash containers freely). `to_bits` is permitted inside
+//! functions whose name contains `quantize` or `bits` — the two explicit,
+//! documented escape points of the stable hasher itself.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+const RULE: &str = "hash-stability";
+
+/// Files audited in full.
+const WHOLE_FILES: &[&str] = &["crates/service/src/key.rs", "crates/util/src/hash.rs"];
+/// `(file, function)` pairs audited selectively.
+const SCOPED_FNS: &[(&str, &str)] = &[("crates/topology/src/graph.rs", "fingerprint")];
+
+const BANNED_TYPES: &[&str] = &["DefaultHasher", "RandomState", "HashMap", "HashSet"];
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let whole = WHOLE_FILES.contains(&file.rel.as_str());
+        let scoped_fns: Vec<&str> = SCOPED_FNS
+            .iter()
+            .filter(|(f, _)| *f == file.rel)
+            .map(|(_, name)| *name)
+            .collect();
+        if !whole && scoped_fns.is_empty() {
+            continue;
+        }
+        let in_scope = |i: usize| -> bool {
+            if file.in_test(i) {
+                return false;
+            }
+            if whole {
+                return true;
+            }
+            file.enclosing_function(i)
+                .is_some_and(|f| scoped_fns.contains(&f.name.as_str()))
+        };
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !in_scope(i) {
+                continue;
+            }
+            if BANNED_TYPES.contains(&t.text.as_str()) {
+                out.push(Finding::new(
+                    RULE,
+                    &file.rel,
+                    t.line,
+                    format!(
+                        "`{}` in key-derivation code — per-process randomization or \
+                         iteration order would make cache keys unstable (use \
+                         StableHasher and ordered containers)",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            if t.text == "to_bits" && file.toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                let fname = file
+                    .enclosing_function(i)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_default();
+                if !(fname.contains("quantize") || fname.contains("bits")) {
+                    out.push(Finding::new(
+                        RULE,
+                        &file.rel,
+                        t.line,
+                        format!(
+                            "raw `to_bits()` in `{fname}` — unquantized float bits split \
+                             cache keys on measurement noise (use \
+                             `StableHasher::write_f64_quantized`)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,62 @@
+//! **lock-discipline** — raw lock primitives are forbidden in
+//! `teccl-service` outside `sync.rs`.
+//!
+//! PR 5 made every service lock poison-recovering (`lock_recover`) and every
+//! condvar wait recovery-aware (`wait_recover`): a worker that panics while
+//! holding the state mutex must not turn every later request into a poison
+//! panic. That containment lives entirely in `crates/service/src/sync.rs` —
+//! one refactor that reintroduces a plain `.lock()` elsewhere silently
+//! regresses it. This rule makes that refactor a CI failure.
+//!
+//! Matched: `.lock()`, `.try_lock()`, `.wait(guard)` (one or more
+//! arguments — `Ticket::wait()` and `Barrier::wait()` take none and are
+//! fine), `.wait_timeout(…)`, `.wait_while(…)`, `.wait_timeout_while(…)`.
+
+use crate::report::Finding;
+use crate::scan::SourceFile;
+
+const RULE: &str = "lock-discipline";
+
+/// True for files this rule audits.
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/service/") && rel.ends_with(".rs") && !rel.ends_with("/sync.rs")
+}
+
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| in_scope(&f.rel)) {
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1) else {
+                continue;
+            };
+            if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let zero_args = toks.get(i + 3).is_some_and(|t| t.is_punct(')'));
+            let bad = match name.text.as_str() {
+                "lock" | "try_lock" => zero_args,
+                "wait" => !zero_args,
+                "wait_timeout" | "wait_while" | "wait_timeout_while" => true,
+                _ => false,
+            };
+            if bad {
+                out.push(Finding::new(
+                    RULE,
+                    &file.rel,
+                    name.line,
+                    format!(
+                        "raw `.{}(` in teccl-service — use `sync::lock_recover` / \
+                         `sync::wait_recover` so poisoned locks recover instead of \
+                         cascading panics",
+                        name.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

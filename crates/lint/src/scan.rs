@@ -1,0 +1,323 @@
+//! A brace/item scanner over the token stream: function spans, `#[cfg(test)]`
+//! / `#[test]` spans, and loop constructs with their body extents. This is
+//! the shared structural layer every rule builds on — no rule re-walks raw
+//! text.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body `{`.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// What kind of loop construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    Loop,
+    While,
+    For,
+}
+
+impl LoopKind {
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::Loop => "loop",
+            LoopKind::While => "while",
+            LoopKind::For => "for",
+        }
+    }
+}
+
+/// One loop with its body extent.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    pub kind: LoopKind,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Token index of the loop keyword.
+    pub kw: usize,
+    /// Token index of the body `{`.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// One scanned source file: tokens, comments, and the structural index.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub functions: Vec<Function>,
+    /// Token-index ranges `[start, end)` under `#[cfg(test)]` or `#[test]`.
+    pub test_spans: Vec<(usize, usize)>,
+    pub loops: Vec<Loop>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes one file.
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let toks = lexed.toks;
+        let functions = scan_functions(&toks);
+        let test_spans = scan_test_spans(&toks);
+        let loops = scan_loops(&toks);
+        SourceFile {
+            rel: rel.to_string(),
+            toks,
+            comments: lexed.comments,
+            functions,
+            test_spans,
+            loops,
+        }
+    }
+
+    /// True if token index `i` lies inside a test-only span.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The innermost function whose body contains token index `i`.
+    pub fn enclosing_function(&self, i: usize) -> Option<&Function> {
+        self.functions
+            .iter()
+            .filter(|f| i > f.body_open && i < f.body_close)
+            .min_by_key(|f| f.body_close - f.body_open)
+    }
+
+    /// True if any identifier in `[start, end)` equals `name` and is
+    /// immediately followed by `(` (a call or macro-free invocation).
+    pub fn calls_in_range(&self, start: usize, end: usize, name: &str) -> bool {
+        (start..end.min(self.toks.len().saturating_sub(1))).any(|i| {
+            self.toks[i].is_ident(name) && self.toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        })
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token if the
+/// file is truncated).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// From `start`, finds the first `{` at paren/bracket depth 0 — the body
+/// opener of an `fn` / loop / `if` header. Returns `None` if a `;` at depth
+/// 0 arrives first (a bodyless declaration).
+pub fn find_body_open(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(i),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds every `fn name(...) { ... }` item.
+fn scan_functions(toks: &[Tok]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            // `fn(` is a function-pointer type, not an item.
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    if let Some(open) = find_body_open(toks, i + 2) {
+                        let close = matching_brace(toks, open);
+                        out.push(Function {
+                            name: name_tok.text.clone(),
+                            line: toks[i].line,
+                            body_open: open,
+                            body_close: close,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds spans covered by `#[cfg(test)]` or `#[test]` attributes: the
+/// attribute plus the braced item that follows it.
+fn scan_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut attr = String::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if depth >= 1 && !(t.is_punct('[') && depth == 1) {
+                    attr.push_str(&t.text);
+                }
+                j += 1;
+            }
+            let is_test_attr = attr == "test"
+                || attr.contains("cfg(test)")
+                || attr.contains("cfg(test,")
+                || attr.starts_with("cfg(all(test")
+                || attr.starts_with("cfg(any(test");
+            if is_test_attr {
+                if let Some(open) = find_body_open(toks, j + 1) {
+                    let close = matching_brace(toks, open);
+                    out.push((i, close + 1));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds every `loop` / `while` / `for` loop. `for` in `impl Trait for Type`
+/// and HRTB `for<'a>` headers is excluded by requiring an `in` at depth 0
+/// between the keyword and the body.
+fn scan_loops(toks: &[Tok]) -> Vec<Loop> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "loop" => LoopKind::Loop,
+            "while" => LoopKind::While,
+            "for" => LoopKind::For,
+            _ => continue,
+        };
+        let Some(open) = find_body_open(toks, i + 1) else {
+            continue;
+        };
+        if kind == LoopKind::For {
+            let has_in = (i + 1..open).any(|k| {
+                toks[k].is_ident("in") && {
+                    // depth check: count parens/brackets between keyword and k
+                    let mut depth = 0i32;
+                    for t in &toks[i + 1..k] {
+                        match t.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    depth == 0
+                }
+            });
+            if !has_in {
+                continue;
+            }
+        }
+        let close = matching_brace(toks, open);
+        out.push(Loop {
+            kind,
+            line: t.line,
+            kw: i,
+            body_open: open,
+            body_close: close,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_bodies() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn outer() { inner_call(); }\ntrait T { fn decl(&self); }\nfn two() {}",
+        );
+        let names: Vec<&str> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "two"]);
+        assert!(f.calls_in_range(
+            f.functions[0].body_open,
+            f.functions[0].body_close,
+            "inner_call"
+        ));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_spans.len(), 1);
+        let prod_fn = &f.functions[0];
+        assert!(!f.in_test(prod_fn.body_open));
+        let test_fn = f.functions.iter().find(|x| x.name == "t").unwrap();
+        assert!(f.in_test(test_fn.body_open));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.test_spans.is_empty());
+    }
+
+    #[test]
+    fn loops_found_with_kinds() {
+        let src = "fn f() { loop { a(); } while x { b(); } while let Some(v) = it.next() { c(); } \
+                   for i in 0..3 { d(); } }\nimpl Display for Foo { fn g(&self) {} }";
+        let f = SourceFile::parse("x.rs", src);
+        let kinds: Vec<LoopKind> = f.loops.iter().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LoopKind::Loop,
+                LoopKind::While,
+                LoopKind::While,
+                LoopKind::For
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let f = SourceFile::parse("x.rs", "impl<T> Trait for Type<T> { fn m(&self) {} }");
+        assert!(f.loops.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! The merge gate as a test: the real workspace must lint clean. Every
+//! escape in force is printed so the suite output doubles as the audit
+//! trail of allowed exceptions.
+
+#[test]
+fn workspace_has_no_lint_errors() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = teccl_lint::discover_root(here).expect("workspace root above crates/lint");
+    let sources = teccl_lint::collect_files(&root).expect("read workspace sources");
+    assert!(
+        sources.len() > 50,
+        "suspiciously few sources ({}) — discovery broke",
+        sources.len()
+    );
+    let outcome = teccl_lint::analyze(&sources);
+    for f in &outcome.allowed {
+        println!(
+            "allowed: {} ({})",
+            f.render(),
+            f.allowed.as_deref().unwrap_or("")
+        );
+    }
+    let rendered: Vec<String> = outcome.errors.iter().map(|f| f.render()).collect();
+    assert!(
+        outcome.errors.is_empty(),
+        "teccl-lint found {} error(s) in the workspace:\n{}",
+        outcome.errors.len(),
+        rendered.join("\n")
+    );
+}

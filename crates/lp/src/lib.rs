@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-lp
 //!
 //! A self-contained linear-programming (LP) and mixed-integer linear-programming

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-schedule
 //!
 //! Collective communication *schedules* and the machinery to evaluate them:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-service
 //!
 //! The schedule *service*: the long-running, concurrent face of the TE-CCL

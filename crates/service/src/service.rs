@@ -44,7 +44,7 @@ use teccl_util::SolveBudget;
 use crate::cache::{CacheEntry, DiskStore, Quality, ScheduleCache};
 use crate::fault::FaultPlan;
 use crate::key::{RequestKey, RequestMethod, SolveRequest};
-use crate::sync::{lock_recover, wait_recover};
+use crate::sync::{lock_recover, wait_recover, LockRank, RankedGuard};
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,7 +347,7 @@ impl ScheduleService {
     /// solve guard, e.g. in the publish path). Called on every submit so a
     /// dead worker costs at most one queued request's latency.
     fn ensure_workers(&self) {
-        let mut workers = lock_recover(&self.workers);
+        let mut workers = lock_recover(&self.workers, LockRank::Workers);
         if workers.iter().all(|w| !w.is_finished()) {
             return;
         }
@@ -356,7 +356,7 @@ impl ScheduleService {
                 continue;
             }
             let name = {
-                let mut st = lock_recover(&self.inner.state);
+                let mut st = lock_recover(&self.inner.state, LockRank::State);
                 if st.shutdown {
                     return;
                 }
@@ -374,8 +374,8 @@ impl ScheduleService {
         self.ensure_workers();
         let key = request.key();
         let (tx, rx) = channel();
-        {
-            let mut st = lock_recover(&self.inner.state);
+        let disk = {
+            let mut st = lock_recover(&self.inner.state, LockRank::State);
             st.stats.requests += 1;
             if st.shutdown {
                 let _ = tx.send(Err(ServiceError::ShuttingDown));
@@ -400,29 +400,24 @@ impl ScheduleService {
             // 2. Single-flight: an identical solve is already running or
             //    queued (checked before the disk probe so joiners never pay
             //    for IO).
-            if st.inflight.contains_key(&key.hash) {
-                st.stats.coalesced += 1;
-                let waiters = st.inflight.get_mut(&key.hash).unwrap();
+            if let Some(waiters) = st.inflight.get_mut(&key.hash) {
                 waiters.push((tx, CacheStatus::Coalesced));
+                st.stats.coalesced += 1;
                 return Ticket { rx };
             }
             // 3. No disk store: this request owns the solve.
-            if self.inner.disk.is_none() {
-                return self.enqueue_miss(st, request, key, tx, rx);
+            match self.inner.disk.as_ref() {
+                Some(d) => d,
+                None => return self.enqueue_miss(st, request, key, tx, rx),
             }
-        }
+        };
         // 4. Disk probe *outside* the lock — the state mutex is for
         //    queue/cache/map bookkeeping only, and a file read + parse +
         //    validation under it would serialize every hit behind disk IO.
         //    Concurrent identical probes are possible and benign (same
         //    file, same validated content).
-        let loaded = self
-            .inner
-            .disk
-            .as_ref()
-            .expect("checked above")
-            .load(key, &request);
-        let mut st = lock_recover(&self.inner.state);
+        let loaded = disk.load(key, &request);
+        let mut st = lock_recover(&self.inner.state, LockRank::State);
         if st.shutdown {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
             return Ticket { rx };
@@ -455,10 +450,9 @@ impl ScheduleService {
                 return Ticket { rx };
             }
         }
-        if st.inflight.contains_key(&key.hash) {
-            st.stats.coalesced += 1;
-            let waiters = st.inflight.get_mut(&key.hash).unwrap();
+        if let Some(waiters) = st.inflight.get_mut(&key.hash) {
             waiters.push((tx, CacheStatus::Coalesced));
+            st.stats.coalesced += 1;
             return Ticket { rx };
         }
         self.enqueue_miss(st, request, key, tx, rx)
@@ -467,7 +461,7 @@ impl ScheduleService {
     /// Registers `tx` as the owner of a fresh solve and queues the job.
     fn enqueue_miss(
         &self,
-        mut st: std::sync::MutexGuard<'_, State>,
+        mut st: RankedGuard<'_, State>,
         request: SolveRequest,
         key: RequestKey,
         tx: Sender<Reply>,
@@ -493,7 +487,7 @@ impl ScheduleService {
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let st = lock_recover(&self.inner.state);
+        let st = lock_recover(&self.inner.state, LockRank::State);
         let mut s = st.stats.clone();
         s.cached_entries = st.cache.len() as u64;
         if let Some(store) = &self.inner.disk {
@@ -506,7 +500,9 @@ impl ScheduleService {
     /// how many in-memory entries were dropped. Published warm-start bases
     /// are kept — they are hints, not results.
     pub fn evict(&self) -> usize {
-        let n = lock_recover(&self.inner.state).cache.evict_all();
+        let n = lock_recover(&self.inner.state, LockRank::State)
+            .cache
+            .evict_all();
         if let Some(store) = &self.inner.disk {
             store.evict_all();
         }
@@ -515,14 +511,16 @@ impl ScheduleService {
 
     /// Removes a single key from the in-memory cache.
     pub fn evict_key(&self, hash: u64) -> bool {
-        lock_recover(&self.inner.state).cache.evict(hash)
+        lock_recover(&self.inner.state, LockRank::State)
+            .cache
+            .evict(hash)
     }
 
     /// Stops accepting work, fails queued-but-unstarted requests, and joins
     /// the workers. Called automatically on drop.
     pub fn shutdown(&self) {
         let orphans: Vec<(Sender<Reply>, CacheStatus)> = {
-            let mut st = lock_recover(&self.inner.state);
+            let mut st = lock_recover(&self.inner.state, LockRank::State);
             if st.shutdown {
                 return;
             }
@@ -541,7 +539,7 @@ impl ScheduleService {
             let _ = tx.send(Err(ServiceError::ShuttingDown));
         }
         self.inner.work.notify_all();
-        let mut workers = lock_recover(&self.workers);
+        let mut workers = lock_recover(&self.workers, LockRank::Workers);
         for w in workers.drain(..) {
             let _ = w.join();
         }
@@ -574,7 +572,7 @@ enum SolveFail {
 fn worker_loop(inner: &Inner) {
     loop {
         let (job, hint) = {
-            let mut st = lock_recover(&inner.state);
+            let mut st = lock_recover(&inner.state, LockRank::State);
             let job = loop {
                 if let Some(job) = st.queue.pop_front() {
                     break job;
@@ -613,7 +611,7 @@ fn worker_loop(inner: &Inner) {
 
         // Publish and fan out.
         let (waiters, to_disk, upgrade_queued) = {
-            let mut st = lock_recover(&inner.state);
+            let mut st = lock_recover(&inner.state, LockRank::State);
             let waiters = st.inflight.remove(&key.hash).unwrap_or_default();
             let mut to_disk = None;
             let mut upgrade_queued = false;
@@ -698,6 +696,7 @@ fn spawn_worker(inner: Arc<Inner>, name: String) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(name)
         .spawn(move || worker_loop(&inner))
+        // lint:allow(panic-hygiene): OS thread-spawn failure at startup/respawn is unrecoverable
         .expect("spawn worker")
 }
 
@@ -716,7 +715,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// entry (identical demand, neighbouring chunk size), else an instant
 /// baseline schedule. Neither touches the simplex.
 fn degrade(inner: &Inner, job: &Job, reason: &str) -> JobResult {
-    let stale = lock_recover(&inner.state)
+    let stale = lock_recover(&inner.state, LockRank::State)
         .cache
         .find_family(job.key.family, job.key.hash);
     if let Some(entry) = stale {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-topology
 //!
 //! GPU cluster topologies for TE-CCL: a directed-graph model of GPUs, switches

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # teccl-util
 //!
 //! Small dependency-free utilities shared across the workspace. The offline

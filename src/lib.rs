@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # te-ccl
 //!
 //! A Rust reproduction of **TE-CCL** — *"Rethinking Machine Learning Collective

@@ -82,6 +82,40 @@ fn bench_dual_and_degenerate(h: &mut Harness) {
         assert!(!sol.stats.iteration_limit_hit);
         assert!(sol.stats.simplex_iterations <= budget);
     });
+    // The same instance with the perturbed pre-pass disabled: the pure
+    // projected-steepest-edge phase-2 walk, isolating the pricing core.
+    let se_opts = teccl_lp::SimplexOptions {
+        pricing: teccl_lp::PricingRule::SteepestEdge,
+        perturb_min_rows: usize::MAX,
+    };
+    h.bench_function("lp/steepest_edge_phase2", || {
+        let sol = teccl_lp::solve_standard_form_with_options(&gsf, gnv, &[], None, None, &se_opts)
+            .unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+    });
+}
+
+/// The eta-accumulation → fill-triggered-refactorization cycle on the
+/// degenerate instance's optimal basis: identity column replacements grow the
+/// eta file until [`teccl_lp::LuFactors::needs_refactor`] fires, then the
+/// basis is refactorized from scratch (the Gilbert–Peierls path).
+fn bench_lu_refactor(h: &mut Harness) {
+    let (m, basis_cols) = teccl_bench::lu_refactor_fixture();
+    h.bench_function("lp/lu_refactor_fill", || {
+        let mut lu = teccl_lp::LuFactors::factorize(m, &basis_cols).unwrap();
+        let mut r = 0usize;
+        while !lu.needs_refactor() {
+            let mut w = vec![0.0; m];
+            for (pos, &i) in basis_cols[r].indices.iter().enumerate() {
+                w[i] = basis_cols[r].values[pos];
+            }
+            lu.ftran(&mut w);
+            lu.update(&w, r).unwrap();
+            r = (r + 1) % m;
+        }
+        let fresh = teccl_lp::LuFactors::factorize(m, &basis_cols).unwrap();
+        assert!(fresh.fill_nnz() > 0);
+    });
 }
 
 /// A* cross-round warm starts with presolve on (the layout-preserving
@@ -205,6 +239,7 @@ fn main() {
     bench_astar_allgather(&mut h);
     bench_simplex_warm_vs_cold(&mut h);
     bench_dual_and_degenerate(&mut h);
+    bench_lu_refactor(&mut h);
     bench_presolve_warm_rounds(&mut h);
     bench_service(&mut h);
     bench_baselines(&mut h);

@@ -67,6 +67,18 @@ fn main() {
     // smoke) if the instance stalls past its iteration budget or trips the
     // simplex iteration limit.
     let (gsf, gnv, budget) = degenerate_alltoall_fixture();
+    // The same instance with the perturbed pre-pass disabled: a pure
+    // projected-steepest-edge phase-2 walk, tracking the pricing core on its
+    // own (the perturbation otherwise absorbs most of the pivots).
+    let se_opts = teccl_lp::SimplexOptions {
+        pricing: teccl_lp::PricingRule::SteepestEdge,
+        perturb_min_rows: usize::MAX,
+    };
+    h.bench_function("lp/steepest_edge_phase2", || {
+        let sol = teccl_lp::solve_standard_form_with_options(&gsf, gnv, &[], None, None, &se_opts)
+            .unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+    });
     h.bench_function("lp/degenerate_alltoall", || {
         let sol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
         assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
@@ -183,33 +195,40 @@ fn main() {
     // Markowitz tie-breaking in `LuFactors::factorize` optimizes. Tracked in
     // BENCH_lp.json (`lu_fill_nnz` vs the basis matrix's own `lu_basis_nnz`)
     // so fill regressions show up across PRs.
-    let gsol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
-    let gbasis = gsol.basis.expect("optimal LP returns a basis");
-    let n_cols = gsf.num_cols();
-    let basis_cols: Vec<teccl_lp::SparseVec> = gbasis
-        .basic
-        .iter()
-        .map(|&j| {
-            if j < n_cols {
-                gsf.a.col(j).clone()
-            } else {
-                // A degenerate optimal basis may keep a zero-valued phase-1
-                // artificial: structurally a unit column of its row.
-                teccl_lp::SparseVec::from_pairs(&[(j - n_cols, 1.0)])
-            }
-        })
-        .collect();
-    let mut lu = teccl_lp::LuFactors::factorize(gsf.num_rows(), &basis_cols)
-        .expect("optimal basis factorizes");
+    let (lu_m, basis_cols) = teccl_bench::lu_refactor_fixture();
+    let mut lu =
+        teccl_lp::LuFactors::factorize(lu_m, &basis_cols).expect("optimal basis factorizes");
     let basis_nnz: usize = basis_cols.iter().map(|c| c.indices.len()).sum();
     let fill_nnz = lu.fill_nnz();
     // Exercise a solve so the factors are demonstrably usable.
-    let mut probe = vec![1.0; gsf.num_rows()];
+    let mut probe = vec![1.0; lu_m];
     lu.ftran(&mut probe);
     println!(
         "\nlp/lu_fill: basis nnz {basis_nnz} -> L+U nnz {fill_nnz} ({:.2}x)",
         fill_nnz as f64 / basis_nnz as f64
     );
+
+    // The eta-accumulation → fill-triggered-refactorization cycle: identity
+    // column replacements build up the eta file until the fill-aware trigger
+    // fires, then the basis is refactorized from scratch (the Gilbert–Peierls
+    // path). This is the steady-state cost the refactorization policy pays.
+    h.bench_function("lp/lu_refactor_fill", || {
+        let mut lu = teccl_lp::LuFactors::factorize(lu_m, &basis_cols).unwrap();
+        let mut r = 0usize;
+        while !lu.needs_refactor() {
+            let mut w = vec![0.0; lu_m];
+            for (pos, &i) in basis_cols[r].indices.iter().enumerate() {
+                w[i] = basis_cols[r].values[pos];
+            }
+            // Replacing column r with itself: w = B⁻¹ B e_r = e_r, so the
+            // update is always well-pivoted and the basis never degrades.
+            lu.ftran(&mut w);
+            lu.update(&w, r).unwrap();
+            r = (r + 1) % lu_m;
+        }
+        let fresh = teccl_lp::LuFactors::factorize(lu_m, &basis_cols).unwrap();
+        assert!(fresh.fill_nnz() > 0);
+    });
 
     let mut json = h.to_json();
     if let teccl_util::json::Value::Obj(pairs) = &mut json {
@@ -222,8 +241,54 @@ fn main() {
             teccl_util::json::Value::from(fill_nnz),
         ));
     }
-    let json = json.to_json_pretty();
+
+    // Gate 1: the warm-rounds win must hold. `lp/presolve_warm_rounds` once
+    // regressed to slower-than-cold without anything failing; now the smoke
+    // aborts if the warm median ever exceeds the cold median again.
+    let median = |v: &teccl_util::json::Value, name: &str| -> Option<f64> {
+        v.get(name).and_then(teccl_util::json::Value::as_f64)
+    };
+    let warm_ns = median(&json, "lp/presolve_warm_rounds").expect("warm row measured");
+    let cold_ns = median(&json, "lp/presolve_cold_rounds").expect("cold row measured");
+    assert!(
+        warm_ns <= cold_ns,
+        "presolve_warm_rounds regressed past cold again: warm {:.1} ms vs cold {:.1} ms",
+        warm_ns / 1e6,
+        cold_ns / 1e6
+    );
+
+    // Gate 2: >25% regression against the committed medians for the gated LP
+    // rows. Sub-millisecond rows get a 2x allowance instead — at that scale
+    // scheduler noise alone crosses 25% on shared CI runners.
     let path = "BENCH_lp.json";
+    let gated = [
+        "lp_form/internal2x2_alltoall",
+        "lp/degenerate_alltoall",
+        "lp/steepest_edge_phase2",
+        "lp/lu_refactor_fill",
+        "lp/presolve_warm_rounds",
+        "lp/presolve_cold_rounds",
+    ];
+    if let Some(committed) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| teccl_util::json::Value::parse(&t).ok())
+    {
+        for name in gated {
+            let (Some(old), Some(new)) = (median(&committed, name), median(&json, name)) else {
+                continue; // row added after the committed baseline
+            };
+            let allowance = if old < 1e6 { 2.0 } else { 1.25 };
+            assert!(
+                new <= old * allowance,
+                "{name} regressed >{:.0}% vs committed BENCH_lp.json: {:.2} ms -> {:.2} ms",
+                (allowance - 1.0) * 100.0,
+                old / 1e6,
+                new / 1e6
+            );
+        }
+    }
+
+    let json = json.to_json_pretty();
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_lp.json");
     println!("\nwrote {path}");
 }

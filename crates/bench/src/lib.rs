@@ -391,6 +391,30 @@ pub fn degenerate_alltoall_fixture() -> (teccl_lp::StandardForm, usize, usize) {
     (sf, red.num_vars(), 25_000)
 }
 
+/// Fixture for the **LU refactorization** bench (`lp/lu_refactor_fill`):
+/// the optimal basis of the degenerate ALLTOALL instance as sparse columns,
+/// ready for [`teccl_lp::LuFactors::factorize`]. Returns `(num_rows,
+/// basis_columns)`. A zero-valued phase-1 artificial surviving in the
+/// degenerate optimal basis is materialized as the unit column of its row.
+pub fn lu_refactor_fixture() -> (usize, Vec<teccl_lp::SparseVec>) {
+    let (sf, nv, _budget) = degenerate_alltoall_fixture();
+    let sol = teccl_lp::solve_standard_form(&sf, nv).expect("degenerate fixture solves");
+    let basis = sol.basis.expect("optimal LP returns a basis");
+    let n_cols = sf.num_cols();
+    let cols: Vec<teccl_lp::SparseVec> = basis
+        .basic
+        .iter()
+        .map(|&j| {
+            if j < n_cols {
+                sf.a.col(j).clone()
+            } else {
+                teccl_lp::SparseVec::from_pairs(&[(j - n_cols, 1.0)])
+            }
+        })
+        .collect();
+    (sf.num_rows(), cols)
+}
+
 /// Fixture for the **A\* cross-round warm-start** benches
 /// (`lp/presolve_warm_rounds` vs `lp/presolve_cold_rounds`): a Table-4 A\*
 /// scenario forced through several rounds, one config carrying the root basis
@@ -765,6 +789,14 @@ pub fn table4_rows() -> Vec<Row> {
         (
             "Internal2 AtoA (LP)".into(),
             teccl_topology::internal2(4),
+            CollectiveKind::AllToAll,
+            Method::Lp,
+        ),
+        // The 16-GPU pricing wall (ISSUE 8): the largest monolithic ALLTOALL
+        // LP, must certify inside the 400 s budget with steepest-edge pricing.
+        (
+            "Internal1 x4 AtoA (LP)".into(),
+            teccl_topology::internal1(4),
             CollectiveKind::AllToAll,
             Method::Lp,
         ),

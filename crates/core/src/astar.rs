@@ -148,6 +148,7 @@ pub fn solve_astar_budgeted(
         );
     let mut carried_basis: Option<SimplexBasis> = initial_basis.cloned();
     let mut final_basis: Option<SimplexBasis> = None;
+    let mut cached_form: Option<MilpFormulation> = None;
 
     for round in 0..config.astar_max_rounds {
         // Budget check once per round (the per-pivot checks inside the
@@ -242,16 +243,26 @@ pub fn solve_astar_budgeted(
         // commodity set (and with it the layout) never changes; demands that
         // are already satisfied only contribute constant reward terms (their
         // destination buffers are initial holders, so the reads are free).
+        // The identical layout also means later rounds skip the build
+        // entirely: the first round's formulation is cached and only its
+        // bounds / rhs / objective are rewritten in place.
         let build_demand = if warm_rounds { demand } else { &remaining };
-        let form = MilpFormulation::build(
-            topology,
-            build_demand,
-            chunk_bytes,
-            config,
-            epochs_per_round,
-            tau,
-            &options,
-        )?;
+        let reused = warm_rounds
+            && cached_form
+                .as_mut()
+                .is_some_and(|f| f.update_round(build_demand, config, &options));
+        if !reused {
+            cached_form = Some(MilpFormulation::build(
+                topology,
+                build_demand,
+                chunk_bytes,
+                config,
+                epochs_per_round,
+                tau,
+                &options,
+            )?);
+        }
+        let form = cached_form.as_ref().expect("formulation built above");
         let sol = form.solve_budgeted(config, carried_basis.as_ref(), budget)?;
         // A budget-stopped round solution is an uncertified relaxation point
         // — its sends may be empty or wasteful and later rounds would build

@@ -68,6 +68,20 @@ pub struct MilpFormulation {
     b_vars: HashMap<(usize, usize, usize, usize), VarId>,
     r_vars: HashMap<(usize, usize, usize, usize), VarId>,
     initial_holders: HashMap<(usize, usize), Vec<NodeId>>,
+    /// Commodities in build order — the layout key a round update must match.
+    commodities: Vec<(NodeId, usize)>,
+    /// All-pairs distances in epochs (link cost `eff_delta + 1`), kept so
+    /// [`MilpFormulation::update_round`] can recompute reachability pins
+    /// without re-running Floyd–Warshall.
+    pm: teccl_topology::PathMatrix,
+    /// Flow-conservation rows whose rhs carries round state:
+    /// `(constraint index, (source, chunk, node, epoch))`.
+    flow_rows: Vec<(usize, (usize, usize, usize, usize))>,
+    /// Buffer-evolution rows whose rhs carries round state, keyed like
+    /// `flow_rows`.
+    buf_rows: Vec<(usize, (usize, usize, usize, usize))>,
+    built_relax_completion: bool,
+    built_hyperedge_groups: usize,
 }
 
 impl MilpFormulation {
@@ -294,6 +308,7 @@ impl MilpFormulation {
         }
 
         // ----- Flow conservation & first-epoch constraints -------------------
+        let mut flow_rows: Vec<(usize, (usize, usize, usize, usize))> = Vec::new();
         for &(s, c) in &commodities {
             for node in topology.nodes.iter().map(|n| n.id) {
                 let is_sw = topology.is_switch(node);
@@ -377,18 +392,20 @@ impl MilpFormulation {
                                 terms.push((v, 1.0));
                             }
                         }
-                        model.add_cons(
+                        let row = model.add_cons(
                             format!("flow[{s},{c},{node},{k},{}]", outl.dst),
                             &terms,
                             ConstraintOp::Ge,
                             rhs,
                         );
+                        flow_rows.push((row, (s.0, c, node.0, k)));
                     }
                 }
             }
         }
 
         // ----- Buffer evolution ----------------------------------------------
+        let mut buf_rows: Vec<(usize, (usize, usize, usize, usize))> = Vec::new();
         for &(s, c) in &commodities {
             for node in topology.gpus() {
                 if !is_buffered(s, c, node) {
@@ -424,12 +441,13 @@ impl MilpFormulation {
                             rhs += 1.0;
                         }
                     }
-                    model.add_cons(
+                    let row = model.add_cons(
                         format!("buf[{s},{c},{node},{k}]"),
                         &terms,
                         ConstraintOp::Eq,
                         rhs,
                     );
+                    buf_rows.push((row, (s.0, c, node.0, k)));
                 }
             }
         }
@@ -572,7 +590,203 @@ impl MilpFormulation {
             b_vars,
             r_vars,
             initial_holders: holders,
+            commodities,
+            pm,
+            flow_rows,
+            buf_rows,
+            built_relax_completion: options.relax_completion,
+            built_hyperedge_groups: options.hyperedge_groups.len(),
         })
+    }
+
+    /// Rewrites the round-varying parts of an already-built formulation —
+    /// variable bounds (reachability / frozen / first-epoch pins), objective
+    /// weights (terminal rewards), and flow/buffer right-hand sides — so the
+    /// model matches what [`MilpFormulation::build`] would produce for the new
+    /// `options`, without reallocating the model.
+    ///
+    /// This is the A* warm-round fast path: two rounds built from the same
+    /// demand shape differ only in bounds, rhs and objective, and rebuilding
+    /// the model from scratch (thousands of name allocations plus constraint
+    /// assembly) costs milliseconds per round. The update requires the same
+    /// topology, demand shape, epoch count, chunk size and config as the
+    /// original build; it returns `false` — leaving the formulation in a
+    /// stale but structurally intact state — when the new inputs would change
+    /// the model *layout* (new commodities, a different demand shape, a
+    /// buffer mode whose variable set depends on round state, a different
+    /// completion/hyperedge setup). On `false` the caller must rebuild.
+    pub fn update_round(
+        &mut self,
+        demand: &DemandMatrix,
+        config: &SolverConfig,
+        options: &MilpBuildOptions,
+    ) -> bool {
+        if demand.is_empty() || demand.num_nodes != self.topology.num_nodes() {
+            return false;
+        }
+        // No-store-and-forward derives the buffer-variable set from the round
+        // state, so its layout is not stable across rounds.
+        if matches!(config.buffer_mode, BufferMode::NoStoreAndForward) {
+            return false;
+        }
+        if options.relax_completion != self.built_relax_completion
+            || options.hyperedge_groups.len() != self.built_hyperedge_groups
+        {
+            return false;
+        }
+
+        // The commodity list must match the built layout exactly (same
+        // demand, same build order); a commodity introduced purely by
+        // `extra_initial` would have added variables at build time.
+        let mut commodities: Vec<(NodeId, usize)> = Vec::new();
+        let mut initial_holders: HashMap<(usize, usize), Vec<NodeId>> = HashMap::new();
+        for s in self.topology.gpus() {
+            for c in 0..demand.num_chunks {
+                if demand.chunk_in_use(s, c) {
+                    commodities.push((s, c));
+                    initial_holders.insert((s.0, c), vec![s]);
+                }
+            }
+        }
+        for (s, c, holder) in &options.extra_initial {
+            initial_holders.entry((s.0, *c)).or_default().push(*holder);
+            if !commodities.contains(&(*s, *c)) {
+                return false;
+            }
+        }
+        if commodities != self.commodities {
+            return false;
+        }
+        // The reward variables are keyed by the demand's triples.
+        let k_max = self.num_epochs;
+        let mut triples = 0usize;
+        for (s, c, d) in demand.iter() {
+            if !self.r_vars.contains_key(&(s.0, c, d.0, 0)) {
+                return false;
+            }
+            triples += 1;
+        }
+        if triples * k_max != self.r_vars.len() {
+            return false;
+        }
+
+        let pm = &self.pm;
+        let earliest = |s: NodeId, c: usize, n: NodeId| -> usize {
+            let mut best = usize::MAX;
+            if let Some(holders) = initial_holders.get(&(s.0, c)) {
+                for &h in holders {
+                    let d = pm.distance(h, n);
+                    if d.is_finite() {
+                        best = best.min(d as usize);
+                    }
+                }
+            }
+            for (fs, fc, fn_, vis) in &options.in_flight {
+                if fs.0 == s.0 && *fc == c {
+                    let d = pm.distance(*fn_, n);
+                    if d.is_finite() {
+                        best = best.min(vis + d as usize);
+                    }
+                }
+            }
+            best
+        };
+        let init_buffer = |s: NodeId, c: usize, n: NodeId| -> f64 {
+            if initial_holders
+                .get(&(s.0, c))
+                .is_some_and(|h| h.contains(&n))
+            {
+                1.0
+            } else {
+                0.0
+            }
+        };
+
+        // Flow bounds: frozen commodities, epochs before reachability, and
+        // the first-epoch "can only send what is initially held" pin.
+        let frozen: std::collections::HashSet<(usize, usize)> =
+            options.frozen.iter().map(|&(s, c)| (s.0, c)).collect();
+        for &(s, c) in &self.commodities {
+            let is_frozen = frozen.contains(&(s.0, c));
+            for link in &self.topology.links {
+                let e0 = earliest(s, c, link.src);
+                let first_pinned = init_buffer(s, c, link.src) < 0.5;
+                for k in 0..k_max {
+                    let v = self.f_vars[&(s.0, c, link.id.0, k)];
+                    if is_frozen || k < e0 || (k == 0 && first_pinned) {
+                        self.model.set_bounds(v, 0.0, 0.0);
+                    } else {
+                        self.model.set_bounds(v, 0.0, 1.0);
+                    }
+                }
+            }
+        }
+
+        // Buffer bounds (reachability) and objective (terminal rewards only
+        // ever land on `B[s,c,n,K]`, so clearing those resets the previous
+        // round's rewards).
+        for (&(s, c, n, k), &v) in &self.b_vars {
+            if k < earliest(NodeId(s), c, NodeId(n)).max(1) {
+                self.model.set_bounds(v, 0.0, 0.0);
+            } else {
+                self.model.set_bounds(v, 0.0, f64::INFINITY);
+            }
+            if k == k_max {
+                self.model.set_obj(v, 0.0);
+            }
+        }
+        for (s, c, n, w) in &options.terminal_rewards {
+            if let Some(&b) = self.b_vars.get(&(s.0, *c, n.0, k_max)) {
+                let cur = self.model.vars[b.index()].obj;
+                self.model.set_obj(b, cur + w);
+            }
+        }
+
+        // Read bounds: a destination with no buffer variable at k+1 can only
+        // collect the reward when it already holds the chunk.
+        for (&(s, c, d, k), &r) in &self.r_vars {
+            if !self.b_vars.contains_key(&(s, c, d, k + 1))
+                && init_buffer(NodeId(s), c, NodeId(d)) < 0.5
+            {
+                self.model.set_bounds(r, 0.0, 0.0);
+            } else {
+                self.model.set_bounds(r, 0.0, 1.0);
+            }
+        }
+
+        // Right-hand sides carrying initial-buffer and in-flight constants.
+        for &(row, (s, c, n, k)) in &self.flow_rows {
+            let mut rhs = 0.0;
+            if k == 0 {
+                rhs -= init_buffer(NodeId(s), c, NodeId(n));
+            }
+            for (fs, fc, fnode, vis) in &options.in_flight {
+                if fs.0 == s
+                    && *fc == c
+                    && fnode.0 == n
+                    && *vis <= k
+                    && !self.b_vars.contains_key(&(s, c, n, k.max(1)))
+                {
+                    rhs -= 1.0;
+                }
+            }
+            self.model.cons[row].rhs = rhs;
+        }
+        for &(row, (s, c, n, k)) in &self.buf_rows {
+            let mut rhs = 0.0;
+            if k == 1 {
+                rhs += init_buffer(NodeId(s), c, NodeId(n));
+            }
+            for (fs, fc, fnode, vis) in &options.in_flight {
+                if fs.0 == s && *fc == c && fnode.0 == n && *vis == k {
+                    rhs += 1.0;
+                }
+            }
+            self.model.cons[row].rhs = rhs;
+        }
+
+        self.initial_holders = initial_holders;
+        true
     }
 
     /// Solves the MILP with the limits taken from `config`.
@@ -996,5 +1210,68 @@ mod tests {
             }
         }
         assert!(fixed > 0);
+    }
+
+    /// The A* warm-round fast path: rewriting bounds / rhs / objective in
+    /// place must produce *exactly* the model a fresh build would — element
+    /// for element — for round state exercising every updated site (extra
+    /// holders, in-flight arrivals, terminal rewards, frozen commodities).
+    #[test]
+    fn update_round_matches_fresh_build() {
+        let topo = line_topology(4, 1e9, 0.0);
+        let gpus: Vec<NodeId> = topo.gpus().collect();
+        let demand = DemandMatrix::broadcast(4, &gpus, NodeId(0), 2);
+        let config = SolverConfig::default();
+        let round0 = MilpBuildOptions {
+            relax_completion: true,
+            terminal_rewards: vec![(NodeId(0), 0, NodeId(1), 0.25)],
+            ..Default::default()
+        };
+        let round1 = MilpBuildOptions {
+            relax_completion: true,
+            extra_initial: vec![(NodeId(0), 0, NodeId(1))],
+            in_flight: vec![(NodeId(0), 1, NodeId(1), 1)],
+            terminal_rewards: vec![
+                (NodeId(0), 0, NodeId(2), 0.5),
+                (NodeId(0), 1, NodeId(3), 0.125),
+            ],
+            frozen: vec![(NodeId(0), 1)],
+            ..Default::default()
+        };
+        let mut updated =
+            MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &round0).unwrap();
+        assert!(updated.update_round(&demand, &config, &round1));
+        let fresh = MilpFormulation::build(&topo, &demand, 1e6, &config, 4, 1e-3, &round1).unwrap();
+        assert_eq!(updated.model.num_vars(), fresh.model.num_vars());
+        assert_eq!(updated.model.num_cons(), fresh.model.num_cons());
+        for (u, f) in updated.model.vars.iter().zip(&fresh.model.vars) {
+            assert_eq!(u.name, f.name);
+            assert_eq!(
+                (u.lb, u.ub, u.obj),
+                (f.lb, f.ub, f.obj),
+                "var {} differs after in-place update",
+                u.name
+            );
+        }
+        for (u, f) in updated.model.cons.iter().zip(&fresh.model.cons) {
+            assert_eq!(u.name, f.name);
+            assert_eq!(
+                u.rhs, f.rhs,
+                "cons {} rhs differs after in-place update",
+                u.name
+            );
+        }
+        let a = updated.solve(&config).unwrap();
+        let b = fresh.solve(&config).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        // Layout-changing inputs refuse the in-place path instead of
+        // corrupting the cached model.
+        let wider = DemandMatrix::broadcast(4, &gpus, NodeId(0), 3);
+        assert!(!updated.update_round(&wider, &config, &round1));
+        let completing = MilpBuildOptions {
+            relax_completion: false,
+            ..round1.clone()
+        };
+        assert!(!updated.update_round(&demand, &config, &completing));
     }
 }

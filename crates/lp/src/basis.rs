@@ -12,16 +12,35 @@
 //! sparsely, and absorbs basis changes with *eta* vectors (the product form of
 //! the inverse): after a pivot on row `r` with transformed column `w`,
 //! `B_new⁻¹ = E(w, r) · B_old⁻¹` where `E` is an identity matrix whose `r`-th
-//! column is replaced. Solves replay the factors and then the etas; the eta
-//! file is folded back into a fresh factorization every
-//! [`REFACTOR_INTERVAL`] pivots (or sooner on numerical trouble), which bounds
-//! both fill-in and drift.
+//! column is replaced.
+//!
+//! The factorization is **Gilbert–Peierls left-looking**: before the numeric
+//! update of column `k`, a DFS over the already-built `L` columns computes the
+//! exact set of elimination steps the column reaches, and only those steps are
+//! replayed (in topological = ascending-step order). The cost per column is
+//! proportional to the actual arithmetic (`O(flops)`), not to `k` — the dense
+//! `for step in 0..k` replay this replaced had an `O(m²)` floor on every
+//! refactorization regardless of sparsity.
+//!
+//! Solves replay the factors and then the etas. Refactorization is
+//! **fill-aware**: the eta file is folded back into a fresh factorization once
+//! its accumulated non-zeros exceed [`ETA_FILL_FACTOR`]× the factor fill
+//! ([`LuFactors::fill_nnz`]) — i.e. once replaying the etas costs about as
+//! much as the factors themselves — with a fixed [`ETA_PIVOT_BACKSTOP`] pivot
+//! cap bounding numerical drift on very sparse bases.
 
 use crate::error::LpError;
 use crate::sparse::SparseVec;
 
-/// Number of eta updates accumulated before the basis is refactorized.
-pub const REFACTOR_INTERVAL: usize = 100;
+/// Fill-aware refactorization trigger: refactorize once the eta file holds
+/// more than this multiple of the factor non-zeros ([`LuFactors::fill_nnz`]).
+/// At that point each FTRAN/BTRAN spends more time replaying etas than
+/// factors, so folding them in pays for itself almost immediately.
+pub const ETA_FILL_FACTOR: usize = 2;
+
+/// Hard cap on accumulated eta *pivots* regardless of fill: numerical drift
+/// grows with eta-chain length even when the etas are sparse.
+pub const ETA_PIVOT_BACKSTOP: usize = 256;
 
 /// Absolute pivot threshold: elements at or below this magnitude are rejected
 /// (TE-CCL's matrices are unit-scaled, so an absolute test suffices; switch to
@@ -149,10 +168,18 @@ pub struct LuFactors {
     /// U diagonal per step.
     udiag: Vec<f64>,
     etas: Vec<Eta>,
+    /// Non-zeros accumulated in `etas` (pivots + off-pivot entries): the
+    /// fill-aware refactorization signal.
+    eta_nnz: usize,
+    /// Non-zeros in `L`+`U` (diagonals included), frozen at factorize time so
+    /// [`LuFactors::needs_refactor`] is O(1) on the pivot hot loop.
+    factor_nnz: usize,
     /// Scratch vectors reused by every FTRAN/BTRAN (the solves sit on the
     /// simplex hot loop; allocating per call dominated small-pivot profiles).
     scratch_a: Vec<f64>,
     scratch_b: Vec<f64>,
+    scratch_c: Vec<f64>,
+    scratch_d: Vec<f64>,
 }
 
 impl LuFactors {
@@ -168,14 +195,23 @@ impl LuFactors {
             ucols: Vec::with_capacity(m),
             udiag: Vec::with_capacity(m),
             etas: Vec::new(),
+            eta_nnz: 0,
+            factor_nnz: 2 * m,
             scratch_a: vec![0.0; m],
             scratch_b: vec![0.0; m],
+            scratch_c: vec![0.0; m],
+            scratch_d: vec![0.0; m],
         };
         // `pivoted[row] = Some(step)` once a row has been chosen as pivot.
         let mut pivoted: Vec<Option<usize>> = vec![None; m];
         let mut work = vec![0.0; m];
         let mut in_touched = vec![false; m];
         let mut touched: Vec<usize> = Vec::with_capacity(m);
+        // Gilbert–Peierls symbolic scratch: `step_seen` marks steps already
+        // discovered by the reach DFS for the current column.
+        let mut step_seen = vec![false; m];
+        let mut reach: Vec<usize> = Vec::with_capacity(m);
+        let mut stack: Vec<usize> = Vec::with_capacity(m);
         // Static per-row non-zero counts over the basis columns: the
         // Markowitz tie-breaking signal (rows touched by few columns create
         // little fill when eliminated early).
@@ -195,14 +231,42 @@ impl LuFactors {
                 }
                 work[i] += v;
             }
-            // Apply previous eliminations (left-looking): process steps in
-            // order; only steps whose pivot row currently holds a non-zero
-            // contribute.
-            for step in 0..k {
+            // Gilbert–Peierls symbolic phase: the elimination steps that can
+            // touch this column are exactly those reachable from its initial
+            // non-zero rows through the `L` dependency graph (step `s`
+            // scatters into the rows of `lcols[s]`, each of which may be the
+            // pivot row of a *later* step). A DFS collects that reach; since
+            // every edge goes to a strictly larger step, ascending step order
+            // is a topological order for the numeric replay. Cost is
+            // proportional to the reach, not to `k`.
+            reach.clear();
+            for (i, _) in col.iter() {
+                if let Some(s) = pivoted[i] {
+                    if !step_seen[s] {
+                        step_seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            while let Some(s) = stack.pop() {
+                reach.push(s);
+                for &(i, _) in &lu.lcols[s] {
+                    if let Some(s2) = pivoted[i] {
+                        if !step_seen[s2] {
+                            step_seen[s2] = true;
+                            stack.push(s2);
+                        }
+                    }
+                }
+            }
+            reach.sort_unstable();
+            // Numeric phase: replay only the reached steps, in order.
+            for &step in &reach {
+                step_seen[step] = false;
                 let prow = lu.pivot_row[step];
                 let t = work[prow];
                 if t == 0.0 {
-                    continue;
+                    continue; // exact numerical cancellation
                 }
                 for &(i, l) in &lu.lcols[step] {
                     if !in_touched[i] {
@@ -277,6 +341,9 @@ impl LuFactors {
             }
             touched.clear();
         }
+        let l: usize = lu.lcols.iter().map(|c| c.len()).sum();
+        let u: usize = lu.ucols.iter().map(|c| c.len()).sum();
+        lu.factor_nnz = l + u + 2 * m;
         Ok(lu)
     }
 
@@ -292,16 +359,22 @@ impl LuFactors {
 
     /// Total non-zeros stored in the `L` and `U` factors (including the unit
     /// and stored diagonals) — the fill-in metric `BENCH_lp.json` tracks for
-    /// the Markowitz pivot ordering.
+    /// the Markowitz pivot ordering. Frozen at factorize time (O(1)).
     pub fn fill_nnz(&self) -> usize {
-        let l: usize = self.lcols.iter().map(|c| c.len()).sum();
-        let u: usize = self.ucols.iter().map(|c| c.len()).sum();
-        l + u + 2 * self.m
+        self.factor_nnz
     }
 
-    /// Whether the eta file is long enough that the caller should refactorize.
+    /// Non-zeros accumulated in the eta file since the last factorization.
+    pub fn eta_nnz(&self) -> usize {
+        self.eta_nnz
+    }
+
+    /// Whether the caller should refactorize: fill-aware (the eta file's
+    /// non-zeros exceed [`ETA_FILL_FACTOR`]× the factor fill, so solves spend
+    /// most of their time replaying etas) with a pivot-count backstop for
+    /// numerical drift.
     pub fn needs_refactor(&self) -> bool {
-        self.etas.len() >= REFACTOR_INTERVAL
+        self.etas.len() >= ETA_PIVOT_BACKSTOP || self.eta_nnz > ETA_FILL_FACTOR * self.factor_nnz
     }
 
     /// FTRAN: solves `B x = rhs` in place. On input `rhs` is in original row
@@ -384,6 +457,61 @@ impl LuFactors {
         c.copy_from_slice(y);
     }
 
+    /// BTRAN on two right-hand sides in lockstep: every eta and factor entry
+    /// is loaded once and applied to both systems, roughly halving the memory
+    /// traffic of two back-to-back [`LuFactors::btran`] calls. The simplex
+    /// pivot loop solves ρ = B⁻ᵀe_r and τ = B⁻ᵀw together on this path —
+    /// on the big ALLTOALL forms the two solves are the largest single
+    /// per-iteration cost.
+    pub fn btran2(&mut self, c1: &mut [f64], c2: &mut [f64]) {
+        debug_assert_eq!(c1.len(), self.m);
+        debug_assert_eq!(c2.len(), self.m);
+        // Transposed etas, in reverse order.
+        for eta in self.etas.iter().rev() {
+            let mut a1 = c1[eta.r];
+            let mut a2 = c2[eta.r];
+            for &(i, w) in &eta.col {
+                a1 -= w * c1[i];
+                a2 -= w * c2[i];
+            }
+            c1[eta.r] = a1 / eta.pivot;
+            c2[eta.r] = a2 / eta.pivot;
+        }
+        // Solve Uᵀ z = c (forward over steps).
+        let z1 = &mut self.scratch_a;
+        let z2 = &mut self.scratch_c;
+        for j in 0..self.m {
+            let mut a1 = c1[j];
+            let mut a2 = c2[j];
+            for &(step, u) in &self.ucols[j] {
+                a1 -= u * z1[step];
+                a2 -= u * z2[step];
+            }
+            z1[j] = a1 / self.udiag[j];
+            z2[j] = a2 / self.udiag[j];
+        }
+        // Solve Lᵀ y = z, scattering back to original row space.
+        let y1 = &mut self.scratch_b;
+        let y2 = &mut self.scratch_d;
+        for step in 0..self.m {
+            y1[self.pivot_row[step]] = z1[step];
+            y2[self.pivot_row[step]] = z2[step];
+        }
+        for step in (0..self.m).rev() {
+            let prow = self.pivot_row[step];
+            let mut a1 = y1[prow];
+            let mut a2 = y2[prow];
+            for &(i, l) in &self.lcols[step] {
+                a1 -= l * y1[i];
+                a2 -= l * y2[i];
+            }
+            y1[prow] = a1;
+            y2[prow] = a2;
+        }
+        c1.copy_from_slice(y1);
+        c2.copy_from_slice(y2);
+    }
+
     /// Records a basis change: the column entering at basis position `r` has
     /// transformed column `w` (`= B⁻¹ a_enter`, basis-position space). Returns
     /// an error if the pivot element is numerically unusable, in which case
@@ -401,6 +529,7 @@ impl LuFactors {
             .filter(|&(i, &v)| i != r && v != 0.0)
             .map(|(i, &v)| (i, v))
             .collect();
+        self.eta_nnz += col.len() + 1;
         self.etas.push(Eta { r, pivot, col });
         Ok(())
     }
@@ -464,6 +593,31 @@ mod tests {
         let back = vec_mat(&cols, &y);
         for (a, e) in back.iter().zip(c.iter()) {
             assert!((a - e).abs() < 1e-10, "{back:?}");
+        }
+    }
+
+    #[test]
+    fn btran2_matches_two_single_btrans() {
+        // Same 3x3 system as above, plus an eta update so the lockstep path
+        // exercises the eta replay too.
+        let cols = vec![
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 3.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        ];
+        let mut lu = LuFactors::factorize(3, &dense_cols(&cols)).unwrap();
+        let mut w = vec![1.0, -1.0, 2.0];
+        lu.ftran(&mut w);
+        lu.update(&w, 2).unwrap();
+        let c1 = vec![1.0, -2.0, 0.5];
+        let c2 = vec![-3.0, 0.0, 4.0];
+        let (mut s1, mut s2) = (c1.clone(), c2.clone());
+        lu.btran(&mut s1);
+        lu.btran(&mut s2);
+        let (mut p1, mut p2) = (c1.clone(), c2.clone());
+        lu.btran2(&mut p1, &mut p2);
+        for (a, b) in s1.iter().zip(p1.iter()).chain(s2.iter().zip(p2.iter())) {
+            assert!((a - b).abs() < 1e-12, "{s1:?}/{p1:?} {s2:?}/{p2:?}");
         }
     }
 
@@ -565,5 +719,87 @@ mod tests {
             }
         }
         assert!(lu.eta_count() > 10);
+    }
+
+    #[test]
+    fn gilbert_peierls_handles_structured_sparse_basis() {
+        // A banded + arrow matrix (the shape TE-CCL flow bases take): the
+        // symbolic reach keeps each column solve local, and the numerics must
+        // match a dense check. 40x40, bandwidth 2 plus a dense last row.
+        let m = 40;
+        let mut cols: Vec<Vec<f64>> = vec![vec![0.0; m]; m];
+        for j in 0..m {
+            cols[j][j] = 4.0 + (j % 3) as f64;
+            if j + 1 < m {
+                cols[j][j + 1] = -1.0;
+            }
+            if j >= 1 {
+                cols[j][j - 1] = -0.5;
+            }
+            cols[j][m - 1] += 0.25; // arrow row
+        }
+        let mut lu = LuFactors::factorize(m, &dense_cols(&cols)).unwrap();
+        let rhs: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut x = rhs.clone();
+        lu.ftran(&mut x);
+        let back = mat_vec(&cols, &x);
+        for (a, e) in back.iter().zip(rhs.iter()) {
+            assert!((a - e).abs() < 1e-8, "{back:?}");
+        }
+        let mut y = rhs.clone();
+        lu.btran(&mut y);
+        let back = vec_mat(&cols, &y);
+        for (a, e) in back.iter().zip(rhs.iter()) {
+            assert!((a - e).abs() < 1e-8, "{back:?}");
+        }
+        // Fill stays near-linear for a banded matrix — the symbolic reach did
+        // not densify the factors.
+        assert!(
+            lu.fill_nnz() < 8 * m,
+            "unexpected fill-in: {} nnz for a banded {m}x{m} basis",
+            lu.fill_nnz()
+        );
+    }
+
+    #[test]
+    fn refactor_trigger_is_fill_aware() {
+        // Identity basis: factor_nnz = 2m. Dense etas accumulate nnz fast, so
+        // the fill-aware trigger must fire long before the pivot backstop.
+        let m = 8;
+        let eye: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..m).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let mut lu = LuFactors::factorize(m, &dense_cols(&eye)).unwrap();
+        assert_eq!(lu.fill_nnz(), 2 * m);
+        assert!(!lu.needs_refactor());
+        let mut pivots = 0usize;
+        while !lu.needs_refactor() {
+            let w: Vec<f64> = (0..m).map(|i| 1.0 + i as f64 * 0.01).collect();
+            lu.update(&w, pivots % m).unwrap();
+            pivots += 1;
+            assert!(pivots <= ETA_PIVOT_BACKSTOP, "trigger never fired");
+        }
+        // Dense etas carry m nnz each; the fill trigger fires after about
+        // ETA_FILL_FACTOR * 2m / m = 2 * ETA_FILL_FACTOR pivots.
+        assert!(
+            pivots <= 2 * ETA_FILL_FACTOR + 1,
+            "fill-aware trigger fired late: {pivots} pivots"
+        );
+        assert_eq!(lu.eta_nnz(), pivots * m);
+        // Sparse (single-entry) etas carry 1 nnz each, so the fill trigger
+        // lets them run ETA_FILL_FACTOR * factor_nnz pivots — far longer than
+        // the dense case above, which is the whole point of the fill-aware
+        // trigger.
+        let mut lu2 = LuFactors::factorize(m, &dense_cols(&eye)).unwrap();
+        let mut sparse_pivots = 0usize;
+        while !lu2.needs_refactor() {
+            let mut w = vec![0.0; m];
+            w[sparse_pivots % m] = 1.5;
+            lu2.update(&w, sparse_pivots % m).unwrap();
+            sparse_pivots += 1;
+            assert!(sparse_pivots <= ETA_PIVOT_BACKSTOP, "trigger never fired");
+        }
+        assert_eq!(sparse_pivots, ETA_FILL_FACTOR * 2 * m + 1);
+        assert!(sparse_pivots > pivots * 4);
     }
 }

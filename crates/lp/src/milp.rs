@@ -793,9 +793,14 @@ mod tests {
         );
         assert_eq!(cold.stats.warm_starts, 0);
         assert!(cold.stats.cold_starts >= cold.stats.nodes_explored.min(2));
-        // And cost fewer simplex iterations overall.
+        // Cold per-node solves now run a dual phase 1 from the slack basis —
+        // on a one-row knapsack that is nearly as good as a parent-basis warm
+        // start, so warm no longer wins the raw iteration count outright; it
+        // must stay in the same ballpark (the structural win it keeps is
+        // skipping the per-node state rebuild, asserted via the
+        // warm/cold-start counters above).
         assert!(
-            warm.stats.simplex_iterations <= cold.stats.simplex_iterations,
+            warm.stats.simplex_iterations <= 2 * cold.stats.simplex_iterations,
             "warm {} vs cold {}",
             warm.stats.simplex_iterations,
             cold.stats.simplex_iterations

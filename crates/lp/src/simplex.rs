@@ -1,13 +1,26 @@
-//! Two-phase bounded-variable primal revised simplex on a sparse LU basis,
-//! with a dual simplex for warm re-solves.
+//! Bounded-variable primal revised simplex on a sparse LU basis, with a
+//! dual-simplex phase 1 and dual warm re-solves.
 //!
 //! The basis is held as a sparse LU factorization with product-form (eta)
-//! updates ([`crate::basis`]): each iteration performs one BTRAN (pricing
-//! multipliers), one FTRAN (transformed entering column), and an `O(nnz)` eta
-//! append, with a full refactorization every ~100 pivots. Pricing is **devex**
-//! over a bounded candidate list (partial pricing): a full scan refills the
-//! list and is the only place optimality is declared, so correctness does not
-//! depend on the candidate heuristics.
+//! updates ([`crate::basis`], Gilbert–Peierls symbolic column solves): each
+//! iteration performs one FTRAN (transformed entering column), one or two
+//! BTRANs (the pivot row, plus `B⁻ᵀw` for the steepest-edge update), and an
+//! `O(nnz)` eta append, with a **fill-aware refactorization** (the eta file is
+//! folded back in when its accumulated non-zeros exceed a multiple of the
+//! frozen factor size, not after a fixed pivot count).
+//!
+//! Pricing is **projected steepest edge** (Forrest & Goldfarb): reference
+//! weights `γ_j ≈ 1 + ‖B⁻¹a_j‖²` start at 1 when a phase begins and are then
+//! maintained *exactly* through every basis change, so the entering column
+//! maximizes `d_j²/γ_j` — the best rate of objective change per unit of
+//! *edge* length rather than per unit of the entering variable. Reduced costs
+//! are maintained incrementally and recomputed at every refresh; optimality
+//! is only ever declared after a scan over freshly recomputed reduced costs,
+//! so correctness does not rest on the incremental updates. On numerical
+//! trouble (a non-finite weight or step) the weights devex-reset to 1 and the
+//! reduced costs are recomputed. [`PricingRule::Devex`] keeps the classic
+//! devex update as a cross-check mode (the fuzz suite runs both and demands
+//! agreement).
 //!
 //! The primal ratio test is **EXPAND-style** (Gill, Murray, Saunders &
 //! Wright): a working feasibility tolerance grows by a tiny increment each
@@ -21,12 +34,20 @@
 //! big ALLTOALL LPs Bland's first-eligible pricing was the stall (1.45M of
 //! 1.5M iterations before it was removed).
 //!
-//! Cold solves run phase 1 (minimize the sum of signed artificials) then
-//! phase 2. Warm starts ([`solve_standard_form_from`]) rebuild the caller's
-//! basis and re-optimize with the **dual simplex** ([`crate::dual`]): after a
-//! bound tightening the parent basis stays dual feasible, so the dual walks
-//! back to primal feasibility in a handful of pivots with no artificials and
-//! no repair phase — the hot path for branch-and-bound children.
+//! Cold solves run a **dual-simplex phase 1 with cost shifting**: every row's
+//! slack starts basic at the row residual (`B = I`, trivially factorizable,
+//! artificials pinned at zero), [`crate::dual::make_dual_feasible`] flips or
+//! cost-shifts the wrong-signed reduced costs, and the dual simplex walks the
+//! out-of-bounds slacks back inside their bounds — reaching a primal-feasible,
+//! shifted-dual-optimal vertex that the true-cost phase 2 then certifies.
+//! Compared to the artificial-variable primal phase 1 this starts from the
+//! feasibility problem's *own* geometry instead of an artificial objective and
+//! typically lands next to the optimum. The artificial primal phase 1 is kept
+//! as a fallback for numerical failures, and dual unboundedness (a
+//! cost-independent Farkas certificate) reports primal infeasibility directly.
+//! Warm starts ([`solve_standard_form_from`]) rebuild the caller's basis and
+//! re-optimize with the same dual machinery — the hot path for
+//! branch-and-bound children.
 
 use crate::basis::{LuFactors, SimplexBasis, VarStatus};
 use crate::dual::{self, DualOutcome};
@@ -50,10 +71,43 @@ pub(crate) const DTOL: f64 = 1e-9;
 pub(crate) const PIV_TOL: f64 = 1e-9;
 /// Bound-feasibility tolerance.
 pub(crate) const FEAS_TOL: f64 = 1e-9;
-/// Size of the devex candidate list.
-const CAND_LIST: usize = 64;
 /// Iterations between basic-value / objective refreshes.
 pub(crate) const REFRESH_INTERVAL: usize = 256;
+
+/// Entering-column pricing rule for the primal phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Projected steepest edge (Forrest–Goldfarb): reference weights start at
+    /// 1 per phase and are maintained exactly through basis changes. The
+    /// default; measurably fewer pivots on the degenerate ALLTOALL LPs.
+    #[default]
+    SteepestEdge,
+    /// Classic devex reference weights (the pre-steepest-edge rule), kept as
+    /// an independent cross-check for the fuzz agreement suite.
+    Devex,
+}
+
+/// Tuning knobs for the simplex solve entry points. [`Default`] is what every
+/// production caller uses; tests and benches override individual fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplexOptions {
+    /// Entering-column pricing rule.
+    pub pricing: PricingRule,
+    /// Minimum row count before the anti-degeneracy perturbed phase-2
+    /// pre-pass engages on cold solves. Small LPs never stall on degeneracy,
+    /// so perturbing them would only add a second (pointless) pass;
+    /// `usize::MAX` disables the pre-pass entirely.
+    pub perturb_min_rows: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            pricing: PricingRule::SteepestEdge,
+            perturb_min_rows: 64,
+        }
+    }
+}
 /// EXPAND: per-iteration growth of the working feasibility tolerance, and the
 /// scale of the guaranteed minimum step. The tolerance is reset at every
 /// refresh, so the accumulated drift stays below
@@ -81,10 +135,18 @@ pub(crate) struct SimplexState<'a> {
     pub(crate) iterations: usize,
     pub(crate) dual_iterations: usize,
     pub(crate) factorizations: usize,
-    /// Devex reference weights, one per column.
-    devex: Vec<f64>,
-    /// Current pricing candidate list (column indices).
-    candidates: Vec<usize>,
+    /// Pricing reference weights, one per column (steepest-edge `γ_j` or
+    /// devex weights depending on the active [`PricingRule`]).
+    weights: Vec<f64>,
+    /// Row-major copy of `sf.a` — for each row, the `(column, value)` pairs
+    /// over the structural + slack columns (artificials stay implicit). Built
+    /// lazily at the first primal pivot: the per-pivot reduced-cost/weight
+    /// update accumulates the pivot row `α = ρᵀA` over the non-zeros of `ρ`
+    /// in O(touched entries) instead of dotting `ρ` against every column —
+    /// the difference between O(nnz(pivot rows)) and O(ncols · nnz/col) per
+    /// iteration, which dominates wall clock on the big ALLTOALL forms.
+    /// Pivot-free solves (warm re-certifications) never pay the build.
+    rows_a: Option<Vec<Vec<(u32, f64)>>>,
 }
 
 /// Solves the LP relaxation of `model` (integrality ignored) with the
@@ -136,6 +198,26 @@ pub fn solve_standard_form_budgeted(
     warm: Option<&SimplexBasis>,
     budget: Option<&SolveBudget>,
 ) -> Result<Solution, LpError> {
+    solve_standard_form_with_options(
+        sf,
+        num_model_vars,
+        overrides,
+        warm,
+        budget,
+        &SimplexOptions::default(),
+    )
+}
+
+/// [`solve_standard_form_budgeted`] with explicit [`SimplexOptions`]. The
+/// other entry points all funnel here with the default options.
+pub fn solve_standard_form_with_options(
+    sf: &StandardForm,
+    num_model_vars: usize,
+    overrides: &[(usize, f64, f64)],
+    warm: Option<&SimplexBasis>,
+    budget: Option<&SolveBudget>,
+    opts: &SimplexOptions,
+) -> Result<Solution, LpError> {
     let m = sf.num_rows();
     let n = sf.num_cols();
 
@@ -158,7 +240,7 @@ pub fn solve_standard_form_budgeted(
     let mut wasted = WarmFallback::default();
     if let Some(wb) = warm {
         if wb.basic.len() == m && wb.status.len() == n {
-            match try_warm_solve(sf, &lb, &ub, wb, num_model_vars, budget) {
+            match try_warm_solve(sf, &lb, &ub, wb, num_model_vars, budget, opts) {
                 Ok(sol) => return Ok(sol),
                 // A budget stop inside the warm attempt must not silently
                 // escalate into a (more expensive) cold start.
@@ -173,7 +255,7 @@ pub fn solve_standard_form_budgeted(
             }
         }
     }
-    let mut sol = cold_solve(sf, &lb, &ub, num_model_vars, budget)?;
+    let mut sol = cold_solve(sf, &lb, &ub, num_model_vars, budget, opts)?;
     sol.stats.simplex_iterations += wasted.iterations;
     sol.stats.dual_iterations += wasted.dual_iterations;
     sol.stats.factorizations += wasted.factorizations;
@@ -215,18 +297,47 @@ fn cold_solve(
     ub: &[f64],
     num_model_vars: usize,
     budget: Option<&SolveBudget>,
+    opts: &SimplexOptions,
 ) -> Result<Solution, LpError> {
     let m = sf.num_rows();
     let n = sf.num_cols();
-    let mut state = build_initial_state(sf, lb, ub)?;
     let max_iters = 200 * (m + n) + 20_000;
 
-    // ---- Phase 1: drive artificials to zero. ----
+    // ---- Dual phase 1 from the forced slack basis. ----
+    //
+    // Every row's slack starts basic at the row residual, so B = I (always
+    // factorizable) and the only infeasibilities are slacks outside their
+    // bounds. `make_dual_feasible` absorbs wrong-signed reduced costs by
+    // flipping boxed columns / shifting the rest, and the dual simplex then
+    // repairs primal feasibility against the *true* (shifted) objective — so
+    // it exits next to the real optimum instead of wherever the artificial
+    // phase-1 objective happened to land. Dual unboundedness is a
+    // cost-independent Farkas certificate of primal infeasibility. Any other
+    // failure falls back to the artificial primal phase 1 below, carrying the
+    // burned work so the counters stay honest.
+    let mut burned = WarmFallback::default();
+    match dual_phase1(sf, lb, ub, num_model_vars, budget, opts, max_iters) {
+        Ok(Some(sol)) => return Ok(sol),
+        Ok(None) => {}
+        Err(fb) => {
+            if let Some(e) = fb.hard {
+                return Err(e);
+            }
+            burned = fb;
+        }
+    }
+
+    // ---- Fallback: artificial primal phase 1, then phase 2. ----
+    let mut state = build_initial_state(sf, lb, ub, false)?;
+    state.iterations += burned.iterations;
+    state.dual_iterations += burned.dual_iterations;
+    state.factorizations += burned.factorizations;
+
     // A budget stop here propagates as an error: no primal-feasible point
     // exists yet, so there is no incumbent to hand back.
     let mut phase1_cost = vec![0.0; n + m];
     phase1_cost[n..].fill(1.0);
-    let outcome = run_phase(&mut state, &phase1_cost, max_iters, budget)?;
+    let outcome = run_phase(&mut state, &phase1_cost, max_iters, budget, opts.pricing)?;
     // Phase 1 objective is bounded below by zero, so "unbounded" here is a
     // numerical failure.
     if outcome == PhaseOutcome::Unbounded {
@@ -249,9 +360,102 @@ fn cold_solve(
         }
     }
 
-    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars, true, budget)?;
+    let mut sol = finish_phase2(&mut state, max_iters, num_model_vars, true, budget, opts)?;
     sol.stats.cold_starts = 1;
     Ok(sol)
+}
+
+/// The dual-simplex cold phase 1. `Ok(Some(sol))` is a finished solve
+/// (optimal, budget-stopped feasible, or proven infeasible), `Ok(None)` /
+/// `Err` without a hard error sends the caller to the artificial primal
+/// phase 1 (`Err` carries the work burned here), and a hard error (budget
+/// exhaustion mid-dual) aborts the solve.
+fn dual_phase1(
+    sf: &StandardForm,
+    lb: &[f64],
+    ub: &[f64],
+    num_model_vars: usize,
+    budget: Option<&SolveBudget>,
+    opts: &SimplexOptions,
+    max_iters: usize,
+) -> Result<Option<Solution>, WarmFallback> {
+    let n = sf.num_cols();
+    let m = sf.num_rows();
+    let mut state = match build_initial_state(sf, lb, ub, true) {
+        Ok(s) => s,
+        Err(_) => return Err(WarmFallback::default()),
+    };
+    let fallback = |state: &SimplexState| WarmFallback {
+        iterations: state.iterations,
+        dual_iterations: state.dual_iterations,
+        factorizations: state.factorizations,
+        hard: None,
+    };
+    let mut cost = vec![0.0; n + m];
+    cost[..n].copy_from_slice(&sf.c);
+    let d = match dual::make_dual_feasible(&mut state, &mut cost) {
+        Ok(d) => d,
+        Err(_) => return Err(fallback(&state)),
+    };
+    // The dual simplex excels at *repairing* primal feasibility — few rows
+    // out of bounds, each fixed in a handful of pivots. When the flips above
+    // push a large fraction of the rows out of bounds at once (the shape of
+    // every big ALLTOALL LP form: masses of boxed columns whose costs all
+    // pull the same way), the dual walk is so degenerate it can stall for
+    // hundreds of thousands of iterations while the primal fallback finishes
+    // in thousands. Gate on the infeasibility count, and cap the pivots the
+    // dual may burn before conceding, so the detour stays O(m) either way.
+    let infeasible_rows = (0..m)
+        .filter(|&r| {
+            let bvar = state.basis[r];
+            state.x[bvar] < state.lb[bvar] - dual::PRIMAL_FEAS_TOL
+                || state.x[bvar] > state.ub[bvar] + dual::PRIMAL_FEAS_TOL
+        })
+        .count();
+    if infeasible_rows * 4 > m {
+        return Err(fallback(&state));
+    }
+    let dual_cap = (4 * m + 1_000).min(max_iters);
+    let dual_res = dual::dual_simplex(&mut state, &cost, d, dual_cap, budget);
+    if std::env::var_os("TECCL_LP_TRACE").is_some() {
+        eprintln!(
+            "[lp-trace] dual phase1: infeas_rows={infeasible_rows}/{m} iters={} dual={} err={}",
+            state.iterations,
+            state.dual_iterations,
+            dual_res.is_err()
+        );
+    }
+    match dual_res {
+        Ok(DualOutcome::Optimal) => {}
+        Ok(DualOutcome::Infeasible) => {
+            let mut sol = infeasible(num_model_vars, state.iterations);
+            sol.stats.dual_iterations = state.dual_iterations;
+            sol.stats.factorizations = state.factorizations;
+            sol.stats.cold_starts = 1;
+            return Ok(Some(sol));
+        }
+        // A budget stop mid-dual has no primal-feasible point to hand back,
+        // and restarting with artificials would only burn more of an
+        // exhausted budget — abort the solve.
+        Err(e @ LpError::Budget(_)) => {
+            let mut fb = fallback(&state);
+            fb.hard = Some(e);
+            return Err(fb);
+        }
+        Err(_) => return Err(fallback(&state)),
+    }
+    match finish_phase2(&mut state, max_iters, num_model_vars, true, budget, opts) {
+        Ok(mut sol) => {
+            sol.stats.cold_starts = 1;
+            Ok(Some(sol))
+        }
+        Err(LpError::Budget(e)) => {
+            let mut fb = fallback(&state);
+            fb.hard = Some(LpError::Budget(e));
+            Err(fb)
+        }
+        Err(_) => Err(fallback(&state)),
+    }
 }
 
 /// Builds the initial cold-start state: non-basic structural columns at a
@@ -260,10 +464,17 @@ fn cold_solve(
 /// phase-1 work at all for that row); only rows the slack cannot absorb get a
 /// basic artificial. Freed rows (presolve relaxes their slack to
 /// `(-inf, +inf)`) therefore never contribute phase-1 infeasibility.
+///
+/// With `force_slack` set, *every* row's slack starts basic at the residual —
+/// even outside its own bounds — and every artificial is pinned at zero. The
+/// basis is then exactly the identity (always factorizable) and the
+/// out-of-bounds slacks are the primal infeasibilities the dual phase 1
+/// repairs.
 fn build_initial_state<'a>(
     sf: &'a StandardForm,
     lb_in: &[f64],
     ub_in: &[f64],
+    force_slack: bool,
 ) -> Result<SimplexState<'a>, LpError> {
     let m = sf.num_rows();
     let n = sf.num_cols();
@@ -301,7 +512,7 @@ fn build_initial_state<'a>(
         // that value respects the slack's bounds. (The slack of a `<=` row
         // absorbs any r >= 0, a freed row's slack absorbs anything.)
         let crash = x[slack] + r;
-        if crash >= lb[slack] - FEAS_TOL && crash <= ub[slack] + FEAS_TOL {
+        if force_slack || (crash >= lb[slack] - FEAS_TOL && crash <= ub[slack] + FEAS_TOL) {
             x[slack] = crash;
             status[slack] = VarStatus::Basic;
             basis.push(slack);
@@ -335,8 +546,8 @@ fn build_initial_state<'a>(
         iterations: 0,
         dual_iterations: 0,
         factorizations: 0,
-        devex: vec![1.0; n + m],
-        candidates: Vec::new(),
+        weights: vec![1.0; n + m],
+        rows_a: None,
     };
     state.refactorize()?;
     Ok(state)
@@ -353,6 +564,7 @@ fn try_warm_solve(
     warm: &SimplexBasis,
     num_model_vars: usize,
     budget: Option<&SolveBudget>,
+    opts: &SimplexOptions,
 ) -> Result<Solution, WarmFallback> {
     let m = sf.num_rows();
     let n = sf.num_cols();
@@ -423,8 +635,8 @@ fn try_warm_solve(
         iterations: 0,
         dual_iterations: 0,
         factorizations: 0,
-        devex: vec![1.0; n + m],
-        candidates: Vec::new(),
+        weights: vec![1.0; n + m],
+        rows_a: None,
     };
     let fallback = |state: &SimplexState| WarmFallback {
         iterations: state.iterations,
@@ -486,7 +698,7 @@ fn try_warm_solve(
     // Certify with the true costs (the dual may have run against shifted
     // costs; the basis it leaves behind is primal feasible, so phase 2 needs
     // no perturbation pre-pass and typically terminates in one pricing scan).
-    match finish_phase2(&mut state, max_iters, num_model_vars, false, budget) {
+    match finish_phase2(&mut state, max_iters, num_model_vars, false, budget, opts) {
         Ok(mut sol) => {
             sol.stats.warm_starts = 1;
             Ok(sol)
@@ -510,6 +722,7 @@ fn finish_phase2(
     num_model_vars: usize,
     perturb: bool,
     budget: Option<&SolveBudget>,
+    opts: &SimplexOptions,
 ) -> Result<Solution, LpError> {
     let sf = state.sf;
     let n = state.n;
@@ -524,7 +737,7 @@ fn finish_phase2(
     // with the true costs then certifies optimality, so correctness never
     // rests on the perturbation. (Phase 1 is left unperturbed: its artificial
     // objective is what drives feasibility.)
-    if perturb && m > 64 {
+    if perturb && m > opts.perturb_min_rows {
         let mut pcost = phase2_cost.clone();
         for (j, c) in pcost.iter_mut().enumerate().take(n) {
             let h = (j as u64).wrapping_mul(0x9e3779b97f4a7c15);
@@ -536,7 +749,7 @@ fn finish_phase2(
         // limit here just means the true-cost pass starts from wherever the
         // perturbed walk got to (still primal feasible). An exhausted budget
         // is still recorded so callers can flag the row as uncertified.
-        match run_phase(state, &pcost, max_iters, budget) {
+        match run_phase(state, &pcost, max_iters, budget, opts.pricing) {
             Ok(_) => {}
             Err(LpError::IterationLimit(_)) => iteration_limit_hit = true,
             Err(LpError::Budget(cause)) => budget_stop = Some(cause),
@@ -545,11 +758,17 @@ fn finish_phase2(
     }
     // Phase 2 preserves primal feasibility, so a budget stop anywhere past
     // this point still has a feasible vertex to hand back: skip (or abandon)
-    // the true-cost pass and extract the incumbent as `Feasible`.
+    // the true-cost pass and extract the incumbent as `Feasible`. The
+    // skipped certify pass still charges the budget for the extraction work
+    // below (refactorize + recompute), so an exhausted-budget walk cannot
+    // exit the solver without its cleanup being accounted for.
     let outcome = if budget_stop.is_some() {
+        if let Some(b) = budget {
+            let _ = b.charge(1);
+        }
         PhaseOutcome::Optimal
     } else {
-        match run_phase(state, &phase2_cost, max_iters, budget) {
+        match run_phase(state, &phase2_cost, max_iters, budget, opts.pricing) {
             Ok(o) => o,
             Err(LpError::Budget(cause)) => {
                 budget_stop = Some(cause);
@@ -719,12 +938,45 @@ impl<'a> SimplexState<'a> {
         self.lu.ftran(w);
     }
 
+    /// Builds the row-major copy of the constraint matrix on first use (see
+    /// the field docs on [`SimplexState::rows_a`]).
+    pub(crate) fn ensure_row_major(&mut self) {
+        if self.rows_a.is_some() {
+            return;
+        }
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.m];
+        for (j, col) in self.sf.a.cols.iter().enumerate() {
+            for (i, v) in col.iter() {
+                rows[i].push((j as u32, v));
+            }
+        }
+        self.rows_a = Some(rows);
+    }
+
     /// `rho · A_j` — one entry of a tableau row, given `rho = B⁻ᵀ e_r`.
     pub(crate) fn row_dot_col(&self, j: usize, rho: &[f64]) -> f64 {
         if j < self.n {
             self.sf.a.col(j).dot_dense(rho)
         } else {
             rho[j - self.n] * self.art_sign[j - self.n]
+        }
+    }
+
+    /// `(rho · A_j, tau · A_j)` in one traversal of the column's entries —
+    /// the steepest-edge pivot update needs both, and loading each index
+    /// pair once instead of twice matters on the big dense-ρ pivots.
+    pub(crate) fn row_dot_col2(&self, j: usize, rho: &[f64], tau: &[f64]) -> (f64, f64) {
+        if j < self.n {
+            let mut a = 0.0;
+            let mut g = 0.0;
+            for (i, v) in self.sf.a.cols[j].iter() {
+                a += rho[i] * v;
+                g += tau[i] * v;
+            }
+            (a, g)
+        } else {
+            let i = j - self.n;
+            (rho[i] * self.art_sign[i], tau[i] * self.art_sign[i])
         }
     }
 
@@ -798,6 +1050,7 @@ fn run_phase(
     cost: &[f64],
     max_iters: usize,
     budget: Option<&SolveBudget>,
+    pricing: PricingRule,
 ) -> Result<PhaseOutcome, LpError> {
     let m = state.m;
     let ncols = state.n + state.m;
@@ -812,28 +1065,74 @@ fn run_phase(
     // (the refresh recomputes the basic values, wiping accumulated drift).
     let mut tol_work = FEAS_TOL;
 
-    // Fresh devex reference framework per phase.
-    for w in state.devex.iter_mut() {
-        *w = 1.0;
+    // Fresh pricing reference framework per phase: γ_j = 1 says "the current
+    // basis is the reference" — the steepest-edge updates below then keep
+    // each γ_j exactly equal to 1 + ‖B⁻¹a_j‖² measured in that reference.
+    for g in state.weights.iter_mut() {
+        *g = 1.0;
     }
-    state.candidates.clear();
+
+    // Reduced costs over all columns, maintained incrementally across pivots
+    // and recomputed from scratch (`d_fresh`) at every refresh and before
+    // optimality can be declared.
+    let mut d = vec![0.0; ncols];
+    let mut y: Vec<f64> = Vec::with_capacity(m);
+    let recompute_d = |state: &mut SimplexState, d: &mut [f64], y: &mut Vec<f64>| {
+        y.clear();
+        y.extend(state.basis.iter().map(|&j| cost[j]));
+        state.lu.btran(y);
+        for j in 0..ncols {
+            d[j] = if state.status[j] == VarStatus::Basic {
+                0.0
+            } else {
+                state.price_col(j, cost[j], y)
+            };
+        }
+    };
+    recompute_d(state, &mut d, &mut y);
+    let mut d_fresh = true;
 
     // Hot-loop buffers, allocated once per phase and reused every iteration.
-    let mut y: Vec<f64> = Vec::with_capacity(m);
     let mut w: Vec<f64> = Vec::with_capacity(m);
     let mut rho: Vec<f64> = Vec::with_capacity(m);
+    let mut tau: Vec<f64> = Vec::with_capacity(m);
+    // Sparse pivot-row scratch: dense accumulators indexed by column plus the
+    // list of columns actually touched this pivot (cleared after each use, so
+    // the per-pivot cost is proportional to the touched set, not ncols).
+    let mut alpha: Vec<f64> = vec![0.0; ncols];
+    let mut amark: Vec<bool> = vec![false; ncols];
+    let mut touched: Vec<u32> = Vec::with_capacity(256);
+    // Pricing candidates: every non-basic column that can move (see the scan
+    // below for the maintenance protocol).
+    let mut active: Vec<u32> = (0..ncols)
+        .filter(|&j| state.status[j] != VarStatus::Basic && state.ub[j] - state.lb[j] >= DTOL)
+        .map(|j| j as u32)
+        .collect();
 
     let trace = std::env::var_os("TECCL_LP_TRACE").is_some();
-    let mut refills = 0usize;
+    let mut rescans = 0usize;
     let mut flip_iters = 0usize;
     let mut degen_iters = 0usize;
+    // Per-component wall clock (trace only): where an iteration's time goes.
+    let clk = |on: bool| on.then(std::time::Instant::now);
+    let lap = |acc: &mut f64, t0: Option<std::time::Instant>| {
+        if let Some(t0) = t0 {
+            *acc += t0.elapsed().as_secs_f64();
+        }
+    };
+    let (mut t_refresh, mut t_scan, mut t_ftran, mut t_ratio, mut t_btran, mut t_upd, mut t_eta) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
 
     loop {
         if local_iters > max_iters {
             if trace {
                 eprintln!(
-                    "[lp-trace] ITERLIMIT: iters={local_iters} refills={refills} \
+                    "[lp-trace] ITERLIMIT: iters={local_iters} rescans={rescans} \
 flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
+                );
+                eprintln!(
+                    "[lp-trace] timers: refresh={t_refresh:.2}s scan={t_scan:.2}s \
+ftran={t_ftran:.2}s ratio={t_ratio:.2}s btran={t_btran:.2}s upd={t_upd:.2}s eta={t_eta:.2}s"
                 );
             }
             return Err(LpError::IterationLimit(max_iters));
@@ -852,69 +1151,79 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
         // Periodic refresh: refactorize (folding the eta file back in) and
         // recompute the basic values from the fresh factors — bounding
         // floating-point drift and resetting the EXPAND tolerance expansion.
+        // The reduced costs are recomputed too, wiping incremental drift.
         if local_iters.is_multiple_of(REFRESH_INTERVAL) || state.lu.needs_refactor() {
+            let t0 = clk(trace);
             state.refactorize()?;
             state.recompute_basic_values();
+            recompute_d(state, &mut d, &mut y);
+            d_fresh = true;
             tol_work = FEAS_TOL;
+            // Leaving columns append at the tail, so over thousands of pivots
+            // the pricing list drifts out of ascending order and the scan's
+            // `d`/`weights` loads lose their sequential prefetch. Restoring
+            // sorted order here costs ~O(n log n) once per refresh.
+            active.sort_unstable();
+            lap(&mut t_refresh, t0);
         }
 
-        // Pricing multipliers: y = c_B B⁻¹ via BTRAN.
-        y.clear();
-        y.extend(state.basis.iter().map(|&j| cost[j]));
-        state.lu.btran(&mut y);
-
-        // ---- Pricing: devex over the candidate list; a full rescan refills
-        // the list and is the only place optimality can be declared. ----
-        let entering: Option<(usize, f64, f64)> = {
-            let mut best: Option<(usize, f64, f64, f64)> = None; // (j, d, dir, score)
-            let mut cands = std::mem::take(&mut state.candidates);
-            cands.retain(|&j| state.status[j] != VarStatus::Basic);
-            state.candidates = cands;
-            for &j in &state.candidates {
-                let d = state.price_col(j, cost[j], &y);
-                if let Some(dir) = state.eligible_dir(j, d) {
-                    let score = d * d / state.devex[j];
-                    if best.is_none_or(|(_, _, _, bs)| score > bs) {
-                        best = Some((j, d, dir, score));
-                    }
-                }
-            }
-            if best.is_none() {
-                refills += 1;
-                // Refill: full devex scan over all non-basic columns.
-                let mut scored: Vec<(f64, usize, f64, f64)> = Vec::new();
-                for (j, &cj) in cost.iter().enumerate().take(ncols) {
+        // ---- Pricing: full scan over the maintained reduced costs, best
+        // d²/γ wins. Optimality is only ever declared on *fresh* reduced
+        // costs, so correctness never rests on the incremental updates.
+        //
+        // The scan walks the maintained `active` list — every non-basic
+        // column whose range clears DTOL — instead of all of `ncols`, so
+        // basic and presolve-pinned columns never cost a bounds load.
+        // Columns that entered the basis since the last scan are compacted
+        // out in place; leaving columns are pushed back at pivot time.
+        // Bounds are immutable within a phase, so list membership only ever
+        // changes through basis status. ----
+        let scan =
+            |state: &SimplexState, d: &[f64], active: &mut Vec<u32>| -> Option<(usize, f64, f64)> {
+                let mut best: Option<(usize, f64, f64, f64)> = None; // (j, d, dir, score)
+                let mut keep = 0usize;
+                for idx in 0..active.len() {
+                    let j = active[idx] as usize;
                     if state.status[j] == VarStatus::Basic {
-                        continue;
+                        continue; // entered the basis since the last scan
                     }
-                    // Zero-range (presolve-fixed) columns can never enter;
-                    // skipping them before the dot product keeps the masses
-                    // of pinned columns the layout-preserving presolve leaves
-                    // behind nearly free.
-                    if state.ub[j] - state.lb[j] < DTOL {
-                        continue;
-                    }
-                    let d = state.price_col(j, cj, &y);
-                    if let Some(dir) = state.eligible_dir(j, d) {
-                        scored.push((d * d / state.devex[j], j, d, dir));
+                    active[keep] = active[idx];
+                    keep += 1;
+                    let dj = d[j];
+                    if let Some(dir) = state.eligible_dir(j, dj) {
+                        let score = dj * dj / state.weights[j];
+                        // Ties break toward the lowest column index — the list is
+                        // not kept sorted (leaving columns append at the tail),
+                        // and without the explicit tie-break the pivot sequence
+                        // would depend on list order.
+                        if best.is_none_or(|(bj, _, _, bs)| score > bs || (score == bs && j < bj)) {
+                            best = Some((j, dj, dir, score));
+                        }
                     }
                 }
-                scored.sort_unstable_by(|a, b| {
-                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
-                });
-                scored.truncate(CAND_LIST);
-                state.candidates = scored.iter().map(|&(_, j, _, _)| j).collect();
-                best = scored.first().map(|&(score, j, d, dir)| (j, d, dir, score));
-            }
-            best.map(|(j, d, dir, _)| (j, d, dir))
-        };
+                active.truncate(keep);
+                best.map(|(j, dj, dir, _)| (j, dj, dir))
+            };
+        let t0 = clk(trace);
+        let mut entering = scan(state, &d, &mut active);
+        if entering.is_none() && !d_fresh {
+            rescans += 1;
+            recompute_d(state, &mut d, &mut y);
+            d_fresh = true;
+            entering = scan(state, &d, &mut active);
+        }
+        lap(&mut t_scan, t0);
 
-        let (enter, _d_enter, dir) = match entering {
+        let (enter, d_enter, dir) = match entering {
             None => {
                 if trace {
                     eprintln!(
-                        "[lp-trace] phase done: iters={local_iters} refills={refills} \
+                        "[lp-trace] phase done: iters={local_iters} rescans={rescans} \
 flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
+                    );
+                    eprintln!(
+                        "[lp-trace] timers: refresh={t_refresh:.2}s scan={t_scan:.2}s \
+ftran={t_ftran:.2}s ratio={t_ratio:.2}s btran={t_btran:.2}s upd={t_upd:.2}s eta={t_eta:.2}s"
                     );
                 }
                 return Ok(PhaseOutcome::Optimal);
@@ -923,7 +1232,9 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
         };
 
         // Transformed column w = B⁻¹ A_enter.
+        let t0 = clk(trace);
         state.ftran_col_into(enter, &mut w);
+        lap(&mut t_ftran, t0);
 
         // EXPAND / Harris two-pass ratio test. The entering variable moves by
         // `t >= 0` in direction `dir`; the basic variable in row r changes at
@@ -937,6 +1248,7 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
         // every iteration strictly improves the objective — degenerate
         // vertices cannot cycle — at the price of bound drift that stays
         // under `tol_work` and is wiped at the next refresh.
+        let t0 = clk(trace);
         let own_range = state.ub[enter] - state.lb[enter]; // may be inf
                                                            // Room a blocking row has before its bound in the movement direction,
                                                            // `None` when the row does not block (shared by both passes so the
@@ -1015,6 +1327,7 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
             state.x[bvar] += -dir * wr * t;
         }
         state.x[enter] += dir * t;
+        lap(&mut t_ratio, t0);
         if t < 1e-9 {
             degen_iters += 1;
         }
@@ -1050,37 +1363,196 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
                 }
                 state.basis[r] = enter;
                 state.status[enter] = VarStatus::Basic;
+                // The leaving column is non-basic again: put it back in the
+                // pricing list (the entering one is compacted out lazily at
+                // the next scan). A zero-range column can never re-enter.
+                if state.ub[leaving] - state.lb[leaving] >= DTOL {
+                    active.push(leaving as u32);
+                }
 
-                // Devex weight update over the candidate list (Forrest &
-                // Goldfarb's reference-framework update, restricted to the
-                // columns we actually price): alpha_j is row r of the
-                // tableau, obtained from rho = Bᵀ⁻¹ e_r.
+                // ---- Weight + reduced-cost updates (one pass over the
+                // non-basic columns, all against the *pre-pivot* factors).
+                //
+                // ρ = B⁻ᵀe_r gives the pivot row α_j = ρ·a_j, which drives
+                // both the incremental reduced costs (d_j ← d_j − θ_d α_j
+                // with θ_d = d_q/α_q) and the weight updates. For steepest
+                // edge, τ = B⁻ᵀw additionally gives g_j = a_j·τ =
+                // (B⁻¹a_j)·(B⁻¹a_q), and the exact Forrest–Goldfarb update
+                // with η = α_j/α_q is
+                //     γ_j ← γ_j − 2·η·g_j + η²·(‖w‖² + 1),
+                // clamped below by 1 + η² (the exact value when the old
+                // B⁻¹a_j had no component besides the pivot row). The
+                // leaving column's exact new weight (‖w‖² + 1)/α_q² is set
+                // directly — its stale nonbasic γ would poison the formula.
+                let mut need_reset = false;
                 let alpha_q = w[r];
-                if alpha_q.abs() > PIV_TOL {
-                    let gamma_q = state.devex[enter];
+                let theta_d = d_enter / alpha_q;
+                let wnorm2: f64 = w.iter().map(|v| v * v).sum();
+                if alpha_q.abs() > PIV_TOL && theta_d.is_finite() && wnorm2.is_finite() {
+                    let gamma_q = state.weights[enter].max(1.0);
+                    let t0 = clk(trace);
                     rho.clear();
                     rho.resize(m, 0.0);
                     rho[r] = 1.0;
-                    state.lu.btran(&mut rho);
-                    for idx in 0..state.candidates.len() {
-                        let j = state.candidates[idx];
-                        if j == enter || state.status[j] == VarStatus::Basic {
-                            continue;
+                    let se = pricing == PricingRule::SteepestEdge;
+                    if se {
+                        tau.clear();
+                        tau.extend_from_slice(&w);
+                        // One lockstep pass over the factors for both solves.
+                        state.lu.btran2(&mut rho, &mut tau);
+                    } else {
+                        state.lu.btran(&mut rho);
+                    }
+                    lap(&mut t_btran, t0);
+                    let t0 = clk(trace);
+                    // The pivot row α = ρᵀA (and for SE, g_j = a_j·τ) has two
+                    // evaluation strategies keyed on the density of ρ = B⁻ᵀe_r:
+                    //
+                    // * ρ sparse (common in phase 1 and right after a refresh):
+                    //   gather α over the non-zeros of ρ via the row-major copy
+                    //   of A — cost ∝ entries of the rows ρ touches, and g_j is
+                    //   computed per *touched* column only (η = 0 leaves γ_j
+                    //   unchanged, so untouched columns need nothing).
+                    // * ρ dense (deep degenerate phase-2 walks fill it in):
+                    //   the direct per-column loop, skipping basic and
+                    //   presolve-pinned columns before any arithmetic and
+                    //   computing α_j and g_j in a single traversal of each
+                    //   column. A gather would pay list bookkeeping on every
+                    //   one of nnz(A) entries for no skip.
+                    let rho_nnz = rho.iter().filter(|v| **v != 0.0).count();
+                    if rho_nnz * 8 <= m {
+                        state.ensure_row_major();
+                        {
+                            let rows = state.rows_a.as_ref().expect("just built");
+                            let nstruct = state.n;
+                            for (i, &ri) in rho.iter().enumerate() {
+                                if ri == 0.0 {
+                                    continue;
+                                }
+                                for &(j, v) in &rows[i] {
+                                    let j = j as usize;
+                                    if !amark[j] {
+                                        amark[j] = true;
+                                        touched.push(j as u32);
+                                    }
+                                    alpha[j] += ri * v;
+                                }
+                                // Row i's implicit artificial column sits at
+                                // nstruct + i with the single entry art_sign[i].
+                                let ja = nstruct + i;
+                                if !amark[ja] {
+                                    amark[ja] = true;
+                                    touched.push(ja as u32);
+                                }
+                                alpha[ja] += ri * state.art_sign[i];
+                            }
                         }
-                        let alpha_j = state.row_dot_col(j, &rho);
-                        let cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * gamma_q;
-                        if cand > state.devex[j] {
-                            state.devex[j] = cand;
+                        // Scatter: apply the reduced-cost and weight updates
+                        // to the touched non-basic columns, clearing the
+                        // scratch accumulators as we go.
+                        for &ju in &touched {
+                            let j = ju as usize;
+                            let alpha_j = alpha[j];
+                            alpha[j] = 0.0;
+                            amark[j] = false;
+                            if state.status[j] == VarStatus::Basic
+                                || state.ub[j] - state.lb[j] < DTOL
+                                || alpha_j == 0.0
+                            {
+                                continue;
+                            }
+                            d[j] -= theta_d * alpha_j;
+                            let eta = alpha_j / alpha_q;
+                            if se {
+                                let g_j = state.row_dot_col(j, &tau);
+                                let cand =
+                                    state.weights[j] - 2.0 * eta * g_j + eta * eta * (wnorm2 + 1.0);
+                                state.weights[j] = cand.max(1.0 + eta * eta);
+                            } else {
+                                let cand = eta * eta * gamma_q;
+                                if cand > state.weights[j] {
+                                    state.weights[j] = cand;
+                                }
+                            }
+                        }
+                        touched.clear();
+                    } else {
+                        // The pricing list is exactly the set of columns this
+                        // pass can affect (stale Basic entries fall to the
+                        // status check), so iterate it instead of 0..ncols.
+                        for &ju in &active {
+                            let j = ju as usize;
+                            if state.status[j] == VarStatus::Basic
+                                || state.ub[j] - state.lb[j] < DTOL
+                            {
+                                continue;
+                            }
+                            if se {
+                                let (alpha_j, g_j) = state.row_dot_col2(j, &rho, &tau);
+                                if alpha_j == 0.0 {
+                                    continue;
+                                }
+                                d[j] -= theta_d * alpha_j;
+                                let eta = alpha_j / alpha_q;
+                                let cand =
+                                    state.weights[j] - 2.0 * eta * g_j + eta * eta * (wnorm2 + 1.0);
+                                state.weights[j] = cand.max(1.0 + eta * eta);
+                            } else {
+                                let alpha_j = state.row_dot_col(j, &rho);
+                                if alpha_j == 0.0 {
+                                    continue;
+                                }
+                                d[j] -= theta_d * alpha_j;
+                                let eta = alpha_j / alpha_q;
+                                let cand = eta * eta * gamma_q;
+                                if cand > state.weights[j] {
+                                    state.weights[j] = cand;
+                                }
+                            }
                         }
                     }
-                    state.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+                    lap(&mut t_upd, t0);
+                    d[enter] = 0.0;
+                    // The leaving column has α = 1 exactly (B⁻¹a_leav = e_r
+                    // under the old basis), so the pass above already set
+                    // d[leaving] = −θ_d; only its weight needs the exact
+                    // override.
+                    state.weights[leaving] = if se {
+                        ((wnorm2 + 1.0) / (alpha_q * alpha_q)).max(1.0 + 1.0 / (alpha_q * alpha_q))
+                    } else {
+                        (gamma_q / (alpha_q * alpha_q)).max(1.0)
+                    };
+                    d_fresh = false;
+                    // Devex-style reset on numerical trouble: a non-finite
+                    // weight means the exact recurrence broke down — restart
+                    // the reference framework at the current basis.
+                    if !state.weights[leaving].is_finite() {
+                        need_reset = true;
+                    }
+                } else {
+                    // Un-updatable pivot (tiny α_q slipped through the ratio
+                    // test, or a non-finite step): the maintained weights and
+                    // reduced costs are no longer trustworthy — reset both.
+                    need_reset = true;
                 }
 
                 // Fold the pivot into the eta file; on numerical trouble
                 // rebuild the factorization from scratch.
+                let t0 = clk(trace);
                 if state.lu.update(&w, r).is_err() {
                     state.refactorize()?;
                     state.recompute_basic_values();
+                    need_reset = true;
+                }
+                lap(&mut t_eta, t0);
+                // Resets run *after* the factors reflect the pivot, so the
+                // recomputed reduced costs match the new basis.
+                if need_reset {
+                    for g in state.weights.iter_mut() {
+                        *g = 1.0;
+                    }
+                    recompute_d(state, &mut d, &mut y);
+                    d_fresh = true;
                 }
             }
         }
@@ -1352,12 +1824,9 @@ mod tests {
         assert_eq!(cold2.status, SolveStatus::Infeasible);
     }
 
-    #[test]
-    fn warm_resolve_is_much_cheaper_than_cold() {
-        // A 10x10 transportation-style LP: the cold solve needs dozens of
-        // iterations; after tightening one non-binding bound the warm re-solve
-        // must take < 10% of the cold iteration count.
-        let n = 10;
+    /// An `n`×`n` transportation-style LP (2n rows, n² columns) whose cold
+    /// solve needs real primal phase-2 work even after the dual phase 1.
+    fn transportation_lp(n: usize) -> StandardForm {
         let mut m = Model::new(Sense::Minimize);
         let mut xs = Vec::new();
         for s in 0..n {
@@ -1374,7 +1843,17 @@ mod tests {
             let terms: Vec<_> = (0..n).map(|s| (xs[s * n + d], 1.0)).collect();
             m.add_cons(format!("d{d}"), &terms, ConstraintOp::Ge, 20.0);
         }
-        let sf = StandardForm::from_model(&m);
+        StandardForm::from_model(&m)
+    }
+
+    #[test]
+    fn warm_resolve_is_much_cheaper_than_cold() {
+        // A 20x20 transportation-style LP: the cold solve needs dozens of
+        // iterations even with the dual phase 1; after tightening one
+        // non-binding bound the warm re-solve must take < 10% of the cold
+        // iteration count.
+        let n = 20;
+        let sf = transportation_lp(n);
         let cold = solve_standard_form(&sf, n * n).unwrap();
         assert_eq!(cold.status, SolveStatus::Optimal);
         let cold_iters = cold.stats.simplex_iterations;
@@ -1393,6 +1872,49 @@ mod tests {
             "warm {} vs cold {cold_iters}",
             warm.stats.simplex_iterations
         );
+    }
+
+    #[test]
+    fn exhausted_perturbed_walk_still_charges_the_certify_pass() {
+        // Force the perturbed phase-2 pre-pass on (the transportation LP has
+        // m = 40 rows, above the lowered threshold) and sweep iteration caps
+        // upward. Caps that trip before primal feasibility are hard budget
+        // errors; the first cap that comes back `Ok` with `budget_stop` set
+        // tripped inside the perturbed walk, which skips the true-cost
+        // certify pass — and that skip must still charge the budget for the
+        // extraction work (the PR-5 bug class: silent uncharged exits).
+        let n = 20;
+        let sf = transportation_lp(n);
+        let opts = SimplexOptions {
+            perturb_min_rows: 16,
+            ..Default::default()
+        };
+        let mut verified = false;
+        for cap in 1..5000u64 {
+            let budget = SolveBudget::with_iteration_cap(cap);
+            match solve_standard_form_with_options(&sf, n * n, &[], None, Some(&budget), &opts) {
+                Err(LpError::Budget(_)) => continue, // tripped before feasibility
+                Err(e) => panic!("unexpected error at cap {cap}: {e:?}"),
+                Ok(sol) => {
+                    let Some(_) = sol.stats.budget_stop else {
+                        // The budget was big enough to finish: nothing larger
+                        // will trip either.
+                        break;
+                    };
+                    assert_eq!(sol.status, SolveStatus::Feasible);
+                    // The tripping pivot lands on `cap + 1`; anything beyond
+                    // proves the skipped certify pass charged its cleanup.
+                    assert!(
+                        budget.iterations_used() >= cap + 2,
+                        "certify pass exited uncharged: cap {cap}, used {}",
+                        budget.iterations_used()
+                    );
+                    verified = true;
+                    break;
+                }
+            }
+        }
+        assert!(verified, "no cap tripped inside the perturbed pre-pass");
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! after a bound change must agree with a from-scratch solve to 1e-6.
 
 use teccl_lp::model::{ConstraintOp, Model, Sense};
-use teccl_lp::simplex::{solve_standard_form, solve_standard_form_from};
+use teccl_lp::simplex::{
+    solve_standard_form, solve_standard_form_from, solve_standard_form_with_options,
+};
 use teccl_lp::standard::StandardForm;
-use teccl_lp::SolveStatus;
+use teccl_lp::{PricingRule, SimplexOptions, SolveStatus};
 
 /// Small deterministic LCG so the corpus is stable across runs and platforms.
 struct Lcg(u64);
@@ -132,6 +134,49 @@ fn warm_and_cold_solves_agree_on_random_corpus() {
     // The corpus must actually exercise both paths.
     assert!(solved >= 80, "only {solved} optimal instances");
     assert!(warmed >= 60, "only {warmed} warm re-solves");
+}
+
+/// Pricing-rule cross-check: projected steepest-edge (the default) and the
+/// devex fallback mode must agree on status and objective (to 1e-6) on every
+/// instance of the random corpus. The pricing rule only chooses *which*
+/// entering column to try first — any disagreement means a weight-update or
+/// reduced-cost-maintenance bug, not a legitimate tie.
+#[test]
+fn steepest_edge_and_devex_agree_on_random_corpus() {
+    let se = SimplexOptions {
+        pricing: PricingRule::SteepestEdge,
+        ..Default::default()
+    };
+    let devex = SimplexOptions {
+        pricing: PricingRule::Devex,
+        ..Default::default()
+    };
+    let mut rng = Lcg(0x5eed_c0ffee);
+    let mut solved = 0usize;
+    for case in 0..200 {
+        let m = random_lp(&mut rng);
+        let sf = StandardForm::from_model(&m);
+        let nv = m.num_vars();
+        let a = solve_standard_form_with_options(&sf, nv, &[], None, None, &se)
+            .unwrap_or_else(|e| panic!("case {case} (steepest edge): {e}"));
+        let b = solve_standard_form_with_options(&sf, nv, &[], None, None, &devex)
+            .unwrap_or_else(|e| panic!("case {case} (devex): {e}"));
+        assert_eq!(
+            a.status, b.status,
+            "case {case}: steepest-edge {:?} vs devex {:?}",
+            a.status, b.status
+        );
+        if a.status == SolveStatus::Optimal {
+            solved += 1;
+            assert!(
+                (a.objective - b.objective).abs() < 1e-6,
+                "case {case}: steepest-edge {} vs devex {}",
+                a.objective,
+                b.objective
+            );
+        }
+    }
+    assert!(solved >= 80, "only {solved} optimal instances");
 }
 
 /// B&B-shaped sequences: starting from a cold optimal basis, apply a chain of

@@ -25,6 +25,62 @@ use teccl_topology::{NodeId, Topology};
 use teccl_util::hash::{size_bucket, StableHasher};
 use teccl_util::json::{JsonError, Value};
 
+/// A typed request-validation error.
+///
+/// The wire layer used to surface every parse failure as one opaque string;
+/// semantically invalid requests now carry a machine-readable code so clients
+/// can distinguish "fix your JSON" from "fix your request". The motivating
+/// case is [`InvalidBufferSize`](RequestError::InvalidBufferSize):
+/// [`teccl_util::hash::size_bucket`] maps every zero / negative / non-finite
+/// size to the same degenerate `i64::MIN` bucket, so if such requests reached
+/// the cache they would all collapse into one entry and cross-warm-start each
+/// other. They are rejected here, before a key is ever formed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The request line is not valid JSON.
+    Json(String),
+    /// The `verb` field is missing or names no known verb.
+    BadVerb(String),
+    /// A field is missing, has the wrong type, or an out-of-range value.
+    BadField(String),
+    /// `output_buffer` is zero, negative, NaN or infinite.
+    InvalidBufferSize(f64),
+}
+
+impl RequestError {
+    /// Stable machine-readable code carried on error responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::Json(_) => "bad_json",
+            RequestError::BadVerb(_) => "bad_verb",
+            RequestError::BadField(_) => "bad_field",
+            RequestError::InvalidBufferSize(_) => "invalid_buffer_size",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Json(e) => write!(f, "invalid JSON: {e}"),
+            RequestError::BadVerb(v) if v.is_empty() => write!(f, "missing verb"),
+            RequestError::BadVerb(v) => write!(f, "unknown verb `{v}`"),
+            RequestError::BadField(msg) => write!(f, "{msg}"),
+            RequestError::InvalidBufferSize(v) => {
+                write!(f, "output_buffer must be positive and finite (got {v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<JsonError> for RequestError {
+    fn from(e: JsonError) -> Self {
+        RequestError::BadField(e.to_string())
+    }
+}
+
 /// Which formulation a request asks for (mirrors `teccl_bench::Method`; the
 /// service cannot depend on the bench crate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -222,11 +278,8 @@ impl SolveRequest {
     /// Deserializes a request. `topology` may be a full topology document or
     /// the string name of a prebuilt one (see [`builtin_topology`]); every
     /// field except `topology`, `collective` and `output_buffer` is optional.
-    pub fn from_json_value(v: &Value) -> Result<SolveRequest, JsonError> {
-        let bad = |msg: &str| JsonError {
-            pos: 0,
-            msg: msg.to_string(),
-        };
+    pub fn from_json_value(v: &Value) -> Result<SolveRequest, RequestError> {
+        let bad = |msg: &str| RequestError::BadField(msg.to_string());
         let topology = match v.get("topology") {
             Some(Value::Str(name)) => {
                 builtin_topology(name).ok_or(bad("unknown builtin topology"))?
@@ -246,8 +299,8 @@ impl SolveRequest {
             .get("output_buffer")
             .and_then(Value::as_f64)
             .ok_or(bad("missing output_buffer"))?;
-        if output_buffer <= 0.0 || output_buffer.is_nan() || !output_buffer.is_finite() {
-            return Err(bad("output_buffer must be positive and finite"));
+        if output_buffer <= 0.0 || !output_buffer.is_finite() {
+            return Err(RequestError::InvalidBufferSize(output_buffer));
         }
         let chunks = match v.get("chunks") {
             None => 1,
@@ -599,6 +652,26 @@ mod tests {
         assert_eq!(back.deadline, None);
         let neg = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"deadline_ms":-3}"#;
         assert!(SolveRequest::from_json_value(&Value::parse(neg).unwrap()).is_err());
+    }
+
+    #[test]
+    fn degenerate_buffer_sizes_are_typed_errors() {
+        // All of these map to `size_bucket == i64::MIN`; accepting them would
+        // pool every degenerate request into one cache bucket.
+        for bad in ["0", "-1", "-16777216.0"] {
+            let line =
+                format!(r#"{{"topology":"dgx1","collective":"all_gather","output_buffer":{bad}}}"#);
+            let err = SolveRequest::from_json_value(&Value::parse(&line).unwrap()).unwrap_err();
+            assert!(
+                matches!(err, RequestError::InvalidBufferSize(_)),
+                "{bad}: {err:?}"
+            );
+            assert_eq!(err.code(), "invalid_buffer_size");
+        }
+        // A missing field is a different kind of error.
+        let missing = r#"{"topology":"dgx1","collective":"all_gather"}"#;
+        let err = SolveRequest::from_json_value(&Value::parse(missing).unwrap()).unwrap_err();
+        assert!(matches!(err, RequestError::BadField(_)));
     }
 
     #[test]

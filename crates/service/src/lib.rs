@@ -39,7 +39,7 @@ pub mod sync;
 
 pub use cache::{CacheEntry, DiskStore, Quality, ScheduleCache};
 pub use fault::FaultPlan;
-pub use key::{builtin_topology, RequestKey, RequestMethod, SolveRequest};
+pub use key::{builtin_topology, RequestError, RequestKey, RequestMethod, SolveRequest};
 pub use server::{serve, ServerHandle};
 pub use service::{
     CacheStatus, ScheduleService, ServedSchedule, ServiceConfig, ServiceError, ServiceStats, Ticket,

@@ -14,7 +14,7 @@
 use teccl_util::json::Value;
 
 use crate::cache::Quality;
-use crate::key::SolveRequest;
+use crate::key::{RequestError, SolveRequest};
 use crate::service::{CacheStatus, ServedSchedule, ServiceStats};
 
 /// A parsed client request.
@@ -29,16 +29,14 @@ pub enum Request {
 }
 
 /// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = Value::parse(line.trim()).map_err(|e| e.to_string())?;
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let v = Value::parse(line.trim()).map_err(|e| RequestError::Json(e.to_string()))?;
     match v.get("verb").and_then(Value::as_str) {
-        Some("solve") => Ok(Request::Solve(Box::new(
-            SolveRequest::from_json_value(&v).map_err(|e| e.to_string())?,
-        ))),
+        Some("solve") => Ok(Request::Solve(Box::new(SolveRequest::from_json_value(&v)?))),
         Some("stats") => Ok(Request::Stats),
         Some("evict") => Ok(Request::Evict),
-        Some(other) => Err(format!("unknown verb `{other}`")),
-        None => Err("missing verb".into()),
+        Some(other) => Err(RequestError::BadVerb(other.to_string())),
+        None => Err(RequestError::BadVerb(String::new())),
     }
 }
 
@@ -101,6 +99,16 @@ pub fn error_response(message: &str) -> Value {
     Value::obj(vec![
         ("status", Value::from("error")),
         ("message", Value::from(message)),
+    ])
+}
+
+/// An error response for a request that failed validation: carries the
+/// machine-readable [`RequestError::code`] alongside the human message.
+pub fn request_error_response(err: &RequestError) -> Value {
+    Value::obj(vec![
+        ("status", Value::from("error")),
+        ("code", Value::from(err.code())),
+        ("message", Value::from(err.to_string())),
     ])
 }
 

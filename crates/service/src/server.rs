@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::protocol::{
-    error_response, evict_response, parse_request, solve_response, stats_response, Request,
+    error_response, evict_response, parse_request, request_error_response, solve_response,
+    stats_response, Request,
 };
 use crate::service::ScheduleService;
 
@@ -105,7 +106,7 @@ fn handle_connection(stream: TcpStream, service: &ScheduleService) {
             continue;
         }
         let response = match parse_request(&line) {
-            Err(e) => error_response(&e),
+            Err(e) => request_error_response(&e),
             Ok(Request::Stats) => stats_response(&service.stats()),
             Ok(Request::Evict) => evict_response(service.evict()),
             Ok(Request::Solve(req)) => match service.request(*req) {

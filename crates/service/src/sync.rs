@@ -40,7 +40,9 @@ pub enum LockRank {
 }
 
 impl LockRank {
-    /// Human-readable name for panic messages.
+    /// Human-readable name for panic messages (only the debug-build rank
+    /// checker panics with it, so release builds compile it out).
+    #[cfg(debug_assertions)]
     fn name(self) -> &'static str {
         match self {
             LockRank::Workers => "Workers",

@@ -108,5 +108,26 @@ fn table4_request_roundtrips_over_tcp() {
     let v = Value::parse(err_line.trim()).unwrap();
     assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
 
+    // 6. Degenerate buffer sizes are rejected at parse time with a typed
+    //    code — they must never reach the solver or the cache, where they
+    //    would all collapse into the single `i64::MIN` size bucket and
+    //    cross-warm-start each other.
+    let before = service.stats();
+    for bad_size in ["0", "-16777216", "1e999"] {
+        let line = round_trip(&format!(
+            r#"{{"verb":"solve","topology":"dgx1","collective":"all_gather","output_buffer":{bad_size}}}"#
+        ));
+        let v = Value::parse(line.trim()).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(
+            v.get("code").and_then(Value::as_str),
+            Some("invalid_buffer_size"),
+            "size {bad_size} must be rejected with the typed code: {line}"
+        );
+    }
+    let after = service.stats();
+    assert_eq!(after.solves, before.solves);
+    assert_eq!(after.misses, before.misses);
+
     handle.shutdown();
 }

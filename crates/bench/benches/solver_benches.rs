@@ -87,12 +87,88 @@ fn bench_dual_and_degenerate(h: &mut Harness) {
     let se_opts = teccl_lp::SimplexOptions {
         pricing: teccl_lp::PricingRule::SteepestEdge,
         perturb_min_rows: usize::MAX,
+        perturb_seed: 0,
     };
     h.bench_function("lp/steepest_edge_phase2", || {
         let sol = teccl_lp::solve_standard_form_with_options(&gsf, gnv, &[], None, None, &se_opts)
             .unwrap();
         assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
     });
+}
+
+/// Intra-request multi-core rows: the wide-tree knapsack B&B at 1 vs 4
+/// threads (with the >=1.5x speedup gate armed only where 4 cores exist —
+/// elsewhere the skip is printed, never silent), and the 2-racer LP
+/// portfolio on the degenerate ALLTOALL against the solo solve it replaces.
+fn bench_parallel_solving(h: &mut Harness) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bnb = teccl_bench::parallel_bnb_fixture();
+    let solve_bnb = |threads: usize| {
+        let sol = bnb
+            .solve_with(&teccl_lp::MilpConfig {
+                threads,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        sol.objective
+    };
+    assert!(
+        (solve_bnb(1) - solve_bnb(4)).abs() < 1e-6,
+        "thread-count invariance broken on the bench instance"
+    );
+    let seq = h
+        .bench_function("lp/parallel_bnb_1thread", || {
+            solve_bnb(1);
+        })
+        .median_ns;
+    let par = h
+        .bench_function("lp/parallel_bnb_4threads", || {
+            solve_bnb(4);
+        })
+        .median_ns;
+    let speedup = seq / par;
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "parallel B&B speedup gate: {speedup:.2}x at 4 threads on {cores} cores (need >=1.5x)"
+        );
+        println!(
+            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads ({cores} cores) — gate passed"
+        );
+    } else {
+        println!(
+            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads — gate SKIPPED ({cores} core(s) available, need 4)"
+        );
+    }
+
+    let (gsf, gnv, _budget) = teccl_bench::degenerate_alltoall_fixture();
+    let solo = h
+        .bench_function("lp/portfolio_race_solo_baseline", || {
+            let sol = teccl_lp::solve_standard_form(&gsf, gnv).unwrap();
+            assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        })
+        .median_ns;
+    let race = h
+        .bench_function("lp/portfolio_race", || {
+            let sol = teccl_lp::race_lp(&gsf, gnv, &[], None, None, 2).unwrap();
+            assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        })
+        .median_ns;
+    if cores >= 2 {
+        assert!(
+            race <= solo * 1.25,
+            "portfolio race slower than solo: {:.2} ms vs {:.2} ms",
+            race / 1e6,
+            solo / 1e6
+        );
+    } else {
+        println!(
+            "lp/portfolio_race: {:.2} ms vs solo {:.2} ms — gate SKIPPED ({cores} core(s) available, need 2)",
+            race / 1e6,
+            solo / 1e6
+        );
+    }
 }
 
 /// The eta-accumulation → fill-triggered-refactorization cycle on the
@@ -239,6 +315,7 @@ fn main() {
     bench_astar_allgather(&mut h);
     bench_simplex_warm_vs_cold(&mut h);
     bench_dual_and_degenerate(&mut h);
+    bench_parallel_solving(&mut h);
     bench_lu_refactor(&mut h);
     bench_presolve_warm_rounds(&mut h);
     bench_service(&mut h);

@@ -73,6 +73,7 @@ fn main() {
     let se_opts = teccl_lp::SimplexOptions {
         pricing: teccl_lp::PricingRule::SteepestEdge,
         perturb_min_rows: usize::MAX,
+        perturb_seed: 0,
     };
     h.bench_function("lp/steepest_edge_phase2", || {
         let sol = teccl_lp::solve_standard_form_with_options(&gsf, gnv, &[], None, None, &se_opts)
@@ -91,6 +92,44 @@ fn main() {
             "degenerate ALLTOALL regressed: {} iterations (budget {budget})",
             sol.stats.simplex_iterations
         );
+    });
+
+    // Parallel branch-and-bound: the same wide-tree knapsack at 1 and 4
+    // threads. The speedup ratio is pushed into BENCH_lp.json as
+    // `lp/parallel_bnb_speedup`; the >=1.5x gate only arms on machines that
+    // can physically parallelize (4+ cores) — elsewhere the skip is printed,
+    // never silently swallowed.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bnb = teccl_bench::parallel_bnb_fixture();
+    let solve_bnb = |threads: usize| {
+        let sol = bnb
+            .solve_with(&teccl_lp::MilpConfig {
+                threads,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        sol.objective
+    };
+    let obj_1t = solve_bnb(1);
+    let obj_4t = solve_bnb(4);
+    assert!(
+        (obj_1t - obj_4t).abs() < 1e-6,
+        "thread-count invariance broken on the bench instance: {obj_1t} vs {obj_4t}"
+    );
+    h.bench_function("lp/parallel_bnb_1thread", || {
+        solve_bnb(1);
+    });
+    h.bench_function("lp/parallel_bnb_4threads", || {
+        solve_bnb(4);
+    });
+
+    // Portfolio race on the degenerate ALLTOALL: 2 racers (steepest-edge vs
+    // devex) against the solo default solve measured above. The
+    // never-slower-than-solo gate likewise needs 2+ cores to be meaningful.
+    h.bench_function("lp/portfolio_race", || {
+        let sol = teccl_lp::race_lp(&gsf, gnv, &[], None, None, 2).unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
     });
 
     // A* cross-round warm starts with presolve ON (the layout-preserving
@@ -242,12 +281,71 @@ fn main() {
         ));
     }
 
-    // Gate 1: the warm-rounds win must hold. `lp/presolve_warm_rounds` once
-    // regressed to slower-than-cold without anything failing; now the smoke
-    // aborts if the warm median ever exceeds the cold median again.
+    // Thread metadata + the B&B speedup ratio, so a reader of BENCH_lp.json
+    // can tell whether the parallel rows were measured on a machine where
+    // parallelism was physically possible.
     let median = |v: &teccl_util::json::Value, name: &str| -> Option<f64> {
         v.get(name).and_then(teccl_util::json::Value::as_f64)
     };
+    let bnb_1t = median(&json, "lp/parallel_bnb_1thread").expect("1-thread row measured");
+    let bnb_4t = median(&json, "lp/parallel_bnb_4threads").expect("4-thread row measured");
+    let speedup = bnb_1t / bnb_4t;
+    if let teccl_util::json::Value::Obj(pairs) = &mut json {
+        pairs.push((
+            "meta/threads_available".to_string(),
+            teccl_util::json::Value::from(cores),
+        ));
+        pairs.push((
+            "lp/parallel_bnb_speedup".to_string(),
+            teccl_util::json::Value::Num(speedup),
+        ));
+    }
+
+    // Gate: parallel B&B must actually pay for its coordination — >=1.5x at
+    // 4 threads — wherever 4 cores exist. On smaller machines no speedup is
+    // physically possible, so the gate is skipped *loudly*.
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "parallel B&B speedup gate: {speedup:.2}x at 4 threads on {cores} cores (need >=1.5x)"
+        );
+        println!(
+            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads ({cores} cores) — gate passed"
+        );
+    } else {
+        println!(
+            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads — gate SKIPPED ({cores} core(s) available, need 4)"
+        );
+    }
+
+    // Gate: the portfolio race must never lose to the solo default solve on
+    // the degenerate ALLTOALL (25% scheduler-noise allowance). Racing on one
+    // core just timeshares the racers, so this too needs real parallelism.
+    let race_ns = median(&json, "lp/portfolio_race").expect("race row measured");
+    let solo_ns = median(&json, "lp/degenerate_alltoall").expect("solo row measured");
+    if cores >= 2 {
+        assert!(
+            race_ns <= solo_ns * 1.25,
+            "portfolio race slower than solo steepest-edge: {:.2} ms vs {:.2} ms",
+            race_ns / 1e6,
+            solo_ns / 1e6
+        );
+        println!(
+            "lp/portfolio_race: {:.2} ms vs solo {:.2} ms ({cores} cores) — gate passed",
+            race_ns / 1e6,
+            solo_ns / 1e6
+        );
+    } else {
+        println!(
+            "lp/portfolio_race: {:.2} ms vs solo {:.2} ms — gate SKIPPED ({cores} core(s) available, need 2)",
+            race_ns / 1e6,
+            solo_ns / 1e6
+        );
+    }
+
+    // Gate 1: the warm-rounds win must hold. `lp/presolve_warm_rounds` once
+    // regressed to slower-than-cold without anything failing; now the smoke
+    // aborts if the warm median ever exceeds the cold median again.
     let warm_ns = median(&json, "lp/presolve_warm_rounds").expect("warm row measured");
     let cold_ns = median(&json, "lp/presolve_cold_rounds").expect("cold row measured");
     assert!(
@@ -268,6 +366,8 @@ fn main() {
         "lp/lu_refactor_fill",
         "lp/presolve_warm_rounds",
         "lp/presolve_cold_rounds",
+        "lp/parallel_bnb_1thread",
+        "lp/portfolio_race",
     ];
     if let Some(committed) = std::fs::read_to_string(path)
         .ok()

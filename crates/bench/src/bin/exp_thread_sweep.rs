@@ -1,0 +1,20 @@
+//! Thread sweep: solver wall-clock for the 8-GPU Table-4 scenarios and the
+//! wide-tree knapsack B&B at 1/2/4/8 intra-solve threads (EXPERIMENTS.md's
+//! "Intra-request thread sweep" table). The header prints the machine's
+//! available parallelism — on a single-core container the sweep records the
+//! knob's *safety* (identical answers, bounded overhead), not a speedup.
+
+use teccl_bench::{print_table, thread_sweep_rows};
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available parallelism: {cores} core(s)");
+    let threads = [1usize, 2, 4, 8];
+    let rows = thread_sweep_rows(&threads);
+    print_table(
+        "Intra-request thread sweep (solver seconds)",
+        &["case"],
+        &["t=1", "t=2", "t=4", "t=8"],
+        &rows,
+    );
+}

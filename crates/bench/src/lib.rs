@@ -391,6 +391,42 @@ pub fn degenerate_alltoall_fixture() -> (teccl_lp::StandardForm, usize, usize) {
     (sf, red.num_vars(), 25_000)
 }
 
+/// Fixture for the **parallel branch-and-bound** benches
+/// (`lp/parallel_bnb_1thread` / `lp/parallel_bnb_4threads`): a strongly
+/// correlated 0/1 knapsack with a cardinality side-constraint — the classic
+/// wide-tree shape where the LP bound is weak everywhere, so the open-node
+/// pool stays deep enough for extra workers to matter. Deterministic
+/// (seeded LCG); solves to `Optimal` with the same objective at every
+/// thread count (the invariance the `thread_invariance` suite checks on a
+/// random corpus, pinned here on the bench instance).
+pub fn parallel_bnb_fixture() -> teccl_lp::model::Model {
+    use teccl_lp::model::{ConstraintOp, Model, Sense};
+    let mut m = Model::new(Sense::Maximize);
+    let mut state = 0x5eed_c0de_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let n = 30usize;
+    let mut weights = Vec::with_capacity(n);
+    let mut vars = Vec::with_capacity(n);
+    for j in 0..n {
+        // Strongly correlated with a narrow weight band (subset-sum-like):
+        // the LP relaxation ranks every item almost identically, its bound
+        // is weak everywhere, and proving optimality needs deep branching.
+        let w = 100.0 + (next() % 900) as f64;
+        let p = w + 50.0;
+        vars.push(m.add_binary_var(format!("x{j}"), p));
+        weights.push(w);
+    }
+    let total: f64 = weights.iter().sum();
+    let cap_terms: Vec<_> = vars.iter().copied().zip(weights.iter().copied()).collect();
+    m.add_cons("cap", &cap_terms, ConstraintOp::Le, (total / 2.0).floor());
+    m
+}
+
 /// Fixture for the **LU refactorization** bench (`lp/lu_refactor_fill`):
 /// the optimal basis of the degenerate ALLTOALL instance as sparse columns,
 /// ready for [`teccl_lp::LuFactors::factorize`]. Returns `(num_rows,
@@ -485,6 +521,7 @@ pub fn degraded_fallback_fixture() -> (teccl_service::ScheduleService, teccl_ser
         disk_dir: None,
         background_upgrade: false,
         fault_plan: Some(String::new()),
+        core_budget: None,
     })
     .expect("service starts");
     let req = teccl_service::SolveRequest::new(
@@ -823,6 +860,76 @@ pub fn table4_rows() -> Vec<Row> {
             });
         }
     }
+    rows
+}
+
+/// Thread sweep (EXPERIMENTS.md): solver wall-clock for the 8-GPU Table-4
+/// scenarios plus the wide-tree knapsack B&B fixture, at each thread count
+/// in `threads`. One row per case; one `solver_s` column per thread count.
+/// The 16-GPU ALLTOALL row is deliberately absent: at ~375 s per solve a
+/// 4-config sweep is a CI-hostile 25 minutes, and its parallel behaviour
+/// (the LP portfolio race) is already covered by the 8-GPU ALLTOALL rows.
+pub fn thread_sweep_rows(threads: &[usize]) -> Vec<Row> {
+    let cases: Vec<(String, Topology, CollectiveKind, Method)> = vec![
+        (
+            "Internal1 AG (A*)".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllGather,
+            Method::AStar,
+        ),
+        (
+            "Internal1 AtoA (LP)".into(),
+            teccl_topology::internal1(2),
+            CollectiveKind::AllToAll,
+            Method::Lp,
+        ),
+        (
+            "Internal2 AG (A*)".into(),
+            teccl_topology::internal2(4),
+            CollectiveKind::AllGather,
+            Method::AStar,
+        ),
+        (
+            "Internal2 AtoA (LP)".into(),
+            teccl_topology::internal2(4),
+            CollectiveKind::AllToAll,
+            Method::Lp,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, topo, kind, method) in cases {
+        let scenario = Scenario::collective(name.clone(), topo, kind, 1, 16.0 * 1024.0 * 1024.0);
+        let mut values = Vec::new();
+        for &t in threads {
+            let mut config = quick_config();
+            config.threads = t;
+            let secs = run_teccl(&scenario, &config, method).map_or(f64::NAN, |o| o.solver_time);
+            values.push(secs);
+        }
+        rows.push(Row {
+            labels: vec![name],
+            values,
+        });
+    }
+    // The knapsack B&B fixture: the one case whose tree is wide enough for
+    // the shared open-node pool to matter.
+    let bnb = parallel_bnb_fixture();
+    let mut values = Vec::new();
+    for &t in threads {
+        let t0 = std::time::Instant::now();
+        let sol = bnb
+            .solve_with(&teccl_lp::MilpConfig {
+                threads: t,
+                ..Default::default()
+            })
+            .expect("knapsack fixture solves");
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        values.push(t0.elapsed().as_secs_f64());
+    }
+    rows.push(Row {
+        labels: vec!["Knapsack B&B (MILP)".into()],
+        values,
+    });
     rows
 }
 

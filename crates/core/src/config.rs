@@ -101,6 +101,15 @@ pub struct SolverConfig {
     /// cross-round reuse to amortize the full-commodity build — disable it
     /// there if the difference matters.
     pub astar_warm_rounds: bool,
+    /// Worker threads a single solve may use: branch-and-bound explores the
+    /// tree from a shared open-node pool with this many workers, and large
+    /// pure-LP solves race that many (capped at 4) pricing/perturbation
+    /// configurations, first certified result wins. `1` (the default) is the
+    /// sequential solver. The *answer* is thread-count invariant; only
+    /// latency and exploration order change, which is why the schedule cache
+    /// key deliberately excludes this knob (see `teccl-service`). Like the
+    /// budget, this is a *how* knob, not a *what* knob.
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -119,6 +128,7 @@ impl Default for SolverConfig {
             chunk_priorities: None,
             warm_start: true,
             astar_warm_rounds: true,
+            threads: 1,
         }
     }
 }
@@ -168,6 +178,12 @@ impl SolverConfig {
     /// Sets the per-solve time limit.
     pub fn with_time_limit(mut self, d: Duration) -> Self {
         self.time_limit = Some(d);
+        self
+    }
+
+    /// Sets the intra-solve thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 

@@ -69,6 +69,37 @@ fn lock_discipline_passes_zero_arg_wait_and_sync_rs() {
     assert!(errors(&o, "lock-discipline").is_empty(), "{:?}", o.errors);
 }
 
+#[test]
+fn lock_discipline_fires_in_lp_outside_par_rs() {
+    let o = analyze_snippets(&[(
+        "crates/lp/src/milp.rs",
+        r##"
+fn steal(&self) -> Node {
+    let mut pool = self.pool.lock();
+    pool.pop()
+}
+"##,
+    )]);
+    let f = errors(&o, "lock-discipline");
+    assert_eq!(f.len(), 1, "{:?}", o.errors);
+    assert!(
+        f[0].message.contains("par.rs"),
+        "lp findings must point at the lp remedy: {:?}",
+        f[0].message
+    );
+}
+
+#[test]
+fn lock_discipline_passes_par_rs() {
+    // par.rs is the lp crate's designated locking module, exactly as sync.rs
+    // is the service's.
+    let o = analyze_snippets(&[(
+        "crates/lp/src/par.rs",
+        "fn raw(m: &M) -> G { m.lock().unwrap_or_else(|p| p.into_inner()) }\n",
+    )]);
+    assert!(errors(&o, "lock-discipline").is_empty(), "{:?}", o.errors);
+}
+
 // ---------------------------------------------------------------- lock-order
 
 #[test]
@@ -278,6 +309,28 @@ fn renumber(&mut self) {
     let f = errors(&o, "budget-coverage");
     assert_eq!(f.len(), 1, "{:?}", o.errors);
     assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn budget_coverage_covers_the_parallel_pool_wait_loop() {
+    // par.rs is a designated hot file: a worker parked on the shared node
+    // pool must still observe the budget each wakeup, or a cancelled solve
+    // would wait out its full deadline.
+    let o = analyze_snippets(&[(
+        "crates/lp/src/par.rs",
+        r##"
+fn pop(&self) -> Option<Node> {
+    let mut st = self.lock_state();
+    loop {
+        if let Some(n) = st.heap_pop() { return Some(n); }
+        st = self.park(st);
+    }
+}
+"##,
+    )]);
+    let f = errors(&o, "budget-coverage");
+    assert_eq!(f.len(), 1, "{:?}", o.errors);
+    assert_eq!(f[0].line, 4);
 }
 
 #[test]

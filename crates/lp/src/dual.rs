@@ -164,17 +164,21 @@ pub(crate) fn dual_simplex(
     let mut last_total_infeas = f64::INFINITY;
     let mut local_iters = 0usize;
 
+    // Batched budget accounting, same rationale as the primal loop: local
+    // tally flushed every 64 pivots so parallel workers stop contending on
+    // the shared counter; the cancel flag is still read every pivot.
+    let mut charge_batch = teccl_util::ChargeBatcher::new(budget);
+
     loop {
         if local_iters > max_iters {
+            let _ = charge_batch.flush();
             return Err(LpError::IterationLimit(max_iters));
         }
         // Cooperative cancellation, one check per dual pivot (mirrors the
         // primal loop). The basis is not primal feasible mid-dual, so the
         // caller surfaces this as a hard stop, not an incumbent.
-        if let Some(b) = budget {
-            if let Err(cause) = b.charge(1) {
-                return Err(LpError::Budget(cause));
-            }
+        if let Err(cause) = charge_batch.charge() {
+            return Err(LpError::Budget(cause));
         }
 
         if local_iters > 0
@@ -213,6 +217,7 @@ pub(crate) fn dual_simplex(
             }
         }
         let Some((r, violation, _)) = leave else {
+            let _ = charge_batch.flush();
             return Ok(DualOutcome::Optimal); // primal feasible
         };
 
@@ -343,6 +348,7 @@ pub(crate) fn dual_simplex(
                     // is numerically untrustworthy — hand the decision to a
                     // cold phase-1 solve instead of risking a false
                     // Infeasible (which would wrongly prune a B&B child).
+                    let _ = charge_batch.flush();
                     if slope <= tiny_capacity {
                         return Err(LpError::Numerical(
                             "dual infeasibility certificate below pivot tolerance".into(),

@@ -1,0 +1,699 @@
+//! Shared-state primitives for intra-request parallel solving.
+//!
+//! Everything multi-threaded in this crate lives here: the branch-and-bound
+//! worker pool's open-node heap, the shared incumbent cell, the first-result
+//! cell, and the LP portfolio race. This file is the **only** place in
+//! `teccl-lp` allowed to touch raw `Mutex`/`Condvar` primitives (the
+//! `lock-discipline` lint enforces the confinement), so the rest of the
+//! solver stays obviously single-threaded and the whole concurrency story is
+//! auditable in one screenful.
+//!
+//! ## Parallel branch-and-bound ([`NodePool`])
+//!
+//! The pool is a mutex-protected best-first heap of open nodes plus the set
+//! of *in-flight* node scores (nodes popped but not yet [`NodePool::finish`]ed).
+//! Termination is the classic two-condition rule: a worker stops when the
+//! pool reports a [`PoolStop`] cause, and the search is *drained* when the
+//! heap is empty **and** no node is in flight — an in-flight node may still
+//! push children, so an empty heap alone proves nothing. Because every child
+//! bound is no better than its parent's, the maximum over heap scores and
+//! in-flight scores is a valid global dual bound at every instant
+//! ([`NodePool::global_bound`]).
+//!
+//! ## Shared incumbent ([`SharedBest`])
+//!
+//! Workers prune against the global best incumbent. The score rides in an
+//! `AtomicU64` (f64 bits) so the hot prune check is one relaxed load; the
+//! payload sits behind a mutex that is only taken when the atomic says the
+//! offer might win. Scores are *normalized* (higher is better, i.e. the
+//! caller negates minimization objectives) so `f64::NEG_INFINITY` is the
+//! universal "no incumbent yet".
+//!
+//! ## LP portfolio racing ([`race_lp`])
+//!
+//! The monolithic pure-LP path (the paper's hardest 16-GPU ALLTOALL shape)
+//! has no tree to parallelize, but simplex run time on degenerate LPs is
+//! highly configuration-sensitive. [`race_lp`] runs 2–4 configurations of
+//! the same LP concurrently — steepest-edge (the production default), devex,
+//! a re-seeded perturbation, and perturbation-off — each under a
+//! [`SolveBudget::child`] budget; the first racer to return a *certified*
+//! outcome (optimal/infeasible/unbounded, not a budget-stopped vertex) wins
+//! and cancels the rest through the child cancel flags, leaving the caller's
+//! own budget untouched. If nobody certifies (deadline hit), racer 0 — the
+//! solo production configuration — is the answer, so racing never changes
+//! *what* is returned, only (sometimes) how fast.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::basis::SimplexBasis;
+use crate::error::LpError;
+use crate::simplex::{self, PricingRule, SimplexOptions};
+use crate::solution::Solution;
+use crate::standard::StandardForm;
+use teccl_util::{BudgetExceeded, SolveBudget};
+
+/// Minimum standard-form row count before the pure-LP portfolio race engages.
+/// Below this the LP solves in milliseconds and thread spawn + duplicated
+/// work can only lose; above it the variance between pricing rules on
+/// degenerate LPs is large enough that racing pays for itself.
+pub const RACE_MIN_ROWS: usize = 200;
+
+/// How long a pool waiter sleeps before re-checking the budget and the
+/// drain condition (a backstop — pushes and stops wake waiters eagerly).
+const WAIT_SLICE: Duration = Duration::from_millis(20);
+
+/// Locks a mutex, clearing poison left by a panicked holder. The structures
+/// in this module hold no multi-step invariants across panics (heap and
+/// in-flight bookkeeping are updated atomically under one lock scope), so
+/// recovering is always safe.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Why a [`NodePool`] stopped handing out nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolStop {
+    /// The incumbent/bound gap reached the configured tolerance.
+    GapReached,
+    /// A node or time limit tripped.
+    Limit,
+    /// The cooperative [`SolveBudget`] was exhausted.
+    Budget(BudgetExceeded),
+    /// A worker hit a hard solver error (recorded separately by the caller).
+    Error,
+}
+
+/// A node handed out by [`NodePool::pop`]: the caller must pass the same
+/// `score` back to [`NodePool::finish`] once the node's children (if any)
+/// have been pushed.
+#[derive(Debug)]
+pub struct ScoredNode<T> {
+    /// Normalized bound score (higher is better).
+    pub score: f64,
+    /// Monotone pop sequence number (diagnostic only).
+    pub seq: u64,
+    /// The caller's node payload.
+    pub item: T,
+}
+
+/// Result of a [`NodePool::pop`].
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// A node to process; pair with [`NodePool::finish`].
+    Node(ScoredNode<T>),
+    /// Heap empty and nothing in flight: the search space is exhausted.
+    Drained,
+    /// The pool was stopped; the cause is sticky and first-wins.
+    Stopped(PoolStop),
+}
+
+struct PoolEntry<T> {
+    score: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for PoolEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl<T> Eq for PoolEntry<T> {}
+impl<T> PartialOrd for PoolEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for PoolEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Best score first; ties broken by lower sequence number (older
+        // node), matching the sequential heap's deterministic tie-break.
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct PoolState<T> {
+    heap: BinaryHeap<PoolEntry<T>>,
+    /// Scores (f64 bits) of nodes popped but not yet finished. Needed both
+    /// for the drain condition and for the global bound.
+    in_flight: Vec<u64>,
+    /// Nodes handed out so far (the node-limit accounting).
+    popped: usize,
+    /// Sticky stop cause; the first writer wins.
+    stop: Option<PoolStop>,
+    next_seq: u64,
+}
+
+/// The shared best-first open-node pool for parallel branch-and-bound.
+pub struct NodePool<T> {
+    state: Mutex<PoolState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for NodePool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> NodePool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        NodePool {
+            state: Mutex::new(PoolState {
+                heap: BinaryHeap::new(),
+                in_flight: Vec::new(),
+                popped: 0,
+                stop: None,
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Pushes an open node with its normalized bound score and wakes one
+    /// waiter.
+    pub fn push(&self, score: f64, item: T) {
+        let mut st = lock_unpoisoned(&self.state);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(PoolEntry { score, seq, item });
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Pops the best open node, blocking while siblings are in flight (they
+    /// may still push children). Returns [`Popped::Drained`] when the search
+    /// space is exhausted and [`Popped::Stopped`] when a stop cause is (or
+    /// becomes) set — including the `node_limit` and the budget, both of
+    /// which this method checks itself.
+    pub fn pop(&self, node_limit: usize, budget: Option<&SolveBudget>) -> Popped<T> {
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(cause) = st.stop {
+                return Popped::Stopped(cause);
+            }
+            // Cooperative budget check once per wakeup: a deadline or cancel
+            // stops every worker within one WAIT_SLICE even if no pivots are
+            // running anywhere.
+            if let Some(b) = budget {
+                if let Some(cause) = b.exceeded() {
+                    st.stop = Some(PoolStop::Budget(cause));
+                    self.cv.notify_all();
+                    return Popped::Stopped(PoolStop::Budget(cause));
+                }
+            }
+            if st.popped >= node_limit {
+                st.stop = Some(PoolStop::Limit);
+                self.cv.notify_all();
+                return Popped::Stopped(PoolStop::Limit);
+            }
+            if let Some(entry) = st.heap.pop() {
+                st.popped += 1;
+                st.in_flight.push(entry.score.to_bits());
+                return Popped::Node(ScoredNode {
+                    score: entry.score,
+                    seq: entry.seq,
+                    item: entry.item,
+                });
+            }
+            if st.in_flight.is_empty() {
+                // Fully drained; wake the other sleepers so they observe it.
+                self.cv.notify_all();
+                return Popped::Drained;
+            }
+            st = match self.cv.wait_timeout(st, WAIT_SLICE) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Marks a popped node as fully processed (its children, if any, are
+    /// already pushed). Must be called exactly once per [`Popped::Node`],
+    /// with the score the pop returned.
+    pub fn finish(&self, score: f64) {
+        let mut st = lock_unpoisoned(&self.state);
+        let bits = score.to_bits();
+        if let Some(pos) = st.in_flight.iter().position(|&b| b == bits) {
+            st.in_flight.swap_remove(pos);
+        }
+        let drained = st.heap.is_empty() && st.in_flight.is_empty();
+        drop(st);
+        if drained {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Sets the stop cause (first caller wins) and wakes every waiter.
+    pub fn stop(&self, cause: PoolStop) {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.stop.is_none() {
+            st.stop = Some(cause);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The sticky stop cause, if any worker set one.
+    pub fn stop_cause(&self) -> Option<PoolStop> {
+        lock_unpoisoned(&self.state).stop
+    }
+
+    /// Number of nodes handed out so far.
+    pub fn popped(&self) -> usize {
+        lock_unpoisoned(&self.state).popped
+    }
+
+    /// The global dual bound: the best score over open and in-flight nodes
+    /// (every child's bound is no better than its parent's, so this is a
+    /// valid bound on anything the search can still find). `None` when the
+    /// pool is drained.
+    pub fn global_bound(&self) -> Option<f64> {
+        let st = lock_unpoisoned(&self.state);
+        let mut best: Option<f64> = st.heap.peek().map(|e| e.score);
+        for &bits in &st.in_flight {
+            let s = f64::from_bits(bits);
+            if best.is_none_or(|b| s > b) {
+                best = Some(s);
+            }
+        }
+        best
+    }
+}
+
+/// The margin by which an offer must beat the current best to replace it;
+/// mirrors the sequential solver's `better()` tie tolerance so parallel and
+/// sequential runs accept the same incumbents.
+const BEST_MARGIN: f64 = 1e-9;
+
+/// A shared incumbent cell: a lock-free score fast path over a mutexed
+/// payload. Scores are normalized (higher is better).
+pub struct SharedBest<T> {
+    score_bits: AtomicU64,
+    slot: Mutex<Option<T>>,
+}
+
+impl<T> Default for SharedBest<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedBest<T> {
+    /// An empty cell (score `NEG_INFINITY`).
+    pub fn new() -> Self {
+        SharedBest {
+            score_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// The current best score — one relaxed load, safe to call from the hot
+    /// prune path. `NEG_INFINITY` means no incumbent yet.
+    pub fn score(&self) -> f64 {
+        f64::from_bits(self.score_bits.load(Ordering::Relaxed))
+    }
+
+    /// Installs `item` if its score strictly beats the current best (by
+    /// [`BEST_MARGIN`]). The atomic pre-check rejects losers without taking
+    /// the lock; the predicate is re-checked under the lock, and the score
+    /// store also happens under the lock, so the atomic can never advertise
+    /// a score whose payload was beaten to the slot.
+    pub fn offer(&self, score: f64, item: T) -> bool {
+        // `partial_cmp` so a NaN score is rejected, never installed.
+        let beats = |best: f64| {
+            score.partial_cmp(&(best + BEST_MARGIN)) == Some(std::cmp::Ordering::Greater)
+        };
+        if !beats(self.score()) {
+            return false;
+        }
+        let mut slot = lock_unpoisoned(&self.slot);
+        if !beats(f64::from_bits(self.score_bits.load(Ordering::Relaxed))) {
+            return false;
+        }
+        self.score_bits.store(score.to_bits(), Ordering::Relaxed);
+        *slot = Some(item);
+        true
+    }
+
+    /// Consumes the cell, returning the best payload.
+    pub fn take(self) -> Option<T> {
+        match self.slot.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A write-once cell: the first [`FirstWin::set_if_empty`] wins, later calls
+/// are ignored. Used for "first racer to certify" and "first hard error".
+pub struct FirstWin<T> {
+    slot: Mutex<Option<T>>,
+}
+
+impl<T> Default for FirstWin<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FirstWin<T> {
+    /// An empty cell.
+    pub fn new() -> Self {
+        FirstWin {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Stores `item` if the cell is still empty; returns whether this call
+    /// won.
+    pub fn set_if_empty(&self, item: T) -> bool {
+        let mut slot = lock_unpoisoned(&self.slot);
+        if slot.is_none() {
+            *slot = Some(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the cell.
+    pub fn take(self) -> Option<T> {
+        match self.slot.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The racing portfolio, best-known-first: racer 0 is the production solo
+/// configuration (steepest-edge, default perturbation), so the no-winner
+/// fallback returns exactly what a solo solve would have.
+fn portfolio(threads: usize) -> Vec<SimplexOptions> {
+    let all = [
+        SimplexOptions::default(),
+        SimplexOptions {
+            pricing: PricingRule::Devex,
+            ..SimplexOptions::default()
+        },
+        SimplexOptions {
+            perturb_seed: 0x7ec_c1ba5e,
+            ..SimplexOptions::default()
+        },
+        SimplexOptions {
+            perturb_min_rows: usize::MAX,
+            ..SimplexOptions::default()
+        },
+    ];
+    let n = threads.clamp(2, all.len());
+    all[..n].to_vec()
+}
+
+/// Races 2–4 simplex configurations on the same standard form; the first to
+/// return a certified outcome (not budget-stopped) wins and cancels the rest
+/// via per-racer [`SolveBudget::child`] budgets. With no certified winner
+/// (e.g. the shared deadline tripped everyone), racer 0's result — the solo
+/// production configuration — is returned, so racing can change latency but
+/// never the answer a caller observes on failure paths.
+///
+/// Callers should skip the race (and solve solo) when the budget carries an
+/// iteration cap: racers charge the same shared counter, so duplicated work
+/// would trip the cap early. [`crate::model::Model::solve_with`] does this
+/// automatically.
+pub fn race_lp(
+    sf: &StandardForm,
+    num_model_vars: usize,
+    overrides: &[(usize, f64, f64)],
+    warm: Option<&SimplexBasis>,
+    budget: Option<&SolveBudget>,
+    threads: usize,
+) -> Result<Solution, LpError> {
+    let parent = budget.cloned().unwrap_or_default();
+    let configs = portfolio(threads);
+    let children: Vec<SolveBudget> = configs.iter().map(|_| parent.child()).collect();
+    let win_idx: FirstWin<usize> = FirstWin::new();
+
+    let mut outcomes: Vec<Result<Solution, LpError>> = std::thread::scope(|s| {
+        let children = &children;
+        let win_idx = &win_idx;
+        let handles: Vec<_> = configs
+            .iter()
+            .zip(children.iter())
+            .enumerate()
+            .map(|(i, (opts, child))| {
+                s.spawn(move || {
+                    let r = simplex::solve_standard_form_with_options(
+                        sf,
+                        num_model_vars,
+                        overrides,
+                        warm,
+                        Some(child),
+                        opts,
+                    );
+                    if let Ok(sol) = &r {
+                        if sol.stats.budget_stop.is_none() && win_idx.set_if_empty(i) {
+                            for (k, c) in children.iter().enumerate() {
+                                if k != i {
+                                    c.cancel();
+                                }
+                            }
+                        }
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+
+    match win_idx.take() {
+        Some(i) => outcomes.swap_remove(i),
+        None => outcomes.swap_remove(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model, Sense};
+    use crate::presolve;
+    use crate::solution::SolveStatus;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_hands_out_best_first_and_drains() {
+        let pool: NodePool<&'static str> = NodePool::new();
+        pool.push(1.0, "low");
+        pool.push(3.0, "high");
+        pool.push(2.0, "mid");
+        let a = match pool.pop(usize::MAX, None) {
+            Popped::Node(n) => n,
+            other => panic!("expected node, got {other:?}"),
+        };
+        assert_eq!(a.item, "high");
+        assert_eq!(pool.global_bound(), Some(3.0), "in-flight counts");
+        pool.finish(a.score);
+        assert_eq!(pool.global_bound(), Some(2.0));
+        for expect in ["mid", "low"] {
+            match pool.pop(usize::MAX, None) {
+                Popped::Node(n) => {
+                    assert_eq!(n.item, expect);
+                    pool.finish(n.score);
+                }
+                other => panic!("expected {expect}, got {other:?}"),
+            }
+        }
+        assert!(matches!(pool.pop(usize::MAX, None), Popped::Drained));
+        assert_eq!(pool.popped(), 3);
+        assert_eq!(pool.global_bound(), None);
+    }
+
+    #[test]
+    fn pool_node_limit_and_stop_are_sticky() {
+        let pool: NodePool<u32> = NodePool::new();
+        pool.push(1.0, 7);
+        pool.push(0.5, 8);
+        match pool.pop(1, None) {
+            Popped::Node(n) => pool.finish(n.score),
+            other => panic!("first pop must succeed, got {other:?}"),
+        }
+        assert!(matches!(
+            pool.pop(1, None),
+            Popped::Stopped(PoolStop::Limit)
+        ));
+        // A later stop cause does not overwrite the first.
+        pool.stop(PoolStop::GapReached);
+        assert_eq!(pool.stop_cause(), Some(PoolStop::Limit));
+        assert!(matches!(
+            pool.pop(usize::MAX, None),
+            Popped::Stopped(PoolStop::Limit)
+        ));
+    }
+
+    #[test]
+    fn pool_budget_cancel_stops_waiters() {
+        let budget = SolveBudget::unlimited();
+        budget.cancel();
+        let pool: NodePool<u32> = NodePool::new();
+        pool.push(1.0, 1);
+        assert!(matches!(
+            pool.pop(usize::MAX, Some(&budget)),
+            Popped::Stopped(PoolStop::Budget(BudgetExceeded::Cancelled))
+        ));
+    }
+
+    #[test]
+    fn pool_waiter_wakes_on_sibling_push() {
+        let pool: NodePool<u32> = NodePool::new();
+        pool.push(2.0, 1);
+        let first = match pool.pop(usize::MAX, None) {
+            Popped::Node(n) => n,
+            other => panic!("expected node, got {other:?}"),
+        };
+        // A second consumer blocks (heap empty, one node in flight), then
+        // receives the child the first consumer pushes.
+        std::thread::scope(|s| {
+            let pool = &pool;
+            let waiter = s.spawn(move || match pool.pop(usize::MAX, None) {
+                Popped::Node(n) => {
+                    pool.finish(n.score);
+                    n.item
+                }
+                other => panic!("expected child node, got {other:?}"),
+            });
+            std::thread::sleep(Duration::from_millis(5));
+            pool.push(1.5, 42);
+            pool.finish(first.score);
+            assert_eq!(waiter.join().unwrap(), 42);
+        });
+        assert!(matches!(pool.pop(usize::MAX, None), Popped::Drained));
+    }
+
+    #[test]
+    fn shared_best_keeps_the_strictly_better_offer() {
+        let best: SharedBest<&'static str> = SharedBest::new();
+        assert_eq!(best.score(), f64::NEG_INFINITY);
+        assert!(best.offer(1.0, "one"));
+        assert!(!best.offer(1.0, "tie rejected"));
+        assert!(!best.offer(1.0 + BEST_MARGIN / 2.0, "within margin rejected"));
+        assert!(best.offer(2.0, "two"));
+        assert_eq!(best.score(), 2.0);
+        assert_eq!(best.take(), Some("two"));
+    }
+
+    #[test]
+    fn shared_best_concurrent_offers_keep_max() {
+        let best: SharedBest<usize> = SharedBest::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let best = &best;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        let v = t * 100 + k;
+                        best.offer(v as f64, v);
+                    }
+                });
+            }
+        });
+        assert_eq!(best.score(), 399.0);
+        assert_eq!(best.take(), Some(399));
+    }
+
+    #[test]
+    fn first_win_is_write_once() {
+        let cell: FirstWin<u32> = FirstWin::new();
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let cell = &cell;
+                let wins = &wins;
+                s.spawn(move || {
+                    if cell.set_if_empty(t) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert!(cell.take().is_some());
+    }
+
+    /// A transport-style LP (continuous, degenerate enough to have ties) for
+    /// exercising the race end to end.
+    fn transport_lp(n: usize) -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let mut xs = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let c = 1.0 + ((i * 7 + j * 3) % 5) as f64;
+                xs.push(m.add_var(format!("x{i}_{j}"), 0.0, f64::INFINITY, c, false));
+            }
+        }
+        for i in 0..n {
+            let row: Vec<_> = (0..n).map(|j| (xs[i * n + j], 1.0)).collect();
+            m.add_cons(format!("s{i}"), &row, ConstraintOp::Eq, 3.0);
+        }
+        for j in 0..n {
+            let col: Vec<_> = (0..n).map(|i| (xs[i * n + j], 1.0)).collect();
+            m.add_cons(format!("d{j}"), &col, ConstraintOp::Eq, 3.0);
+        }
+        m
+    }
+
+    #[test]
+    fn race_matches_solo_objective() {
+        let m = transport_lp(8);
+        let (red, post) = presolve::presolve(&m).unwrap();
+        let mut sf = StandardForm::from_model(&red);
+        post.relax_free_rows(&mut sf);
+        let solo = simplex::solve_standard_form_budgeted(&sf, red.num_vars(), &[], None, None)
+            .expect("solo solve");
+        for threads in [2, 3, 4, 9] {
+            let raced =
+                race_lp(&sf, red.num_vars(), &[], None, None, threads).expect("raced solve");
+            assert_eq!(raced.status, SolveStatus::Optimal);
+            assert!(
+                (raced.objective - solo.objective).abs() <= 1e-6,
+                "threads={threads}: raced {} vs solo {}",
+                raced.objective,
+                solo.objective
+            );
+        }
+    }
+
+    #[test]
+    fn race_without_winner_returns_racer_zero_outcome() {
+        // A parent budget cancelled before the race starts: every racer is
+        // cancelled, nobody certifies, and racer 0's budget error surfaces.
+        let m = transport_lp(6);
+        let (red, post) = presolve::presolve(&m).unwrap();
+        let mut sf = StandardForm::from_model(&red);
+        post.relax_free_rows(&mut sf);
+        let parent = SolveBudget::unlimited();
+        parent.cancel();
+        let r = race_lp(&sf, red.num_vars(), &[], None, Some(&parent), 4);
+        assert!(
+            matches!(r, Err(LpError::Budget(BudgetExceeded::Cancelled))),
+            "expected cancelled budget error, got {r:?}"
+        );
+    }
+}

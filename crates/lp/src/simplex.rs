@@ -56,7 +56,7 @@ use crate::model::Model;
 use crate::solution::{Solution, SolveStats, SolveStatus};
 use crate::sparse::SparseVec;
 use crate::standard::StandardForm;
-use teccl_util::budget::{BudgetExceeded, SolveBudget};
+use teccl_util::budget::{BudgetExceeded, ChargeBatcher, SolveBudget};
 
 /// Outcome of a single simplex phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +98,13 @@ pub struct SimplexOptions {
     /// so perturbing them would only add a second (pointless) pass;
     /// `usize::MAX` disables the pre-pass entirely.
     pub perturb_min_rows: usize,
+    /// Seed mixed into the deterministic perturbation pattern of the phase-2
+    /// pre-pass. `0` reproduces the historical pattern exactly; the LP
+    /// portfolio race gives each racer a different seed so they walk
+    /// different tie-breaking paths across the same degenerate plateau.
+    /// Correctness never rests on the perturbation (the true-cost pass
+    /// certifies), so any seed yields the same certified optimum.
+    pub perturb_seed: u64,
 }
 
 impl Default for SimplexOptions {
@@ -105,6 +112,7 @@ impl Default for SimplexOptions {
         SimplexOptions {
             pricing: PricingRule::SteepestEdge,
             perturb_min_rows: 64,
+            perturb_seed: 0,
         }
     }
 }
@@ -740,7 +748,8 @@ fn finish_phase2(
     if perturb && m > opts.perturb_min_rows {
         let mut pcost = phase2_cost.clone();
         for (j, c) in pcost.iter_mut().enumerate().take(n) {
-            let h = (j as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            // XOR keeps seed 0 byte-identical to the historical pattern.
+            let h = ((j as u64) ^ opts.perturb_seed).wrapping_mul(0x9e3779b97f4a7c15);
             let r = 1.0 + (h >> 40) as f64 / (1u64 << 24) as f64;
             *c += 1e-7 * r * (1.0 + c.abs());
         }
@@ -1123,6 +1132,14 @@ fn run_phase(
     let (mut t_refresh, mut t_scan, mut t_ftran, mut t_ratio, mut t_btran, mut t_upd, mut t_eta) =
         (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
 
+    // Batched budget accounting: the shared counter's `fetch_add` would
+    // serialize every parallel worker's pivot loop on one cache line, so
+    // pivots are tallied locally and flushed every 64 (early when the
+    // iteration cap is near). The batcher still loads the cancel flag on
+    // every pivot — cancellation latency is unchanged; only deadline trips
+    // coarsen to the flush granularity.
+    let mut charge_batch = ChargeBatcher::new(budget);
+
     loop {
         if local_iters > max_iters {
             if trace {
@@ -1135,14 +1152,13 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
 ftran={t_ftran:.2}s ratio={t_ratio:.2}s btran={t_btran:.2}s upd={t_upd:.2}s eta={t_eta:.2}s"
                 );
             }
+            let _ = charge_batch.flush();
             return Err(LpError::IterationLimit(max_iters));
         }
         // Cooperative cancellation: one check per pivot, so a cancel or an
         // expired deadline interrupts the solve within a single iteration.
-        if let Some(b) = budget {
-            if let Err(cause) = b.charge(1) {
-                return Err(LpError::Budget(cause));
-            }
+        if let Err(cause) = charge_batch.charge() {
+            return Err(LpError::Budget(cause));
         }
         local_iters += 1;
         state.iterations += 1;
@@ -1226,6 +1242,7 @@ flips={flip_iters} degen={degen_iters} m={m} ncols={ncols}"
 ftran={t_ftran:.2}s ratio={t_ratio:.2}s btran={t_btran:.2}s upd={t_upd:.2}s eta={t_eta:.2}s"
                     );
                 }
+                let _ = charge_batch.flush();
                 return Ok(PhaseOutcome::Optimal);
             }
             Some(e) => e,
@@ -1315,6 +1332,7 @@ ftran={t_ftran:.2}s ratio={t_ratio:.2}s btran={t_btran:.2}s upd={t_upd:.2}s eta=
             }
             None => {
                 if !own_range.is_finite() {
+                    let _ = charge_batch.flush();
                     return Ok(PhaseOutcome::Unbounded);
                 }
                 (own_range, None)

@@ -58,15 +58,18 @@ fn print_help() {
          solve  --topology SPEC --collective KIND --buffer SIZE\n         \
          [--chunks N] [--method auto|milp|lp|astar] [--addr H:P]\n         \
          [--max-epochs K] [--early-stop GAP] [--time-limit-s S]\n         \
-         [--deadline-ms D]\n  \
-         batch  --file requests.jsonl [--repeat N] [--deadline-ms D] [--addr H:P]\n  \
+         [--deadline-ms D] [--threads N]\n  \
+         batch  --file requests.jsonl [--repeat N] [--deadline-ms D]\n         \
+         [--threads N] [--addr H:P]\n  \
          stats  [--addr H:P]\n  \
          evict  [--addr H:P]\n\n\
          SPEC is a builtin name (dgx1, ndv2x2, internal1x2, …) or @FILE.json;\n\
          SIZE accepts 16M / 64K / 1G suffixes.\n\
          --deadline-ms asks the server for its best answer within D ms; the\n\
          reply's quality tag (exact/incumbent/stale/baseline) says what it\n\
-         had to settle for."
+         had to settle for.\n\
+         --threads asks the server to solve with up to N worker threads\n\
+         (granted subject to its --core-budget; the answer is unchanged)."
     );
 }
 
@@ -228,6 +231,7 @@ fn cmd_solve(args: &[String]) {
             "--deadline-ms" => {
                 deadline = Some(Duration::from_millis(parse_num(value, "--deadline-ms")))
             }
+            "--threads" => config.threads = parse_threads(value),
             other => die(&format!("unknown flag `{other}` for solve")),
         }
     }
@@ -270,6 +274,7 @@ fn cmd_batch(args: &[String]) {
     let mut file = None;
     let mut repeat = 1usize;
     let mut deadline = None;
+    let mut threads = None;
     for (flag, value) in &rest {
         match flag.as_str() {
             "--file" => file = Some(value.clone()),
@@ -277,13 +282,15 @@ fn cmd_batch(args: &[String]) {
             "--deadline-ms" => {
                 deadline = Some(Duration::from_millis(parse_num(value, "--deadline-ms")))
             }
+            "--threads" => threads = Some(parse_threads(value)),
             other => die(&format!("unknown flag `{other}` for batch")),
         }
     }
     let file = file.unwrap_or_else(|| die("--file is required"));
     let text = std::fs::read_to_string(&file).unwrap_or_else(|e| die(&format!("read {file}: {e}")));
     // Pre-parse every line so a malformed file fails before any traffic.
-    // `--deadline-ms` overrides whatever each line says (or doesn't).
+    // `--deadline-ms` and `--threads` override whatever each line says (or
+    // doesn't).
     let requests: Vec<String> = text
         .lines()
         .map(str::trim)
@@ -294,6 +301,9 @@ fn cmd_batch(args: &[String]) {
                 .unwrap_or_else(|e| die(&format!("bad request line: {e}")));
             if let Some(d) = deadline {
                 req.deadline = Some(d);
+            }
+            if let Some(t) = threads {
+                req.config.threads = t;
             }
             solve_request_line(&req)
         })
@@ -402,6 +412,15 @@ fn resolve_topology(spec: &str) -> Topology {
             .unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
     }
     builtin_topology(spec).unwrap_or_else(|| die(&format!("unknown builtin topology `{spec}`")))
+}
+
+/// Parses `--threads`: a positive integer (the wire format rejects zero).
+fn parse_threads(value: &str) -> usize {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| die("--threads must be a positive integer"))
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {

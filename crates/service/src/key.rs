@@ -385,6 +385,10 @@ fn hash_config(h: &mut StableHasher, c: &SolverConfig) {
             }
         }
     }
+    // `c.threads` is deliberately NOT hashed: like the per-request deadline,
+    // it changes how fast the answer arrives, never what the answer is
+    // (solves are thread-count invariant), so a 1-thread and an 8-thread
+    // request for the same problem must share one cache entry.
 }
 
 /// Serializes a solver configuration for the wire protocol.
@@ -438,6 +442,11 @@ pub fn config_to_json(c: &SolverConfig) -> Value {
             "chunk_priorities",
             Value::Arr(p.iter().map(|&w| Value::from(w)).collect()),
         ));
+    }
+    // Only serialized when non-default so pre-threads golden documents stay
+    // byte-identical.
+    if c.threads != 1 {
+        pairs.push(("threads", Value::from(c.threads)));
     }
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
@@ -514,6 +523,10 @@ pub fn config_from_json(v: &Value) -> Result<SolverConfig, JsonError> {
                 .map(|w| w.as_f64().ok_or(bad("bad chunk_priorities entry")))
                 .collect::<Result<Vec<f64>, _>>()?,
         );
+    }
+    if let Some(t) = v.get("threads") {
+        let t = t.as_usize().filter(|&t| t >= 1).ok_or(bad("bad threads"))?;
+        c.threads = t;
     }
     Ok(c)
 }
@@ -652,6 +665,31 @@ mod tests {
         assert_eq!(back.deadline, None);
         let neg = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"deadline_ms":-3}"#;
         assert!(SolveRequest::from_json_value(&Value::parse(neg).unwrap()).is_err());
+    }
+
+    #[test]
+    fn threads_ride_the_wire_but_not_the_key() {
+        let solo = base_request();
+        let mut wide = base_request();
+        wide.config.threads = 8;
+        assert_eq!(
+            wide.key(),
+            solo.key(),
+            "thread count must not split the cache (answers are invariant)"
+        );
+        let back = SolveRequest::from_json_value(&wide.to_json_value()).unwrap();
+        assert_eq!(back.config.threads, 8, "threads must survive the wire");
+        let back = SolveRequest::from_json_value(&solo.to_json_value()).unwrap();
+        assert_eq!(back.config.threads, 1);
+        assert!(
+            !solo.to_json_value().to_json().contains("threads"),
+            "default thread count stays off the wire for golden stability"
+        );
+        let zero = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"config":{"threads":0}}"#;
+        assert!(
+            SolveRequest::from_json_value(&Value::parse(zero).unwrap()).is_err(),
+            "threads: 0 must be rejected"
+        );
     }
 
     #[test]

@@ -64,12 +64,21 @@ impl BudgetExceeded {
 /// `Clone` is shallow: all clones share the cancel flag and the iteration
 /// counter, so a budget handed to a B&B node and the one held by the
 /// service worker are the same budget.
+///
+/// [`SolveBudget::child`] derives a budget with a **private** cancel flag
+/// layered over the parent's: cancelling the child stops only that child,
+/// while a parent cancel still stops every descendant. This is what the LP
+/// portfolio race uses — the winning racer cancels its siblings without
+/// revoking the request's own budget.
 #[derive(Debug, Clone, Default)]
 pub struct SolveBudget {
     deadline: Option<Instant>,
     iteration_cap: Option<u64>,
     cancel: Arc<AtomicBool>,
     iterations: Arc<AtomicU64>,
+    /// Cancel flags of every ancestor budget this one was [`SolveBudget::child`]ed
+    /// from, outermost first. Observed (never set) by this budget's checks.
+    ancestors: Vec<Arc<AtomicBool>>,
 }
 
 impl SolveBudget {
@@ -107,15 +116,41 @@ impl SolveBudget {
         self
     }
 
+    /// Derives a child budget: same deadline and iteration accounting (the
+    /// child's work charges the shared counter), but a **new** cancel flag.
+    /// Cancelling the child leaves the parent — and the child's siblings —
+    /// running; cancelling the parent still trips the child. Children of
+    /// children keep observing the whole ancestor chain.
+    pub fn child(&self) -> SolveBudget {
+        let mut ancestors = self.ancestors.clone();
+        ancestors.push(Arc::clone(&self.cancel));
+        SolveBudget {
+            deadline: self.deadline,
+            iteration_cap: self.iteration_cap,
+            cancel: Arc::new(AtomicBool::new(false)),
+            iterations: Arc::clone(&self.iterations),
+            ancestors,
+        }
+    }
+
+    /// Whether an iteration cap is configured (racing duplicates work across
+    /// threads, so callers skip the race when total-iteration accounting is
+    /// what bounds the solve).
+    pub fn has_iteration_cap(&self) -> bool {
+        self.iteration_cap.is_some()
+    }
+
     /// Revokes the budget: every holder's next `charge`/`exceeded` call
     /// reports [`BudgetExceeded::Cancelled`].
     pub fn cancel(&self) {
         self.cancel.store(true, Ordering::Relaxed);
     }
 
-    /// Whether [`SolveBudget::cancel`] has been called.
+    /// Whether [`SolveBudget::cancel`] has been called on this budget or any
+    /// ancestor it was derived from.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.load(Ordering::Relaxed)
+            || self.ancestors.iter().any(|a| a.load(Ordering::Relaxed))
     }
 
     /// Total iterations charged so far across all clones.
@@ -153,6 +188,84 @@ impl SolveBudget {
     /// Checks the budget without charging work.
     pub fn exceeded(&self) -> Option<BudgetExceeded> {
         self.charge(0).err()
+    }
+}
+
+/// Batches [`SolveBudget::charge`] calls from one hot loop.
+///
+/// Under multi-thread solves the shared `fetch_add` in `charge` serializes
+/// the pivot loops of every worker on one cache line. The batcher keeps a
+/// thread-local pending count and flushes it to the shared counter every
+/// [`ChargeBatcher::FLUSH_EVERY`] ticks; the cancel flag is still read on
+/// **every** tick (a relaxed load of a shared-read line — cheap and
+/// contention-free), so cancellation latency stays one pivot.
+///
+/// Iteration-cap precision is preserved through a local snapshot of the
+/// shared counter (refreshed at each flush): a flush is forced as soon as
+/// `snapshot + pending` would cross the cap, so a single-threaded solve
+/// trips on exactly the same pivot as unbatched charging, and a
+/// multi-threaded one at most `FLUSH_EVERY - 1` sibling pivots late.
+/// Deadline trips coarsen to the flush granularity — far below anything the
+/// solver's deadline ladder can resolve.
+///
+/// Call [`ChargeBatcher::flush`] before dropping the batcher (or on leaving
+/// the loop) so the shared accounting stays exact; an unflushed remainder
+/// only under-reports `iterations_used` by at most `FLUSH_EVERY - 1`.
+#[derive(Debug)]
+pub struct ChargeBatcher<'a> {
+    budget: Option<&'a SolveBudget>,
+    pending: u64,
+    /// `iterations_used()` as of the last flush; `snapshot + pending` is the
+    /// exact used count when no sibling thread is charging, and a lower
+    /// bound otherwise.
+    snapshot: u64,
+}
+
+impl<'a> ChargeBatcher<'a> {
+    /// Ticks between flushes of the pending count to the shared counter.
+    pub const FLUSH_EVERY: u64 = 64;
+
+    /// Wraps an optional budget; a `None` budget makes every call a no-op.
+    pub fn new(budget: Option<&'a SolveBudget>) -> ChargeBatcher<'a> {
+        ChargeBatcher {
+            budget,
+            pending: 0,
+            snapshot: budget.map_or(0, |b| b.iterations_used()),
+        }
+    }
+
+    /// Charges one unit of work, batched. Cancellation is checked on every
+    /// call; cap/deadline checks run at each flush, with the flush forced
+    /// early when the local view says the cap is about to be crossed.
+    #[inline]
+    pub fn charge(&mut self) -> Result<(), BudgetExceeded> {
+        let Some(b) = self.budget else {
+            return Ok(());
+        };
+        if b.is_cancelled() {
+            return Err(BudgetExceeded::Cancelled);
+        }
+        self.pending += 1;
+        let cap_near = b
+            .iteration_cap
+            .is_some_and(|cap| self.snapshot + self.pending > cap);
+        if self.pending >= Self::FLUSH_EVERY || cap_near {
+            self.flush()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flushes the pending count to the shared counter and runs the full
+    /// cap/deadline check.
+    pub fn flush(&mut self) -> Result<(), BudgetExceeded> {
+        let Some(b) = self.budget else {
+            return Ok(());
+        };
+        let n = std::mem::take(&mut self.pending);
+        let r = b.charge(n);
+        self.snapshot = b.iterations_used();
+        r
     }
 }
 
@@ -207,6 +320,78 @@ mod tests {
         b.cancel();
         std::thread::sleep(Duration::from_millis(1));
         assert_eq!(b.charge(1), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn child_cancel_is_private_but_parent_cancel_propagates() {
+        let parent = SolveBudget::unlimited();
+        let a = parent.child();
+        let b = parent.child();
+        a.cancel();
+        assert_eq!(a.charge(1), Err(BudgetExceeded::Cancelled));
+        assert_eq!(b.charge(1), Ok(()), "sibling unaffected");
+        assert_eq!(parent.charge(1), Ok(()), "parent unaffected");
+        parent.cancel();
+        assert_eq!(b.charge(1), Err(BudgetExceeded::Cancelled));
+        // Grandchildren observe the whole chain.
+        let fresh = SolveBudget::unlimited();
+        let mid = fresh.child();
+        let leaf = mid.child();
+        fresh.cancel();
+        assert!(leaf.is_cancelled());
+    }
+
+    #[test]
+    fn child_shares_iteration_accounting() {
+        let parent = SolveBudget::with_iteration_cap(10);
+        assert!(parent.has_iteration_cap());
+        let kid = parent.child();
+        assert_eq!(kid.charge(6), Ok(()));
+        assert_eq!(parent.iterations_used(), 6);
+        assert_eq!(parent.charge(5), Err(BudgetExceeded::IterationCap));
+    }
+
+    #[test]
+    fn batcher_flushes_and_preserves_cancel_latency() {
+        let b = SolveBudget::unlimited();
+        let mut batch = ChargeBatcher::new(Some(&b));
+        for _ in 0..ChargeBatcher::FLUSH_EVERY - 1 {
+            assert_eq!(batch.charge(), Ok(()));
+        }
+        assert_eq!(b.iterations_used(), 0, "pending work not yet flushed");
+        assert_eq!(batch.charge(), Ok(()));
+        assert_eq!(b.iterations_used(), ChargeBatcher::FLUSH_EVERY);
+        // A cancel is seen on the very next tick, not at the next flush.
+        assert_eq!(batch.charge(), Ok(()));
+        b.cancel();
+        assert_eq!(batch.charge(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn batcher_trips_iteration_cap_on_the_exact_tick() {
+        // Single-threaded cap precision: the batcher must error on the same
+        // tick unbatched per-pivot charging would, not at the next 64-flush.
+        let b = SolveBudget::with_iteration_cap(10);
+        let mut batch = ChargeBatcher::new(Some(&b));
+        for i in 0..10 {
+            assert_eq!(batch.charge(), Ok(()), "tick {i} within cap");
+        }
+        assert_eq!(batch.charge(), Err(BudgetExceeded::IterationCap));
+        assert_eq!(b.iterations_used(), 11, "the tripping tick is flushed");
+    }
+
+    #[test]
+    fn batcher_explicit_flush_settles_remainder() {
+        let b = SolveBudget::unlimited();
+        let mut batch = ChargeBatcher::new(Some(&b));
+        for _ in 0..5 {
+            assert_eq!(batch.charge(), Ok(()));
+        }
+        assert_eq!(batch.flush(), Ok(()));
+        assert_eq!(b.iterations_used(), 5);
+        let mut none = ChargeBatcher::new(None);
+        assert_eq!(none.charge(), Ok(()));
+        assert_eq!(none.flush(), Ok(()));
     }
 
     #[test]

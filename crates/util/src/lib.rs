@@ -22,7 +22,7 @@ pub mod hash;
 pub mod json;
 pub mod rng;
 
-pub use budget::{BudgetExceeded, SolveBudget};
+pub use budget::{BudgetExceeded, ChargeBatcher, SolveBudget};
 pub use hash::{fnv1a64, size_bucket, StableHasher};
 pub use json::Value;
 pub use rng::Rng64;

@@ -132,6 +132,73 @@ fn main() {
         assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
     });
 
+    // Dantzig-Wolfe rows on the 8-GPU internal1(2) ALLTOALL: one warm
+    // pricing round (the per-round unit of work), the full decomposed solve
+    // at 1 and 4 pricing threads, and the monolithic solve of the same model
+    // for the `lp/dw_vs_monolithic` ratio. Correctness is asserted inline:
+    // the decomposed objective must certify against the monolithic one.
+    let dw_form = teccl_bench::dw_alltoall_fixture();
+    let dw_structure = dw_form
+        .block_structure()
+        .expect("fixture splits into blocks");
+    let dw_mono = dw_form
+        .model
+        .solve_lp_relaxation()
+        .expect("monolithic baseline solves");
+    let solve_dw = |threads: usize| {
+        let sol = teccl_lp::solve_decomposed(
+            &dw_form.model,
+            &dw_structure,
+            None,
+            &teccl_lp::DecompOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+        assert!(
+            sol.stats.dw_rounds > 0,
+            "bench row must genuinely decompose"
+        );
+        assert!(
+            (sol.objective - dw_mono.objective).abs() <= 1e-6 * dw_mono.objective.abs().max(1.0),
+            "decomposed bench row drifted from monolithic: {} vs {}",
+            sol.objective,
+            dw_mono.objective
+        );
+    };
+    solve_dw(1);
+    solve_dw(4);
+    {
+        // One *warm* pricing round: per-block re-solves under alternating
+        // coupling duals, each restarting from the previous round's basis —
+        // the steady-state cost every column-generation round pays.
+        let nblocks = dw_structure.num_blocks;
+        let mut probs: Vec<teccl_lp::decomp::pricing::PricingProblem> = (0..nblocks)
+            .map(|s| {
+                teccl_lp::decomp::pricing::PricingProblem::build(&dw_form.model, &dw_structure, s)
+            })
+            .collect();
+        let zeros = vec![0.0; dw_structure.coupling_rows.len()];
+        let ones = vec![1.0; dw_structure.coupling_rows.len()];
+        teccl_lp::decomp::pricing::price_round(&mut probs, &zeros, 4, None);
+        let mut flip = false;
+        h.bench_function("lp/dw_pricing_round", || {
+            flip = !flip;
+            let y = if flip { &ones } else { &zeros };
+            let out = teccl_lp::decomp::pricing::price_round(&mut probs, y, 4, None);
+            assert_eq!(out.len(), nblocks);
+            assert!(out.iter().all(|r| r.is_ok()));
+        });
+    }
+    h.bench_function("lp/dw_1thread", || solve_dw(1));
+    h.bench_function("lp/dw_4threads", || solve_dw(4));
+    h.bench_function("lp/dw_monolithic", || {
+        let sol = dw_form.model.solve_lp_relaxation().unwrap();
+        assert_eq!(sol.status, teccl_lp::SolveStatus::Optimal);
+    });
+
     // A* cross-round warm starts with presolve ON (the layout-preserving
     // presolve keeps the carried root basis valid round to round). The warm
     // run must stay on the warm path — at most the first round may start
@@ -281,15 +348,20 @@ fn main() {
         ));
     }
 
-    // Thread metadata + the B&B speedup ratio, so a reader of BENCH_lp.json
-    // can tell whether the parallel rows were measured on a machine where
-    // parallelism was physically possible.
+    // Thread metadata + the derived speedup ratios, so a reader of
+    // BENCH_lp.json can tell whether the parallel rows were measured on a
+    // machine where parallelism was physically possible.
     let median = |v: &teccl_util::json::Value, name: &str| -> Option<f64> {
         v.get(name).and_then(teccl_util::json::Value::as_f64)
     };
     let bnb_1t = median(&json, "lp/parallel_bnb_1thread").expect("1-thread row measured");
     let bnb_4t = median(&json, "lp/parallel_bnb_4threads").expect("4-thread row measured");
     let speedup = bnb_1t / bnb_4t;
+    let dw_1t = median(&json, "lp/dw_1thread").expect("dw 1-thread row measured");
+    let dw_4t = median(&json, "lp/dw_4threads").expect("dw 4-thread row measured");
+    let mono_ns = median(&json, "lp/dw_monolithic").expect("dw monolithic row measured");
+    let dw_speedup = dw_1t / dw_4t;
+    let dw_vs_mono = mono_ns / dw_4t;
     if let teccl_util::json::Value::Obj(pairs) = &mut json {
         pairs.push((
             "meta/threads_available".to_string(),
@@ -299,49 +371,97 @@ fn main() {
             "lp/parallel_bnb_speedup".to_string(),
             teccl_util::json::Value::Num(speedup),
         ));
+        pairs.push((
+            "lp/dw_speedup".to_string(),
+            teccl_util::json::Value::Num(dw_speedup),
+        ));
+        pairs.push((
+            "lp/dw_vs_monolithic".to_string(),
+            teccl_util::json::Value::Num(dw_vs_mono),
+        ));
     }
+
+    // The machine-aware gates. Each gate's armed/skipped disposition is
+    // recorded *in the json* as a `meta/gate_*` row — a skip that only goes
+    // to stdout vanishes the moment the terminal scrolls, and a reader of a
+    // committed BENCH_lp.json could not tell a passed gate from one that
+    // never armed. The assert still fires on machines where the gate arms.
+    let gate = |json: &mut teccl_util::json::Value,
+                name: &str,
+                need_cores: usize,
+                detail: String,
+                check: &dyn Fn()| {
+        let armed = cores >= need_cores;
+        let status = if armed {
+            "armed".to_string()
+        } else {
+            format!("skipped: {cores} core(s) available, need {need_cores}")
+        };
+        if let teccl_util::json::Value::Obj(pairs) = json {
+            pairs.push((
+                format!("meta/gate_{name}"),
+                teccl_util::json::Value::Str(status.clone()),
+            ));
+        }
+        if armed {
+            check();
+            println!("lp/{name}: {detail} ({cores} cores) — gate passed");
+        } else {
+            println!("lp/{name}: {detail} — gate SKIPPED ({status})");
+        }
+    };
 
     // Gate: parallel B&B must actually pay for its coordination — >=1.5x at
     // 4 threads — wherever 4 cores exist. On smaller machines no speedup is
-    // physically possible, so the gate is skipped *loudly*.
-    if cores >= 4 {
-        assert!(
-            speedup >= 1.5,
-            "parallel B&B speedup gate: {speedup:.2}x at 4 threads on {cores} cores (need >=1.5x)"
-        );
-        println!(
-            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads ({cores} cores) — gate passed"
-        );
-    } else {
-        println!(
-            "lp/parallel_bnb_speedup: {speedup:.2}x at 4 threads — gate SKIPPED ({cores} core(s) available, need 4)"
-        );
-    }
+    // physically possible, so the gate is skipped loudly and visibly.
+    gate(
+        &mut json,
+        "parallel_bnb_speedup",
+        4,
+        format!("{speedup:.2}x at 4 threads"),
+        &|| {
+            assert!(
+                speedup >= 1.5,
+                "parallel B&B speedup gate: {speedup:.2}x at 4 threads on {cores} cores (need >=1.5x)"
+            );
+        },
+    );
 
     // Gate: the portfolio race must never lose to the solo default solve on
     // the degenerate ALLTOALL (25% scheduler-noise allowance). Racing on one
     // core just timeshares the racers, so this too needs real parallelism.
     let race_ns = median(&json, "lp/portfolio_race").expect("race row measured");
     let solo_ns = median(&json, "lp/degenerate_alltoall").expect("solo row measured");
-    if cores >= 2 {
-        assert!(
-            race_ns <= solo_ns * 1.25,
-            "portfolio race slower than solo steepest-edge: {:.2} ms vs {:.2} ms",
-            race_ns / 1e6,
-            solo_ns / 1e6
-        );
-        println!(
-            "lp/portfolio_race: {:.2} ms vs solo {:.2} ms ({cores} cores) — gate passed",
-            race_ns / 1e6,
-            solo_ns / 1e6
-        );
-    } else {
-        println!(
-            "lp/portfolio_race: {:.2} ms vs solo {:.2} ms — gate SKIPPED ({cores} core(s) available, need 2)",
-            race_ns / 1e6,
-            solo_ns / 1e6
-        );
-    }
+    gate(
+        &mut json,
+        "portfolio_race",
+        2,
+        format!("{:.2} ms vs solo {:.2} ms", race_ns / 1e6, solo_ns / 1e6),
+        &|| {
+            assert!(
+                race_ns <= solo_ns * 1.25,
+                "portfolio race slower than solo steepest-edge: {:.2} ms vs {:.2} ms",
+                race_ns / 1e6,
+                solo_ns / 1e6
+            );
+        },
+    );
+
+    // Gate: parallel pricing must earn its keep — the decomposed 8-GPU
+    // ALLTOALL solve >=1.5x faster at 4 pricing threads than at 1 — wherever
+    // 4 cores exist.
+    gate(
+        &mut json,
+        "dw_speedup",
+        4,
+        format!("{dw_speedup:.2}x at 4 threads, {dw_vs_mono:.2}x vs monolithic"),
+        &|| {
+            assert!(
+                dw_speedup >= 1.5,
+                "DW pricing speedup gate: {dw_speedup:.2}x at 4 threads on {cores} cores (need >=1.5x)"
+            );
+        },
+    );
 
     // Gate 1: the warm-rounds win must hold. `lp/presolve_warm_rounds` once
     // regressed to slower-than-cold without anything failing; now the smoke
@@ -368,6 +488,9 @@ fn main() {
         "lp/presolve_cold_rounds",
         "lp/parallel_bnb_1thread",
         "lp/portfolio_race",
+        "lp/dw_pricing_round",
+        "lp/dw_1thread",
+        "lp/dw_monolithic",
     ];
     if let Some(committed) = std::fs::read_to_string(path)
         .ok()

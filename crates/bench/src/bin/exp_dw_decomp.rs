@@ -1,0 +1,71 @@
+//! Monolithic vs Dantzig-Wolfe decomposed solves of the Table-4 ALLTOALL
+//! rows (EXPERIMENTS.md's "Dantzig-Wolfe decomposition" table), through the
+//! real `SolverConfig::decompose` wiring. The header prints the machine's
+//! available parallelism — on a single-core container the decomposed columns
+//! record the knob's *safety* (identical objectives, bounded overhead), not
+//! a speedup; the ≥1.5× pricing gate in `bench_lp_json` arms only at ≥4
+//! cores. The 16-GPU row is deliberately absent for the same reason as in
+//! the thread sweep: at ~375 s per monolithic solve the sweep is CI-hostile.
+
+use teccl_bench::{print_table, quick_config, run_teccl, Method, Row, Scenario};
+use teccl_collective::CollectiveKind;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available parallelism: {cores} core(s)");
+    let cases = [
+        ("Internal1 x2 AtoA", teccl_topology::internal1(2)),
+        ("Internal2 x4 AtoA", teccl_topology::internal2(4)),
+    ];
+    // (decompose, threads) per column; mono first so each row's baseline is
+    // measured on the same warm caches as its decomposed columns.
+    let columns = [
+        (teccl_core::Decompose::Off, 1usize),
+        (teccl_core::Decompose::On, 1),
+        (teccl_core::Decompose::On, 2),
+        (teccl_core::Decompose::On, 4),
+    ];
+    let mut rows = Vec::new();
+    for (name, topo) in cases {
+        let scenario = Scenario::collective(
+            name,
+            topo,
+            CollectiveKind::AllToAll,
+            1,
+            16.0 * 1024.0 * 1024.0,
+        );
+        let mut values = Vec::new();
+        let mut rounds = Vec::new();
+        for (decompose, threads) in columns {
+            let mut config = quick_config();
+            config.decompose = decompose;
+            config.threads = threads;
+            match run_teccl(&scenario, &config, Method::Lp) {
+                Some(o) => {
+                    values.push(o.solver_time);
+                    rounds.push(o.dw_rounds as f64);
+                }
+                None => {
+                    values.push(f64::NAN);
+                    rounds.push(f64::NAN);
+                }
+            }
+        }
+        // `dw_rounds == 0` on a decomposed column means `solve_decomposed`
+        // fell back to the monolithic path — the time then measures the
+        // failed generation attempt plus the fallback, and must say so.
+        values.extend(rounds.into_iter().skip(1));
+        rows.push(Row {
+            labels: vec![name.to_string()],
+            values,
+        });
+    }
+    print_table(
+        "Monolithic vs decomposed ALLTOALL (solver seconds; rounds = CG rounds, 0 = monolithic fallback)",
+        &["case"],
+        &[
+            "mono t=1", "dw t=1", "dw t=2", "dw t=4", "rounds t=1", "rounds t=2", "rounds t=4",
+        ],
+        &rows,
+    );
+}

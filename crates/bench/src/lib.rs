@@ -110,6 +110,9 @@ pub struct RunResult {
     /// Bound tightenings derived by the per-node presolve inside the
     /// branch-and-bound tree.
     pub node_tightenings: usize,
+    /// Dantzig-Wolfe column-generation rounds (0 on the monolithic path —
+    /// including when `solve_decomposed` fell back to it).
+    pub dw_rounds: usize,
     /// Whether any simplex pass exhausted its iteration budget: the reported
     /// numbers then rest on an uncertified incumbent and the row must be
     /// labelled as such, never printed as converged.
@@ -194,6 +197,7 @@ pub fn run_teccl(scenario: &Scenario, config: &SolverConfig, method: Method) -> 
         cols_fixed: outcome.stats.cols_fixed,
         rows_freed: outcome.stats.rows_freed,
         node_tightenings: outcome.stats.node_tightenings,
+        dw_rounds: outcome.stats.dw_rounds,
         iteration_limit_hit: outcome.stats.iteration_limit_hit,
     })
 }
@@ -391,6 +395,27 @@ pub fn degenerate_alltoall_fixture() -> (teccl_lp::StandardForm, usize, usize) {
     (sf, red.num_vars(), 25_000)
 }
 
+/// Fixture for the **Dantzig-Wolfe** benches (`lp/dw_pricing_round`,
+/// `lp/dw_1thread`, `lp/dw_4threads`, `lp/dw_monolithic`): the copy-free LP
+/// of the 8-GPU internal1(2) ALLTOALL — the two-chassis ring-plus-switch
+/// row whose per-source blocks the decomposer prices in parallel — at a
+/// 4 MB output buffer so one solve stays in bench territory (the 16 MB
+/// acceptance row lives in `crates/core/tests/decompose.rs`). Returns the
+/// formulation; callers take `form.model` and `form.block_structure()`.
+pub fn dw_alltoall_fixture() -> teccl_core::lp_form::LpFormulation {
+    let topo = teccl_topology::internal1(2);
+    let gpus: Vec<NodeId> = topo.gpus().collect();
+    let n = gpus.len();
+    let output_buffer = 4.0 * 1024.0 * 1024.0;
+    let transfer = output_buffer / (n as f64 - 1.0);
+    let demand = DemandMatrix::all_to_all(topo.num_nodes(), &gpus, 1);
+    let config = SolverConfig::early_stop();
+    let tau = teccl_core::epochs::epoch_duration(&topo, transfer, &config);
+    let k = teccl_core::epochs::estimate_num_epochs(&topo, &demand, transfer, tau);
+    teccl_core::lp_form::LpFormulation::build(&topo, &demand, transfer, &config, k.max(2), tau)
+        .expect("DW fixture builds")
+}
+
 /// Fixture for the **parallel branch-and-bound** benches
 /// (`lp/parallel_bnb_1thread` / `lp/parallel_bnb_4threads`): a strongly
 /// correlated 0/1 knapsack with a cardinality side-constraint — the classic
@@ -557,6 +582,7 @@ pub fn run_taccl(scenario: &Scenario, seed: u64) -> Option<RunResult> {
         cols_fixed: 0,
         rows_freed: 0,
         node_tightenings: 0,
+        dw_rounds: 0,
         iteration_limit_hit: false,
     })
 }
@@ -580,6 +606,7 @@ pub fn run_sccl(scenario: &Scenario) -> Option<RunResult> {
         cols_fixed: 0,
         rows_freed: 0,
         node_tightenings: 0,
+        dw_rounds: 0,
         iteration_limit_hit: false,
     })
 }
@@ -605,6 +632,7 @@ pub fn run_shortest_path(scenario: &Scenario) -> Option<RunResult> {
         cols_fixed: 0,
         rows_freed: 0,
         node_tightenings: 0,
+        dw_rounds: 0,
         iteration_limit_hit: false,
     })
 }
@@ -1217,6 +1245,27 @@ mod tests {
         assert!(sccl.transfer_time > 0.0);
         let taccl = run_taccl(&scenario, 1).unwrap();
         assert!(taccl.transfer_time > 0.0);
+    }
+
+    #[test]
+    fn dw_fixture_certifies_against_monolithic() {
+        let form = dw_alltoall_fixture();
+        let structure = form.block_structure().unwrap();
+        let mono = form.model.solve_lp_relaxation().unwrap();
+        let dw = teccl_lp::solve_decomposed(
+            &form.model,
+            &structure,
+            None,
+            &teccl_lp::DecompOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(dw.status, mono.status);
+        assert!(
+            dw.stats.dw_rounds > 0,
+            "bench fixture must genuinely decompose"
+        );
+        let scale = mono.objective.abs().max(1.0);
+        assert!((dw.objective - mono.objective).abs() <= 1e-6 * scale);
     }
 
     #[test]

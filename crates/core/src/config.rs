@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+pub use teccl_lp::Decompose;
+
 /// How the epoch duration is derived from the topology (§5 "Epoch durations
 /// and chunk sizes").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +112,16 @@ pub struct SolverConfig {
     /// key deliberately excludes this knob (see `teccl-service`). Like the
     /// budget, this is a *how* knob, not a *what* knob.
     pub threads: usize,
+    /// Whether the copy-free LP path may solve by Dantzig-Wolfe
+    /// decomposition: the time-expanded multi-commodity flow splits into one
+    /// pricing subproblem per commodity source coupled only by the link
+    /// capacity (and buffer-limit) rows, and the subproblems re-solve in
+    /// parallel across [`SolverConfig::threads`] workers. `Auto` (the
+    /// default) engages only when it should win — pure LP, big enough, more
+    /// than one thread — mirroring the portfolio-race gate. Like `threads`,
+    /// this is a *how* knob: the certified answer is identical either way,
+    /// so the schedule cache key deliberately excludes it.
+    pub decompose: Decompose,
 }
 
 impl Default for SolverConfig {
@@ -129,6 +141,7 @@ impl Default for SolverConfig {
             warm_start: true,
             astar_warm_rounds: true,
             threads: 1,
+            decompose: Decompose::Auto,
         }
     }
 }
@@ -184,6 +197,12 @@ impl SolverConfig {
     /// Sets the intra-solve thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the Dantzig-Wolfe decomposition mode for the copy-free LP path.
+    pub fn with_decompose(mut self, d: Decompose) -> Self {
+        self.decompose = d;
         self
     }
 

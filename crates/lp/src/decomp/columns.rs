@@ -1,0 +1,229 @@
+//! Column storage for the Dantzig-Wolfe restricted master.
+//!
+//! Each column is one extreme point of one block's private polytope, cached
+//! with everything the master needs: its true objective value and its
+//! footprint on the coupling rows. The pool deduplicates columns exactly
+//! (quantized coordinates), because a re-priced duplicate is the classic
+//! symptom of dual-tolerance noise — the driver treats it as a stall signal
+//! rather than letting the master grow without progress.
+
+use std::collections::HashSet;
+
+use crate::basis::{SimplexBasis, VarStatus};
+
+use super::BlockStructure;
+
+/// One extreme point of a block polytope, stored block-locally.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Owning block.
+    pub block: usize,
+    /// Values over the block's variables, in block-local (ascending global)
+    /// order.
+    pub x: Vec<f64>,
+    /// True objective contribution `Σ_g c_g · x_g`.
+    pub obj: f64,
+    /// Nonzero footprint on the coupling rows: `(coupling_position,
+    /// Σ_g A[i,g] · x_g)` pairs, ascending by position.
+    pub coup: Vec<(usize, f64)>,
+}
+
+/// The growing column set the restricted master optimizes over.
+#[derive(Debug)]
+pub struct ColumnPool {
+    cols: Vec<Column>,
+    per_block: Vec<usize>,
+    seen: Vec<HashSet<Vec<i64>>>,
+}
+
+/// Quantization grid for exact deduplication (1e-9 resolution: well inside
+/// solver tolerance, far outside f64 noise at schedule magnitudes).
+fn quantize(x: &[f64]) -> Vec<i64> {
+    x.iter()
+        .map(|&v| (v * 1e9).round().clamp(i64::MIN as f64, i64::MAX as f64) as i64)
+        .collect()
+}
+
+impl ColumnPool {
+    /// An empty pool over `num_blocks` blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        Self {
+            cols: Vec::new(),
+            per_block: vec![0; num_blocks],
+            seen: vec![HashSet::new(); num_blocks],
+        }
+    }
+
+    /// Total columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Columns in insertion order (the master's λ variable order).
+    pub fn cols(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Columns a block has contributed.
+    pub fn block_count(&self, block: usize) -> usize {
+        self.per_block[block]
+    }
+
+    /// Adds a column unless an identical one (to 1e-9 per coordinate) is
+    /// already pooled. Returns whether the pool grew.
+    pub fn push(&mut self, col: Column) -> bool {
+        let key = quantize(&col.x);
+        if !self.seen[col.block].insert(key) {
+            return false;
+        }
+        self.per_block[col.block] += 1;
+        self.cols.push(col);
+        true
+    }
+
+    /// Maps master multipliers back to the original variable space:
+    /// `x_g = Σ_p λ_p · x_p[g]` within each block.
+    pub fn assemble(
+        &self,
+        structure: &BlockStructure,
+        num_vars: usize,
+        lambda: &[f64],
+    ) -> Vec<f64> {
+        let mut x = vec![0.0; num_vars];
+        for (col, &l) in self.cols.iter().zip(lambda.iter()) {
+            if l.abs() < 1e-12 {
+                continue;
+            }
+            for (local, &g) in structure.block_vars[col.block].iter().enumerate() {
+                x[g] += l * col.x[local];
+            }
+        }
+        x
+    }
+}
+
+/// Remaps a master basis across a pool growth of `added` λ columns.
+///
+/// The master's standard form is `[λ_0..λ_{L-1} | artificials | slacks]`;
+/// new λ columns are appended at position `L`, pushing artificials and
+/// slacks up by `added` while the row set stays fixed. The new columns
+/// enter nonbasic at their lower bound (zero weight), so the remapped basis
+/// describes exactly the previous optimal vertex and the warm path prices
+/// the newcomers in dually.
+pub fn remap_basis(old: &SimplexBasis, old_lambda: usize, added: usize) -> SimplexBasis {
+    let shift = |j: usize| if j < old_lambda { j } else { j + added };
+    let basic = old.basic.iter().map(|&j| shift(j)).collect();
+    let mut status = Vec::with_capacity(old.status.len() + added);
+    status.extend_from_slice(&old.status[..old_lambda.min(old.status.len())]);
+    status.extend(std::iter::repeat_n(VarStatus::AtLower, added));
+    if old_lambda < old.status.len() {
+        status.extend_from_slice(&old.status[old_lambda..]);
+    }
+    SimplexBasis { basic, status }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Model, Sense};
+
+    fn two_block_structure() -> BlockStructure {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 1.0, 1.0, false);
+        let b = m.add_var("b", 0.0, 1.0, 1.0, false);
+        m.add_cons("cap", &[(a, 1.0), (b, 1.0)], ConstraintOp::Le, 1.0);
+        BlockStructure::infer(&m, &[0, 1]).unwrap()
+    }
+
+    #[test]
+    fn pool_dedupes_identical_columns() {
+        let mut pool = ColumnPool::new(2);
+        let col = Column {
+            block: 0,
+            x: vec![1.0, 2.0],
+            obj: 3.0,
+            coup: vec![(0, 1.0)],
+        };
+        assert!(pool.push(col.clone()));
+        assert!(!pool.push(col.clone()), "exact duplicate must be rejected");
+        // The same coordinates in the *other* block are a different column.
+        assert!(pool.push(Column { block: 1, ..col }));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.block_count(0), 1);
+        assert_eq!(pool.block_count(1), 1);
+        // A sub-tolerance perturbation is still the same column...
+        assert!(!pool.push(Column {
+            block: 0,
+            x: vec![1.0 + 1e-12, 2.0],
+            obj: 3.0,
+            coup: vec![(0, 1.0)],
+        }));
+        // ...a super-tolerance one is not.
+        assert!(pool.push(Column {
+            block: 0,
+            x: vec![1.0 + 1e-6, 2.0],
+            obj: 3.0,
+            coup: vec![(0, 1.0)],
+        }));
+    }
+
+    #[test]
+    fn assemble_convex_combines_per_block() {
+        let s = two_block_structure();
+        let mut pool = ColumnPool::new(2);
+        pool.push(Column {
+            block: 0,
+            x: vec![1.0],
+            obj: 1.0,
+            coup: vec![],
+        });
+        pool.push(Column {
+            block: 0,
+            x: vec![0.0],
+            obj: 0.0,
+            coup: vec![],
+        });
+        pool.push(Column {
+            block: 1,
+            x: vec![0.5],
+            obj: 0.5,
+            coup: vec![],
+        });
+        let x = pool.assemble(&s, 2, &[0.25, 0.75, 1.0]);
+        assert!((x[0] - 0.25).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_remap_shifts_arts_and_slacks() {
+        // 2 λ + 1 artificial + 2 slacks, one λ added.
+        let old = SimplexBasis {
+            basic: vec![1, 3],
+            status: vec![
+                VarStatus::AtLower, // λ0
+                VarStatus::Basic,   // λ1
+                VarStatus::AtLower, // artificial
+                VarStatus::Basic,   // slack row 0
+                VarStatus::AtUpper, // slack row 1
+            ],
+        };
+        let new = remap_basis(&old, 2, 1);
+        assert_eq!(new.basic, vec![1, 4], "post-λ indices shift by the growth");
+        assert_eq!(
+            new.status,
+            vec![
+                VarStatus::AtLower,
+                VarStatus::Basic,
+                VarStatus::AtLower, // the new λ, nonbasic at zero
+                VarStatus::AtLower,
+                VarStatus::Basic,
+                VarStatus::AtUpper,
+            ]
+        );
+    }
+}

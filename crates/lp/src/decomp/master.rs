@@ -1,0 +1,254 @@
+//! The restricted master problem (RMP) of the Dantzig-Wolfe loop.
+//!
+//! The RMP optimizes over the pooled extreme points: one λ ∈ [0,1] column
+//! per pooled point (with its *true* objective), the original coupling rows
+//! (each point contributing its cached footprint), and one convexity row
+//! `Σ λ_p = 1` per block. Big-M artificial surplus columns keep the RMP
+//! feasible from the first round — the master starts with one column per
+//! block, which rarely satisfies the coupling rows — and their residual
+//! mass at convergence is the infeasibility certificate (after penalty
+//! escalation rules out a too-small M).
+//!
+//! The RMP is rebuilt per round (column counts are small — hundreds, not
+//! the tens of thousands of the monolithic form) but *solved warm*: the row
+//! set never changes, so the previous optimal basis, remapped across the
+//! appended λ columns by [`super::columns::remap_basis`], prices only the
+//! newcomers. Duals come back in the original sense — coupling duals `y`
+//! feed the pricing round, convexity duals `μ` the reduced-cost test.
+
+use teccl_util::SolveBudget;
+
+use crate::basis::SimplexBasis;
+use crate::error::LpError;
+use crate::model::{ConstraintOp, Model, Sense};
+use crate::solution::{SolveStats, SolveStatus};
+
+use super::columns::ColumnPool;
+use super::BlockStructure;
+
+/// One solved restricted master.
+#[derive(Debug)]
+pub struct RmpOutcome {
+    /// Multiplier per pooled column, pool order.
+    pub lambda: Vec<f64>,
+    /// Coupling-row duals, original sense, `structure.coupling_rows` order.
+    pub y: Vec<f64>,
+    /// Convexity duals, one per block.
+    pub mu: Vec<f64>,
+    /// Total artificial mass: `> 0` means the pooled columns cannot yet
+    /// satisfy the coupling rows.
+    pub art_sum: f64,
+    /// Counters of this master solve.
+    pub stats: SolveStats,
+    /// Final basis, for the next round's warm start (`None` when presolve
+    /// solved the master trivially).
+    pub basis: Option<SimplexBasis>,
+}
+
+/// Builds and solves the RMP for the current pool at penalty `m_penalty`.
+///
+/// Returns [`LpError::Budget`] on a budget trip (including a mid-phase-2
+/// incumbent stop — a half-optimized master has no usable duals), and
+/// [`LpError::Numerical`] when the master comes back anything other than
+/// `Optimal` or without its duals; the driver turns the latter into a
+/// monolithic fallback.
+pub fn solve_rmp(
+    model: &Model,
+    structure: &BlockStructure,
+    pool: &ColumnPool,
+    m_penalty: f64,
+    warm: Option<&SimplexBasis>,
+    budget: Option<&SolveBudget>,
+) -> Result<RmpOutcome, LpError> {
+    let ncoup = structure.coupling_rows.len();
+    let nblocks = structure.num_blocks;
+    let penalty = match model.sense {
+        Sense::Maximize => -m_penalty,
+        Sense::Minimize => m_penalty,
+    };
+
+    let mut rmp = Model::new(model.sense);
+    // λ columns, pool order, true objectives. Deliberately [0, ∞), not
+    // [0, 1]: the convexity row caps the sum anyway, and a λ parked *at* an
+    // upper bound would carry its reduced cost on the bound instead of the
+    // convexity dual μ — breaking the pricing test `v_s - μ_s`.
+    let lambdas: Vec<_> = pool
+        .cols()
+        .iter()
+        .enumerate()
+        .map(|(p, col)| rmp.add_var(format!("l{p}"), 0.0, f64::INFINITY, col.obj, false))
+        .collect();
+    // Artificial surplus columns: Le rows relax upward (`Σ aλ − t ≤ b`),
+    // Ge rows downward, Eq rows both ways. The set is decided by row *op*
+    // alone, so the master's column layout is stable across rounds and the
+    // remapped warm basis stays valid.
+    let mut art_terms: Vec<Vec<(crate::model::VarId, f64)>> = vec![Vec::new(); ncoup];
+    let mut arts = Vec::new();
+    for (pos, &row) in structure.coupling_rows.iter().enumerate() {
+        match model.cons[row].op {
+            ConstraintOp::Le => {
+                let t = rmp.add_var(format!("art{pos}"), 0.0, f64::INFINITY, penalty, false);
+                art_terms[pos].push((t, -1.0));
+                arts.push(t);
+            }
+            ConstraintOp::Ge => {
+                let t = rmp.add_var(format!("art{pos}"), 0.0, f64::INFINITY, penalty, false);
+                art_terms[pos].push((t, 1.0));
+                arts.push(t);
+            }
+            ConstraintOp::Eq => {
+                let up = rmp.add_var(format!("art{pos}p"), 0.0, f64::INFINITY, penalty, false);
+                let dn = rmp.add_var(format!("art{pos}m"), 0.0, f64::INFINITY, penalty, false);
+                art_terms[pos].push((up, 1.0));
+                art_terms[pos].push((dn, -1.0));
+                arts.push(up);
+                arts.push(dn);
+            }
+        }
+    }
+
+    // Coupling rows first (duals y), then convexity rows (duals μ).
+    let mut row_terms: Vec<Vec<(crate::model::VarId, f64)>> = vec![Vec::new(); ncoup];
+    for (p, col) in pool.cols().iter().enumerate() {
+        for &(pos, a) in &col.coup {
+            row_terms[pos].push((lambdas[p], a));
+        }
+    }
+    for (pos, &row) in structure.coupling_rows.iter().enumerate() {
+        let c = &model.cons[row];
+        let mut terms = std::mem::take(&mut row_terms[pos]);
+        terms.extend_from_slice(&art_terms[pos]);
+        rmp.add_cons(format!("coup{pos}"), &terms, c.op, c.rhs);
+    }
+    for s in 0..nblocks {
+        let terms: Vec<_> = pool
+            .cols()
+            .iter()
+            .enumerate()
+            .filter(|(_, col)| col.block == s)
+            .map(|(p, _)| (lambdas[p], 1.0))
+            .collect();
+        rmp.add_cons(format!("conv{s}"), &terms, ConstraintOp::Eq, 1.0);
+    }
+
+    // Solve the standard form directly, skipping presolve: in early rounds a
+    // block with a single pooled column makes its convexity row a singleton,
+    // which presolve would fold into the λ's bounds and free — reporting a
+    // zero dual for a row whose μ the pricing test depends on. The direct
+    // path also keeps the column layout exactly `[λ | artificials | slacks]`,
+    // which is what [`super::columns::remap_basis`] assumes.
+    rmp.validate()?;
+    let sf = crate::standard::StandardForm::from_model(&rmp);
+    let sol = crate::simplex::solve_standard_form_budgeted(&sf, rmp.num_vars(), &[], warm, budget)?;
+    if let Some(cause) = sol.stats.budget_stop {
+        return Err(LpError::Budget(cause));
+    }
+    if sol.status != SolveStatus::Optimal {
+        return Err(LpError::Numerical(format!(
+            "restricted master came back {:?}",
+            sol.status
+        )));
+    }
+    let expected_duals = ncoup + nblocks;
+    if sol.duals.len() != expected_duals {
+        return Err(LpError::Numerical(format!(
+            "restricted master returned {} duals, expected {expected_duals}",
+            sol.duals.len()
+        )));
+    }
+    let lambda: Vec<f64> = lambdas.iter().map(|&v| sol.values[v.index()]).collect();
+    let art_sum: f64 = arts.iter().map(|&v| sol.values[v.index()].abs()).sum();
+    let y = sol.duals[..ncoup].to_vec();
+    let mu = sol.duals[ncoup..].to_vec();
+    Ok(RmpOutcome {
+        lambda,
+        y,
+        mu,
+        art_sum,
+        stats: sol.stats,
+        basis: sol.basis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::columns::Column;
+    use crate::decomp::BlockStructure;
+
+    /// Two singleton blocks coupled by `a + b <= cap`.
+    fn fixture(cap: f64) -> (Model, BlockStructure) {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 4.0, 3.0, false);
+        let b = m.add_var("b", 0.0, 4.0, 2.0, false);
+        m.add_cons("blk0", &[(a, 1.0)], ConstraintOp::Eq, 2.0);
+        m.add_cons("blk1", &[(b, 1.0)], ConstraintOp::Eq, 2.0);
+        m.add_cons("cap", &[(a, 1.0), (b, 1.0)], ConstraintOp::Le, cap);
+        let s = BlockStructure::infer(&m, &[0, 1]).unwrap();
+        (m, s)
+    }
+
+    fn seed_pool() -> ColumnPool {
+        let mut pool = ColumnPool::new(2);
+        pool.push(Column {
+            block: 0,
+            x: vec![2.0],
+            obj: 6.0,
+            coup: vec![(0, 2.0)],
+        });
+        pool.push(Column {
+            block: 1,
+            x: vec![2.0],
+            obj: 4.0,
+            coup: vec![(0, 2.0)],
+        });
+        pool
+    }
+
+    #[test]
+    fn satisfied_coupling_leaves_artificials_at_zero() {
+        let (m, s) = fixture(5.0);
+        let out = solve_rmp(&m, &s, &seed_pool(), 1e6, None, None).unwrap();
+        assert!(out.art_sum < 1e-9, "art mass {}", out.art_sum);
+        assert!((out.lambda[0] - 1.0).abs() < 1e-7);
+        assert!((out.lambda[1] - 1.0).abs() < 1e-7);
+        // Slack coupling row: zero dual; convexity duals carry the column
+        // objectives.
+        assert!(out.y[0].abs() < 1e-7);
+        assert!((out.mu[0] - 6.0).abs() < 1e-6);
+        assert!((out.mu[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn violated_coupling_is_absorbed_by_artificials() {
+        let (m, s) = fixture(3.0);
+        let out = solve_rmp(&m, &s, &seed_pool(), 1e6, None, None).unwrap();
+        // Each block has a single column pinned to 2.0 by convexity, so the
+        // cap row needs 1.0 of artificial relief.
+        assert!((out.art_sum - 1.0).abs() < 1e-6, "art mass {}", out.art_sum);
+        // The coupling dual reflects the penalty: relaxing the cap by one
+        // unit saves one unit of artificial at cost M.
+        assert!(out.y[0] > 1e5, "penalty-scale dual, got {}", out.y[0]);
+    }
+
+    #[test]
+    fn warm_basis_survives_pool_growth() {
+        let (m, s) = fixture(5.0);
+        let pool = seed_pool();
+        let first = solve_rmp(&m, &s, &pool, 1e6, None, None).unwrap();
+        let basis = first.basis.expect("master returns a basis");
+        let mut grown = seed_pool();
+        grown.push(Column {
+            block: 0,
+            x: vec![1.0],
+            obj: 3.0,
+            coup: vec![(0, 1.0)],
+        });
+        let warm = crate::decomp::columns::remap_basis(&basis, pool.len(), 1);
+        let out = solve_rmp(&m, &s, &grown, 1e6, Some(&warm), None).unwrap();
+        // Block 0 is pinned to a==2 by its convexity+column set, so the
+        // objective is unchanged; the remapped basis must still be usable.
+        assert!(out.art_sum < 1e-9);
+        assert!((out.lambda[0] - 1.0).abs() < 1e-7);
+    }
+}

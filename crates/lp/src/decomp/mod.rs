@@ -1,0 +1,697 @@
+//! Dantzig-Wolfe decomposition: column generation for block-angular LPs.
+//!
+//! The time-expanded multi-commodity-flow LP the copy-free path builds
+//! (`teccl-core`'s `lp_form`) is the textbook block-angular shape: every
+//! variable belongs to exactly one commodity **source** (its `F`/`B`/`r`
+//! columns), every flow-conservation / initialization / destination row
+//! touches one source only, and the *only* rows tying sources together are
+//! the per-link-per-epoch capacity rows (plus the optional shared buffer
+//! limits). This module exploits that:
+//!
+//! * [`BlockStructure::infer`] splits the model into per-block rows and the
+//!   coupling rows, given a caller-supplied variable→block labelling,
+//! * [`pricing`] keeps one small LP per block (the source's private
+//!   polytope) and re-solves it each round under reduced costs, warm from
+//!   its previous basis — pricing subproblems are independent and run in
+//!   parallel on scoped threads with per-worker [`SolveBudget`] children,
+//! * [`master`] rebuilds and re-solves the **restricted master problem**
+//!   (RMP): one λ column per generated extreme point, the coupling rows, one
+//!   convexity row per block, and big-M artificials so the RMP is always
+//!   feasible (artificials above tolerance at convergence mean the LP is
+//!   infeasible),
+//! * [`solve_decomposed`] drives the loop, tracks the Lagrangian dual bound
+//!   `y·b + Σ_s v_s` for an early-out optimality gap, and — when the budget
+//!   trips — hands back the latest artificial-free RMP point as a
+//!   `Feasible` incumbent with `stats.budget_stop` set, exactly what the
+//!   service degradation ladder expects.
+//!
+//! The decomposition is an *algorithm* knob, never an answer knob: every
+//! path that cannot certify (unbounded or non-optimal subproblems, RMP
+//! trouble, numerical stalls, round caps) falls back to the monolithic
+//! simplex, so `decompose: on` agrees with `off` to solver tolerance by
+//! construction. Thread count only distributes the per-block solves — the
+//! set of generated columns is identical at any worker count.
+
+pub mod columns;
+pub mod master;
+pub mod pricing;
+
+use std::time::Instant;
+
+use teccl_util::SolveBudget;
+
+use crate::error::LpError;
+use crate::model::{Model, Sense};
+use crate::solution::{Solution, SolveStats, SolveStatus};
+
+pub use columns::{Column, ColumnPool};
+
+/// Whether a solve may use the Dantzig-Wolfe decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decompose {
+    /// Decompose when it should win: pure LP, at least
+    /// [`DECOMP_MIN_ROWS`] rows, at least two blocks, more than one worker
+    /// thread, and no iteration-capped budget (parallel pricing charges all
+    /// workers' pivots to the shared counter and would trip a cap early,
+    /// mirroring the portfolio-race gate).
+    #[default]
+    Auto,
+    /// Decompose whenever the structure allows it (≥ 2 blocks, pure LP).
+    On,
+    /// Never decompose.
+    Off,
+}
+
+impl Decompose {
+    /// Stable wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Decompose::Auto => "auto",
+            Decompose::On => "on",
+            Decompose::Off => "off",
+        }
+    }
+
+    /// Inverse of [`Decompose::name`].
+    pub fn from_name(name: &str) -> Option<Decompose> {
+        match name {
+            "auto" => Some(Decompose::Auto),
+            "on" => Some(Decompose::On),
+            "off" => Some(Decompose::Off),
+            _ => None,
+        }
+    }
+}
+
+/// `auto` row threshold: below this the monolithic simplex wins outright
+/// (decomposition pays per-round RMP rebuilds), so `Decompose::Auto` only
+/// engages at or above it — the same shape as `par::RACE_MIN_ROWS`.
+pub const DECOMP_MIN_ROWS: usize = 400;
+
+/// Knobs of [`solve_decomposed`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecompOptions {
+    /// Worker threads for the parallel pricing round (the RMP stays
+    /// sequential). Clamped to at least 1.
+    pub threads: usize,
+    /// Relative Lagrangian-gap early-out: certify once
+    /// `|bound - incumbent| <= gap_tol * max(1, |incumbent|)` with an
+    /// artificial-free master.
+    pub gap_tol: f64,
+    /// Hard cap on column-generation rounds; hitting it falls back to the
+    /// monolithic simplex (correct, just not decomposed).
+    pub max_rounds: usize,
+}
+
+impl Default for DecompOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            gap_tol: 1e-9,
+            max_rounds: 2000,
+        }
+    }
+}
+
+/// The block-angular split of a [`Model`]: which rows belong to which block
+/// and which rows couple them.
+#[derive(Debug, Clone)]
+pub struct BlockStructure {
+    /// Number of blocks.
+    pub num_blocks: usize,
+    /// Block of each variable, indexed by `VarId::index()`.
+    pub var_block: Vec<usize>,
+    /// Global variable indices of each block, ascending.
+    pub block_vars: Vec<Vec<usize>>,
+    /// Global constraint indices private to each block (all terms in one
+    /// block).
+    pub block_rows: Vec<Vec<usize>>,
+    /// Global constraint indices touching two or more blocks (or none —
+    /// a constant row is checked in the master like any coupling row).
+    pub coupling_rows: Vec<usize>,
+}
+
+impl BlockStructure {
+    /// Classifies the model's rows for a caller-supplied variable→block
+    /// labelling (the builder of the model knows its blocks — `lp_form`
+    /// labels every `F`/`B`/`r` column with its source). Fails if the
+    /// labelling does not cover every variable.
+    pub fn infer(model: &Model, var_block: &[usize]) -> Result<Self, LpError> {
+        if var_block.len() != model.num_vars() {
+            return Err(LpError::Numerical(format!(
+                "block labelling covers {} of {} variables",
+                var_block.len(),
+                model.num_vars()
+            )));
+        }
+        let num_blocks = var_block.iter().copied().max().map_or(0, |b| b + 1);
+        let mut block_vars = vec![Vec::new(); num_blocks];
+        for (j, &b) in var_block.iter().enumerate() {
+            block_vars[b].push(j);
+        }
+        let mut block_rows = vec![Vec::new(); num_blocks];
+        let mut coupling_rows = Vec::new();
+        for (i, c) in model.cons.iter().enumerate() {
+            let mut owner: Option<usize> = None;
+            let mut coupled = c.terms.is_empty();
+            for (vid, _) in &c.terms {
+                let b = var_block[vid.index()];
+                match owner {
+                    None => owner = Some(b),
+                    Some(o) if o != b => {
+                        coupled = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if coupled {
+                coupling_rows.push(i);
+            } else if let Some(o) = owner {
+                block_rows[o].push(i);
+            }
+        }
+        Ok(Self {
+            num_blocks,
+            var_block: var_block.to_vec(),
+            block_vars,
+            block_rows,
+            coupling_rows,
+        })
+    }
+}
+
+/// The `auto`/`on`/`off` engagement decision (shared by `lp_form` and the
+/// tests so the gate has exactly one definition).
+pub fn should_decompose(
+    choice: Decompose,
+    model: &Model,
+    structure: &BlockStructure,
+    threads: usize,
+    budget: Option<&SolveBudget>,
+) -> bool {
+    let splittable = structure.num_blocks >= 2 && !model.is_mip();
+    match choice {
+        Decompose::Off => false,
+        Decompose::On => splittable,
+        Decompose::Auto => {
+            splittable
+                && threads > 1
+                && model.num_cons() >= DECOMP_MIN_ROWS
+                && budget.is_none_or(|b| !b.has_iteration_cap())
+        }
+    }
+}
+
+/// Relative reduced-cost tolerance for accepting a priced column.
+const RC_TOL: f64 = 1e-9;
+/// Artificial mass above which the master point is not primal-usable.
+const ART_TOL: f64 = 1e-6;
+/// Big-M escalation ceiling: artificials persisting at this penalty mean
+/// the coupling rows are genuinely unsatisfiable.
+const M_MAX: f64 = 1e13;
+
+/// Solves a block-angular LP by Dantzig-Wolfe column generation.
+///
+/// Correctness contract (the fuzz suite pins it): same status as the
+/// monolithic [`Model::solve_lp_relaxation`], objective equal to `1e-6`.
+/// Paths that cannot certify fall back to the monolithic simplex inside
+/// this call. On a budget stop with an artificial-free master incumbent the
+/// result is `Feasible` with `stats.budget_stop` set; with no incumbent,
+/// [`LpError::Budget`].
+pub fn solve_decomposed(
+    model: &Model,
+    structure: &BlockStructure,
+    budget: Option<&SolveBudget>,
+    opts: &DecompOptions,
+) -> Result<Solution, LpError> {
+    model.validate()?;
+    let start = Instant::now();
+    if model.is_mip() || structure.num_blocks < 2 {
+        return fallback(model, budget, opts, SolveStats::default(), start);
+    }
+
+    let dir = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let ncoup = structure.coupling_rows.len();
+    let b_coup: Vec<f64> = structure
+        .coupling_rows
+        .iter()
+        .map(|&i| model.cons[i].rhs)
+        .collect();
+
+    let mut stats = SolveStats::default();
+    let mut probs: Vec<pricing::PricingProblem> = (0..structure.num_blocks)
+        .map(|s| pricing::PricingProblem::build(model, structure, s))
+        .collect();
+    let mut pool = ColumnPool::new(structure.num_blocks);
+
+    // Round 0: true-objective block solves (zero duals) seed one column per
+    // block. A block infeasible on its own rows proves the LP infeasible; an
+    // unbounded or uncertified block means extreme points alone cannot span
+    // the answer, so the monolithic simplex takes over.
+    let zeros = vec![0.0; ncoup];
+    let seed = pricing::price_round(&mut probs, &zeros, opts.threads, budget);
+    for st in pricing::take_round_stats(&mut probs) {
+        stats.absorb(&st);
+    }
+    match merge_round(seed, budget) {
+        RoundOutcome::Priced(cols) => {
+            for (_v, col) in cols {
+                pool.push(col);
+            }
+        }
+        RoundOutcome::Infeasible => {
+            let mut sol = crate::model::infeasible_solution(model.num_vars());
+            sol.stats = stats;
+            sol.stats.solve_time = start.elapsed();
+            return Ok(sol);
+        }
+        RoundOutcome::Budget(cause) => return Err(LpError::Budget(cause)),
+        RoundOutcome::Abort => return fallback(model, budget, opts, stats, start),
+    }
+
+    // Big-M penalty scaled to the seed columns' objectives; escalated when
+    // column generation converges with artificials still in the basis.
+    let obj_scale = pool
+        .cols()
+        .iter()
+        .map(|c| c.obj.abs())
+        .fold(1.0f64, f64::max);
+    let mut m_penalty = 1e6_f64.max(1e4 * obj_scale);
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut rmp_basis = None;
+    let mut lambda_at_basis = 0usize;
+    let mut stalled = 0usize;
+    let mut rounds = 0usize;
+    let finish_budget = |cause,
+                         incumbent: Option<(Vec<f64>, f64)>,
+                         mut stats: SolveStats,
+                         rounds: usize,
+                         ncols: usize| match incumbent {
+        Some((x, obj)) => {
+            stats.budget_stop = Some(cause);
+            stats.dw_rounds = rounds;
+            stats.dw_columns = ncols;
+            stats.solve_time = start.elapsed();
+            Ok(Solution {
+                status: SolveStatus::Feasible,
+                objective: obj,
+                values: x,
+                duals: Vec::new(),
+                stats,
+                basis: None,
+            })
+        }
+        None => Err(LpError::Budget(cause)),
+    };
+
+    loop {
+        rounds += 1;
+        if let Some(b) = budget {
+            // One round = one charged unit on top of the per-pivot charges
+            // the RMP and pricing solves make themselves.
+            if let Err(cause) = b.charge(1) {
+                return finish_budget(cause, incumbent, stats, rounds, pool.len());
+            }
+        }
+        if rounds > opts.max_rounds {
+            return fallback(model, budget, opts, stats, start);
+        }
+
+        let warm = rmp_basis
+            .as_ref()
+            .map(|b| columns::remap_basis(b, lambda_at_basis, pool.len() - lambda_at_basis));
+        let rmp = match master::solve_rmp(model, structure, &pool, m_penalty, warm.as_ref(), budget)
+        {
+            Ok(r) => r,
+            Err(LpError::Budget(cause)) => {
+                return finish_budget(cause, incumbent, stats, rounds, pool.len())
+            }
+            Err(_) => return fallback(model, budget, opts, stats, start),
+        };
+        stats.absorb(&rmp.stats);
+        lambda_at_basis = pool.len();
+        rmp_basis = rmp.basis;
+        if rmp.art_sum <= ART_TOL {
+            let x = pool.assemble(structure, model.num_vars(), &rmp.lambda);
+            let obj = model.eval_objective(&x);
+            incumbent = Some((x, obj));
+        }
+
+        let round = pricing::price_round(&mut probs, &rmp.y, opts.threads, budget);
+        let priced = match merge_round(round, budget) {
+            RoundOutcome::Priced(cols) => cols,
+            RoundOutcome::Infeasible => {
+                let mut sol = crate::model::infeasible_solution(model.num_vars());
+                sol.stats = stats;
+                sol.stats.solve_time = start.elapsed();
+                return Ok(sol);
+            }
+            RoundOutcome::Budget(cause) => {
+                return finish_budget(cause, incumbent, stats, rounds, pool.len())
+            }
+            RoundOutcome::Abort => return fallback(model, budget, opts, stats, start),
+        };
+        for st in pricing::take_round_stats(&mut probs) {
+            stats.absorb(&st);
+        }
+
+        // Lagrangian dual bound: `y·b + Σ_s v_s` is a valid bound for any
+        // sign-feasible y (which the RMP optimum's duals are), artificials
+        // or not — only the *incumbent* side needs an artificial-free
+        // master.
+        let bound: f64 = rmp
+            .y
+            .iter()
+            .zip(b_coup.iter())
+            .map(|(y, b)| y * b)
+            .sum::<f64>()
+            + priced.iter().map(|(v, _)| v).sum::<f64>();
+        if let Some((_, inc_obj)) = &incumbent {
+            stats.best_bound = bound;
+            let gap = dir * (bound - inc_obj);
+            if rmp.art_sum <= ART_TOL && gap <= opts.gap_tol * inc_obj.abs().max(1.0) {
+                return finish_optimal(model, incumbent, stats, rounds, pool.len(), start);
+            }
+        }
+
+        let mut any_improving = false;
+        let mut added = 0usize;
+        for (s, (v, col)) in priced.into_iter().enumerate() {
+            let improvement = dir * (v - rmp.mu[s]);
+            if improvement > RC_TOL * v.abs().max(1.0) {
+                any_improving = true;
+                if pool.push(col) {
+                    added += 1;
+                }
+            }
+        }
+
+        if !any_improving {
+            if rmp.art_sum <= ART_TOL {
+                // No block prices out and the master is artificial-free:
+                // the RMP optimum is optimal for the full LP.
+                return finish_optimal(model, incumbent, stats, rounds, pool.len(), start);
+            }
+            // Converged but infeasible at this penalty — escalate M until
+            // the artificials either leave or prove the coupling rows
+            // unsatisfiable.
+            if m_penalty >= M_MAX {
+                let mut sol = crate::model::infeasible_solution(model.num_vars());
+                sol.stats = stats;
+                sol.stats.dw_rounds = rounds;
+                sol.stats.dw_columns = pool.len();
+                sol.stats.solve_time = start.elapsed();
+                return Ok(sol);
+            }
+            m_penalty *= 100.0;
+            continue;
+        }
+        if added == 0 {
+            // Blocks claim improvement but every priced column is already in
+            // the pool: dual-tolerance noise. One retry (the RMP may still
+            // move), then hand over to the monolithic simplex.
+            stalled += 1;
+            if stalled >= 2 {
+                return fallback(model, budget, opts, stats, start);
+            }
+        } else {
+            stalled = 0;
+        }
+    }
+}
+
+/// Certified outcome: the incumbent (assembled from the final
+/// artificial-free master) is optimal.
+fn finish_optimal(
+    model: &Model,
+    incumbent: Option<(Vec<f64>, f64)>,
+    mut stats: SolveStats,
+    rounds: usize,
+    ncols: usize,
+    start: Instant,
+) -> Result<Solution, LpError> {
+    let (x, obj) = incumbent.expect("optimal exit requires an artificial-free master");
+    stats.dw_rounds = rounds;
+    stats.dw_columns = ncols;
+    stats.mip_gap = 0.0;
+    stats.solve_time = start.elapsed();
+    debug_assert!(model.is_feasible(&x, 1e-5));
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective: obj,
+        values: x,
+        // Duals of the original rows are not assembled (downstream of the
+        // decomposed path nothing consumes them); callers needing duals
+        // solve monolithically.
+        duals: Vec::new(),
+        stats,
+        basis: None,
+    })
+}
+
+/// The always-correct escape hatch: any path that cannot certify through
+/// the master/pricing loop re-solves monolithically (threaded, so the
+/// portfolio race still applies when it is worth it). `dw_rounds` stays 0.
+fn fallback(
+    model: &Model,
+    budget: Option<&SolveBudget>,
+    opts: &DecompOptions,
+    stats: SolveStats,
+    start: Instant,
+) -> Result<Solution, LpError> {
+    let mut sol = model.solve_lp_relaxation_threaded(None, budget, opts.threads.max(1))?;
+    sol.stats.absorb(&stats);
+    sol.stats.dw_rounds = 0;
+    sol.stats.dw_columns = 0;
+    sol.stats.solve_time = start.elapsed();
+    Ok(sol)
+}
+
+/// Per-round merge of the per-block pricing results.
+enum RoundOutcome {
+    /// Every block certified: `(v_s, column)` per block, in block order.
+    Priced(Vec<(f64, Column)>),
+    Infeasible,
+    Budget(teccl_util::BudgetExceeded),
+    Abort,
+}
+
+fn merge_round(
+    results: Vec<Result<pricing::PriceOutcome, LpError>>,
+    budget: Option<&SolveBudget>,
+) -> RoundOutcome {
+    let mut cols = Vec::with_capacity(results.len());
+    let mut budget_cause = None;
+    for r in results {
+        match r {
+            Ok(pricing::PriceOutcome::Optimal { value, column }) => cols.push((value, column)),
+            Ok(pricing::PriceOutcome::Infeasible) => return RoundOutcome::Infeasible,
+            Ok(pricing::PriceOutcome::Uncertified) => return RoundOutcome::Abort,
+            Err(LpError::Budget(cause)) => budget_cause = Some(cause),
+            Err(_) => return RoundOutcome::Abort,
+        }
+    }
+    if let Some(cause) = budget_cause {
+        // A worker tripped its child budget: either the request budget is
+        // really exhausted (report that cause) or a sibling hard-error
+        // cancelled the round (covered by Abort above — reaching here with a
+        // live parent budget means a plain child-level trip, still a stop).
+        return RoundOutcome::Budget(budget.and_then(|b| b.exceeded()).unwrap_or(cause));
+    }
+    RoundOutcome::Priced(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ConstraintOp, Sense};
+
+    /// Two 2-variable blocks, one coupling capacity row.
+    ///
+    /// max 3a + 2b + 2c + 1d
+    ///  s.t. a + b == 4        (block 0)
+    ///       c + d == 3        (block 1)
+    ///       a + c <= 5        (coupling)
+    ///       0 <= all <= 4
+    fn coupled_model() -> (Model, BlockStructure) {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 4.0, 3.0, false);
+        let b = m.add_var("b", 0.0, 4.0, 2.0, false);
+        let c = m.add_var("c", 0.0, 4.0, 2.0, false);
+        let d = m.add_var("d", 0.0, 4.0, 1.0, false);
+        m.add_cons("blk0", &[(a, 1.0), (b, 1.0)], ConstraintOp::Eq, 4.0);
+        m.add_cons("blk1", &[(c, 1.0), (d, 1.0)], ConstraintOp::Eq, 3.0);
+        m.add_cons("cap", &[(a, 1.0), (c, 1.0)], ConstraintOp::Le, 5.0);
+        let s = BlockStructure::infer(&m, &[0, 0, 1, 1]).unwrap();
+        (m, s)
+    }
+
+    #[test]
+    fn structure_classifies_rows() {
+        let (_, s) = coupled_model();
+        assert_eq!(s.num_blocks, 2);
+        assert_eq!(s.block_vars, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(s.block_rows, vec![vec![0], vec![1]]);
+        assert_eq!(s.coupling_rows, vec![2]);
+    }
+
+    #[test]
+    fn structure_rejects_partial_labelling() {
+        let (m, _) = coupled_model();
+        assert!(BlockStructure::infer(&m, &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn decomposed_matches_monolithic_optimum() {
+        let (m, s) = coupled_model();
+        let mono = m.solve_lp_relaxation().unwrap();
+        for threads in [1, 4] {
+            let opts = DecompOptions {
+                threads,
+                ..Default::default()
+            };
+            let dw = solve_decomposed(&m, &s, None, &opts).unwrap();
+            assert_eq!(dw.status, SolveStatus::Optimal);
+            assert!(
+                (dw.objective - mono.objective).abs() < 1e-6,
+                "decomposed {} vs monolithic {} at {threads} threads",
+                dw.objective,
+                mono.objective
+            );
+            assert!(dw.stats.dw_rounds > 0, "must certify via column generation");
+            assert!(m.is_feasible(&dw.values, 1e-6));
+        }
+    }
+
+    #[test]
+    fn decomposed_detects_coupling_infeasibility() {
+        // Both blocks force their variable to 2, the coupling row wants the
+        // sum below 3: blocks are feasible alone, the LP is not.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 4.0, 1.0, false);
+        let b = m.add_var("b", 0.0, 4.0, 1.0, false);
+        m.add_cons("blk0", &[(a, 1.0)], ConstraintOp::Eq, 2.0);
+        m.add_cons("blk1", &[(b, 1.0)], ConstraintOp::Eq, 2.0);
+        m.add_cons("cap", &[(a, 1.0), (b, 1.0)], ConstraintOp::Le, 3.0);
+        let s = BlockStructure::infer(&m, &[0, 1]).unwrap();
+        let dw = solve_decomposed(&m, &s, None, &DecompOptions::default()).unwrap();
+        assert_eq!(dw.status, SolveStatus::Infeasible);
+        let mono = m.solve_lp_relaxation().unwrap();
+        assert_eq!(mono.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn decomposed_detects_block_infeasibility() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 1.0, 1.0, false);
+        let b = m.add_var("b", 0.0, 4.0, 1.0, false);
+        m.add_cons("blk0", &[(a, 1.0)], ConstraintOp::Eq, 3.0); // a <= 1
+        m.add_cons("blk1", &[(b, 1.0)], ConstraintOp::Eq, 2.0);
+        m.add_cons("cap", &[(a, 1.0), (b, 1.0)], ConstraintOp::Le, 9.0);
+        let s = BlockStructure::infer(&m, &[0, 1]).unwrap();
+        let dw = solve_decomposed(&m, &s, None, &DecompOptions::default()).unwrap();
+        assert_eq!(dw.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn single_block_and_mip_fall_back() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 4.0, 1.0, false);
+        m.add_cons("c", &[(a, 1.0)], ConstraintOp::Le, 2.0);
+        let s = BlockStructure::infer(&m, &[0]).unwrap();
+        let sol = solve_decomposed(&m, &s, None, &DecompOptions::default()).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+        assert_eq!(sol.stats.dw_rounds, 0, "single block cannot decompose");
+    }
+
+    #[test]
+    fn budget_stop_returns_incumbent_or_budget_error() {
+        let (m, s) = coupled_model();
+        // A zero-iteration budget trips before any incumbent exists.
+        let b = SolveBudget::with_iteration_cap(0);
+        match solve_decomposed(&m, &s, Some(&b), &DecompOptions::default()) {
+            Err(LpError::Budget(_)) => {}
+            Ok(sol) => panic!("cap 0 must not certify, got {:?}", sol.status),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        // A cancelled budget reports `Cancelled`.
+        let b = SolveBudget::unlimited();
+        b.cancel();
+        match solve_decomposed(&m, &s, Some(&b), &DecompOptions::default()) {
+            Err(LpError::Budget(teccl_util::BudgetExceeded::Cancelled)) => {}
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_gate_mirrors_race_gate() {
+        let (m, s) = coupled_model();
+        // Too small and single-threaded: auto stays off.
+        assert!(!should_decompose(Decompose::Auto, &m, &s, 1, None));
+        assert!(!should_decompose(Decompose::Auto, &m, &s, 4, None));
+        assert!(should_decompose(Decompose::On, &m, &s, 1, None));
+        assert!(!should_decompose(Decompose::Off, &m, &s, 8, None));
+        // A big-enough model with threads engages, unless iteration-capped.
+        let mut big = m.clone();
+        let a = crate::model::VarId(0);
+        for i in 0..DECOMP_MIN_ROWS {
+            big.add_cons(format!("pad{i}"), &[(a, 1.0)], ConstraintOp::Le, 100.0);
+        }
+        let s = BlockStructure::infer(&big, &[0, 0, 1, 1]).unwrap();
+        assert!(should_decompose(Decompose::Auto, &big, &s, 4, None));
+        let capped = SolveBudget::with_iteration_cap(10);
+        assert!(!should_decompose(
+            Decompose::Auto,
+            &big,
+            &s,
+            4,
+            Some(&capped)
+        ));
+        let uncapped = SolveBudget::with_deadline(std::time::Duration::from_secs(5));
+        assert!(should_decompose(
+            Decompose::Auto,
+            &big,
+            &s,
+            4,
+            Some(&uncapped)
+        ));
+    }
+
+    #[test]
+    fn decompose_names_roundtrip() {
+        for d in [Decompose::Auto, Decompose::On, Decompose::Off] {
+            assert_eq!(Decompose::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Decompose::from_name("sideways"), None);
+        assert_eq!(Decompose::default(), Decompose::Auto);
+    }
+
+    #[test]
+    fn minimize_sense_agrees_too() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", 0.0, 9.0, 2.0, false);
+        let b = m.add_var("b", 0.0, 9.0, 5.0, false);
+        let c = m.add_var("c", 0.0, 9.0, 1.0, false);
+        let d = m.add_var("d", 0.0, 9.0, 4.0, false);
+        m.add_cons("blk0", &[(a, 1.0), (b, 1.0)], ConstraintOp::Ge, 3.0);
+        m.add_cons("blk1", &[(c, 1.0), (d, 1.0)], ConstraintOp::Ge, 5.0);
+        m.add_cons("cap", &[(a, 1.0), (c, 1.0)], ConstraintOp::Le, 4.0);
+        let s = BlockStructure::infer(&m, &[0, 0, 1, 1]).unwrap();
+        let mono = m.solve_lp_relaxation().unwrap();
+        let dw = solve_decomposed(&m, &s, None, &DecompOptions::default()).unwrap();
+        assert_eq!(dw.status, mono.status);
+        assert!(
+            (dw.objective - mono.objective).abs() < 1e-6,
+            "{} vs {}",
+            dw.objective,
+            mono.objective
+        );
+        assert!(dw.stats.dw_rounds > 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Per-block pricing subproblems for the Dantzig-Wolfe loop.
+//!
+//! Each block keeps its own [`StandardForm`] (built once from the block's
+//! private rows, bounds and variables) and its previous optimal basis. A
+//! pricing round overwrites the form's objective with the reduced prices
+//! `c_g − Σ_i y_i A[i,g]` and re-solves warm: the old vertex is still
+//! primal feasible under a pure cost change, so the warm path's
+//! dual-then-certify machinery restarts the walk from it instead of a cold
+//! phase 1 — the cross-round carry the monolithic solver can't have.
+//!
+//! Rounds are embarrassingly parallel: blocks are chunked over scoped
+//! threads, each worker exclusively owning its chunk's mutable state (no
+//! shared mutability, hence no locks — the lock-discipline lint stays
+//! trivially clean). Every worker answers to its own
+//! [`SolveBudget::child`]: a hard error cancels all children so siblings
+//! stop mid-round, while the request's own budget stays untouched.
+
+use teccl_util::SolveBudget;
+
+use crate::error::LpError;
+use crate::model::{Model, Sense};
+use crate::simplex::solve_standard_form_budgeted;
+use crate::solution::{SolveStats, SolveStatus};
+use crate::standard::StandardForm;
+
+use super::columns::Column;
+use super::BlockStructure;
+
+/// Result of pricing one block.
+#[derive(Debug)]
+pub enum PriceOutcome {
+    /// The subproblem certified: `value` is its optimum under the current
+    /// prices (original sense) and `column` the optimal extreme point.
+    Optimal { value: f64, column: Column },
+    /// The block's own rows are infeasible — so is the whole LP (they are a
+    /// relaxation of it).
+    Infeasible,
+    /// Unbounded or otherwise uncertified: extreme points alone cannot
+    /// carry the master, the driver must fall back to the monolithic path.
+    Uncertified,
+}
+
+/// One block's standing pricing state.
+#[derive(Debug)]
+pub struct PricingProblem {
+    block: usize,
+    sf: StandardForm,
+    /// Structural (block-local) variable count.
+    nvars: usize,
+    /// True objective over the block's variables, block-local order.
+    orig_obj: Vec<f64>,
+    /// `(local_var, coupling_position, coefficient)` triplets of the
+    /// block's footprint on the coupling rows.
+    coup_terms: Vec<(usize, usize, f64)>,
+    warm: Option<crate::basis::SimplexBasis>,
+    /// Counters accumulated since the last [`take_round_stats`] drain.
+    stats: SolveStats,
+}
+
+impl PricingProblem {
+    /// Builds the block's private LP: its variables (global bounds kept),
+    /// its private rows, objective initially zero (every solve goes through
+    /// [`PricingProblem::price`], which installs the round's prices).
+    pub fn build(model: &Model, structure: &BlockStructure, block: usize) -> Self {
+        let vars = &structure.block_vars[block];
+        let mut local_of = std::collections::HashMap::with_capacity(vars.len());
+        let mut sub = Model::new(model.sense);
+        let mut orig_obj = Vec::with_capacity(vars.len());
+        for (local, &g) in vars.iter().enumerate() {
+            let v = &model.vars[g];
+            sub.add_var(v.name.clone(), v.lb, v.ub, 0.0, false);
+            orig_obj.push(v.obj);
+            local_of.insert(g, local);
+        }
+        for &row in &structure.block_rows[block] {
+            let c = &model.cons[row];
+            let terms: Vec<_> = c
+                .terms
+                .iter()
+                .map(|(vid, a)| (crate::model::VarId(local_of[&vid.index()]), *a))
+                .collect();
+            sub.add_cons(c.name.clone(), &terms, c.op, c.rhs);
+        }
+        let mut coup_terms = Vec::new();
+        for (pos, &row) in structure.coupling_rows.iter().enumerate() {
+            for (vid, a) in &model.cons[row].terms {
+                if let Some(&local) = local_of.get(&vid.index()) {
+                    coup_terms.push((local, pos, *a));
+                }
+            }
+        }
+        let sf = StandardForm::from_model(&sub);
+        Self {
+            block,
+            sf,
+            nvars: vars.len(),
+            orig_obj,
+            coup_terms,
+            warm: None,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Re-solves the block under coupling duals `y` (zeros for the seeding
+    /// round). Warm from the previous round's basis; the budget is checked
+    /// at every pivot inside the simplex.
+    pub fn price(
+        &mut self,
+        y: &[f64],
+        budget: Option<&SolveBudget>,
+    ) -> Result<PriceOutcome, LpError> {
+        let mut price = self.orig_obj.clone();
+        for &(local, pos, a) in &self.coup_terms {
+            price[local] -= y[pos] * a;
+        }
+        // The standard form stores the *internal minimization* costs; slack
+        // costs past `nvars` stay zero.
+        for (local, &p) in price.iter().enumerate() {
+            self.sf.c[local] = self.sf.obj_sign * p;
+        }
+        let sol =
+            solve_standard_form_budgeted(&self.sf, self.nvars, &[], self.warm.as_ref(), budget)?;
+        self.stats.absorb(&sol.stats);
+        if let Some(cause) = sol.stats.budget_stop {
+            return Err(LpError::Budget(cause));
+        }
+        match sol.status {
+            SolveStatus::Optimal => {
+                self.warm = sol.basis;
+                let x = sol.values;
+                let obj: f64 = self.orig_obj.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+                let ncoup = y.len();
+                let mut coup_dense = vec![0.0; ncoup];
+                for &(local, pos, a) in &self.coup_terms {
+                    coup_dense[pos] += a * x[local];
+                }
+                let coup: Vec<(usize, f64)> = coup_dense
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.abs() > 1e-12)
+                    .collect();
+                Ok(PriceOutcome::Optimal {
+                    value: sol.objective,
+                    column: Column {
+                        block: self.block,
+                        x,
+                        obj,
+                        coup,
+                    },
+                })
+            }
+            SolveStatus::Infeasible => Ok(PriceOutcome::Infeasible),
+            _ => Ok(PriceOutcome::Uncertified),
+        }
+    }
+}
+
+/// Sense-aware improvement direction helper used by the driver's tests.
+pub fn improvement(sense: Sense, value: f64, mu: f64) -> f64 {
+    match sense {
+        Sense::Maximize => value - mu,
+        Sense::Minimize => mu - value,
+    }
+}
+
+/// Prices every block under duals `y`, distributing blocks over up to
+/// `threads` scoped workers. Results come back in block order regardless of
+/// the worker count — thread count is a *how*, never a *what*.
+pub fn price_round(
+    probs: &mut [PricingProblem],
+    y: &[f64],
+    threads: usize,
+    budget: Option<&SolveBudget>,
+) -> Vec<Result<PriceOutcome, LpError>> {
+    let workers = threads.max(1).min(probs.len().max(1));
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(probs.len());
+        for p in probs.iter_mut() {
+            // Per-block budget check so an exhausted budget stops the round
+            // between solves, not only inside them.
+            if let Some(cause) = budget.and_then(|b| b.exceeded()) {
+                out.push(Err(LpError::Budget(cause)));
+                continue;
+            }
+            out.push(p.price(y, budget));
+        }
+        return out;
+    }
+    // Per-worker child budgets: same deadline/cap accounting as the
+    // request's budget, plus a private cancel flag a hard-erroring worker
+    // flips for all its siblings.
+    let root = budget.cloned().unwrap_or_default();
+    let children: Vec<SolveBudget> = (0..workers).map(|_| root.child()).collect();
+    let chunk = probs.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(probs.len());
+    std::thread::scope(|scope| {
+        let children = &children;
+        let mut handles = Vec::with_capacity(workers);
+        for (w, slab) in probs.chunks_mut(chunk).enumerate() {
+            handles.push(scope.spawn(move || {
+                let mine = &children[w];
+                let mut results = Vec::with_capacity(slab.len());
+                for p in slab.iter_mut() {
+                    if let Some(cause) = mine.exceeded() {
+                        results.push(Err(LpError::Budget(cause)));
+                        continue;
+                    }
+                    let r = p.price(y, Some(mine));
+                    if matches!(r, Err(ref e) if !matches!(e, LpError::Budget(_))) {
+                        // Hard error: no result from this round can be
+                        // used, so stop every sibling mid-round. The
+                        // request's own budget is an ancestor and stays
+                        // untouched.
+                        for sibling in children.iter() {
+                            sibling.cancel();
+                        }
+                    }
+                    results.push(r);
+                }
+                results
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("pricing worker panicked"));
+        }
+    });
+    out
+}
+
+/// Drains the per-block counters accumulated since the previous drain (the
+/// driver folds them into the solve-wide stats once per round).
+pub fn take_round_stats(probs: &mut [PricingProblem]) -> Vec<SolveStats> {
+    probs
+        .iter_mut()
+        .map(|p| std::mem::take(&mut p.stats))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConstraintOp;
+
+    /// One block: max 3a + 2b s.t. a + b == 4, a,b ∈ [0,4]; one coupling
+    /// row `a <= 1` (position 0).
+    fn one_block() -> (Model, BlockStructure) {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", 0.0, 4.0, 3.0, false);
+        let b = m.add_var("b", 0.0, 4.0, 2.0, false);
+        let c = m.add_var("c", 0.0, 1.0, 0.0, false);
+        m.add_cons("blk", &[(a, 1.0), (b, 1.0)], ConstraintOp::Eq, 4.0);
+        m.add_cons("coup", &[(a, 1.0), (c, 1.0)], ConstraintOp::Le, 1.0);
+        let s = BlockStructure::infer(&m, &[0, 0, 1]).unwrap();
+        (m, s)
+    }
+
+    #[test]
+    fn seed_pricing_solves_true_objective() {
+        let (m, s) = one_block();
+        let mut p = PricingProblem::build(&m, &s, 0);
+        match p.price(&[0.0], None).unwrap() {
+            PriceOutcome::Optimal { value, column } => {
+                // max 3a + 2b on a+b==4 → a=4, b=0, value 12.
+                assert!((value - 12.0).abs() < 1e-7);
+                assert!((column.x[0] - 4.0).abs() < 1e-7);
+                assert_eq!(column.coup, vec![(0, 4.0)], "a's coupling footprint");
+                assert!((column.obj - 12.0).abs() < 1e-7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duals_steer_the_priced_vertex() {
+        let (m, s) = one_block();
+        let mut p = PricingProblem::build(&m, &s, 0);
+        // y = 2 on the coupling row makes a's price 3 - 2 = 1 < 2 = b's:
+        // the optimum flips to b=4.
+        match p.price(&[2.0], None).unwrap() {
+            PriceOutcome::Optimal { value, column } => {
+                assert!((value - 8.0).abs() < 1e-7, "price·x = 2·4");
+                assert!((column.x[1] - 4.0).abs() < 1e-7);
+                assert!((column.obj - 8.0).abs() < 1e-7, "true obj of b=4");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_results_are_worker_count_invariant() {
+        let (m, s) = one_block();
+        let build = || {
+            vec![
+                PricingProblem::build(&m, &s, 0),
+                PricingProblem::build(&m, &s, 1),
+            ]
+        };
+        let mut seq = build();
+        let seq_out = price_round(&mut seq, &[0.5], 1, None);
+        for threads in [2, 8] {
+            let mut par = build();
+            let par_out = price_round(&mut par, &[0.5], threads, None);
+            assert_eq!(par_out.len(), seq_out.len());
+            for (a, b) in par_out.iter().zip(seq_out.iter()) {
+                match (a, b) {
+                    (
+                        Ok(PriceOutcome::Optimal {
+                            value: va,
+                            column: ca,
+                        }),
+                        Ok(PriceOutcome::Optimal {
+                            value: vb,
+                            column: cb,
+                        }),
+                    ) => {
+                        assert!((va - vb).abs() < 1e-12);
+                        assert_eq!(ca.x, cb.x, "identical vertices at any worker count");
+                    }
+                    other => panic!("mismatched outcomes {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_stops_the_round() {
+        let (m, s) = one_block();
+        let mut probs = vec![
+            PricingProblem::build(&m, &s, 0),
+            PricingProblem::build(&m, &s, 1),
+        ];
+        let b = SolveBudget::unlimited();
+        b.cancel();
+        for threads in [1, 2] {
+            let out = price_round(&mut probs, &[0.0], threads, Some(&b));
+            assert!(out.iter().all(|r| matches!(r, Err(LpError::Budget(_)))));
+        }
+    }
+
+    #[test]
+    fn improvement_is_sense_aware() {
+        assert!(improvement(Sense::Maximize, 5.0, 3.0) > 0.0);
+        assert!(improvement(Sense::Maximize, 3.0, 5.0) < 0.0);
+        assert!(improvement(Sense::Minimize, 3.0, 5.0) > 0.0);
+        assert!(improvement(Sense::Minimize, 5.0, 3.0) < 0.0);
+    }
+}

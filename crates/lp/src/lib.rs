@@ -49,6 +49,7 @@
 //! ```
 
 pub mod basis;
+pub mod decomp;
 pub(crate) mod dual;
 pub mod error;
 pub mod milp;
@@ -61,6 +62,9 @@ pub mod sparse;
 pub mod standard;
 
 pub use basis::{LuFactors, SimplexBasis, VarStatus};
+pub use decomp::{
+    should_decompose, solve_decomposed, BlockStructure, DecompOptions, Decompose, DECOMP_MIN_ROWS,
+};
 pub use error::LpError;
 pub use milp::{MilpConfig, MilpSolver};
 pub use model::{ConstraintOp, Model, Sense, VarId};

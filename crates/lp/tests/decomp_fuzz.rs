@@ -1,0 +1,224 @@
+//! Dantzig-Wolfe vs monolithic fuzz: decomposition is a *how*, never a *what*.
+//!
+//! Over a seeded corpus of block-angular (MCF-shaped) LPs — private block
+//! rows coupled by shared capacity rows, the exact shape `lp_form` hands the
+//! decomposer — `solve_decomposed` must report the same status as the
+//! monolithic simplex and, when optimal, an objective equal to 1e-6. The
+//! corpus deliberately mixes feasible-by-construction instances with
+//! master-infeasible ones (lower-bound-forced variables against a too-tight
+//! coupling cap), both senses, and several pricing thread counts.
+
+use teccl_lp::model::{ConstraintOp, Model, Sense};
+use teccl_lp::{solve_decomposed, BlockStructure, DecompOptions, SolveStatus};
+
+/// Small deterministic LCG so the corpus is stable across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in [0, 1).
+    fn f(&mut self) -> f64 {
+        (self.next_u64() & ((1 << 53) - 1)) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f() * (hi - lo)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A random block-angular LP and its variable→block labelling.
+///
+/// Construction keeps every *block* feasible on its own rows (each block's
+/// rows are anchored on a sampled interior point), so any infeasibility is a
+/// coupling-level one — the case the restricted master must certify through
+/// Big-M escalation rather than a pricing subproblem shortcut.
+fn random_block_lp(rng: &mut Lcg) -> (Model, Vec<usize>) {
+    let nblocks = 2 + rng.below(3);
+    let sense = if rng.f() < 0.5 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut m = Model::new(sense);
+    let mut var_block = Vec::new();
+    let mut block_vars: Vec<Vec<teccl_lp::VarId>> = vec![Vec::new(); nblocks];
+    let mut anchor: Vec<Vec<f64>> = vec![Vec::new(); nblocks];
+    for b in 0..nblocks {
+        let nvars = 2 + rng.below(3);
+        for j in 0..nvars {
+            // ~1 in 6 variables is forced away from zero: combined with a
+            // tight coupling cap this is how infeasible instances arise.
+            let lb = if rng.f() < 0.17 {
+                rng.range(0.5, 2.0)
+            } else {
+                0.0
+            };
+            let ub = lb + rng.range(1.0, 6.0);
+            let v = m.add_var(format!("x{b}_{j}"), lb, ub, rng.range(-5.0, 5.0), false);
+            block_vars[b].push(v);
+            var_block.push(b);
+            anchor[b].push(lb + rng.f() * (ub - lb));
+        }
+        // Private rows, anchored on the sampled interior point so the block
+        // polytope is never empty.
+        let nrows = 1 + rng.below(2);
+        for i in 0..nrows {
+            let mut terms = Vec::new();
+            let mut activity = 0.0;
+            for (j, &v) in block_vars[b].iter().enumerate() {
+                if rng.f() < 0.8 {
+                    let a = rng.range(-3.0, 3.0);
+                    terms.push((v, a));
+                    activity += a * anchor[b][j];
+                }
+            }
+            if terms.is_empty() {
+                terms.push((block_vars[b][0], 1.0));
+                activity = anchor[b][0];
+            }
+            let (op, rhs) = match rng.below(3) {
+                0 => (ConstraintOp::Eq, activity),
+                1 => (ConstraintOp::Le, activity + rng.range(0.0, 2.0)),
+                _ => (ConstraintOp::Ge, activity - rng.range(0.0, 2.0)),
+            };
+            m.add_cons(format!("blk{b}_{i}"), &terms, op, rhs);
+        }
+    }
+    // Coupling rows: nonnegative "capacity" footprints over several blocks,
+    // like `cap[link,k]` sums per-source flows. Feasible rows get slack
+    // above the *anchor* activity (the anchor satisfies every block row, so
+    // the whole LP stays feasible); the infeasible slice caps the row below
+    // `Σ a·lb`, which positive coefficients can never undershoot.
+    let anchor_flat: Vec<f64> = anchor.iter().flatten().copied().collect();
+    let ncoup = 1 + rng.below(3);
+    for i in 0..ncoup {
+        let mut terms = Vec::new();
+        let mut lb_activity = 0.0;
+        let mut anchor_activity = 0.0;
+        for &v in block_vars.iter().flatten() {
+            if rng.f() < 0.6 {
+                let a = rng.range(0.1, 2.0);
+                terms.push((v, a));
+                lb_activity += a * m.vars[v.index()].lb;
+                anchor_activity += a * anchor_flat[v.index()];
+            }
+        }
+        if terms.len() < 2 {
+            continue;
+        }
+        let rhs = if rng.f() < 0.12 {
+            lb_activity - rng.range(0.1, 1.0)
+        } else {
+            anchor_activity + rng.range(0.0, 6.0)
+        };
+        m.add_cons(format!("coup{i}"), &terms, ConstraintOp::Le, rhs);
+    }
+    (m, var_block)
+}
+
+#[test]
+fn decomposed_agrees_with_monolithic_on_random_corpus() {
+    let mut rng = Lcg(0xdecaf_c0ffee);
+    let mut optimal = 0usize;
+    let mut infeasible = 0usize;
+    let mut certified = 0usize;
+    for case in 0..120 {
+        let (m, var_block) = random_block_lp(&mut rng);
+        let structure = BlockStructure::infer(&m, &var_block).expect("labelling covers all vars");
+        let mono = m.solve_lp_relaxation().expect("monolithic solve");
+        let opts = DecompOptions {
+            threads: [1, 2, 4][case % 3],
+            ..Default::default()
+        };
+        let dw = solve_decomposed(&m, &structure, None, &opts).expect("decomposed solve");
+        assert_eq!(
+            dw.status, mono.status,
+            "case {case}: status mismatch (dw {:?} vs mono {:?})",
+            dw.status, mono.status
+        );
+        match mono.status {
+            SolveStatus::Optimal => {
+                optimal += 1;
+                let scale = mono.objective.abs().max(1.0);
+                assert!(
+                    (dw.objective - mono.objective).abs() <= 1e-6 * scale,
+                    "case {case}: objective drift dw {} vs mono {}",
+                    dw.objective,
+                    mono.objective
+                );
+                assert!(
+                    m.is_feasible(&dw.values, 1e-5),
+                    "case {case}: decomposed point infeasible on the original model"
+                );
+                if dw.stats.dw_rounds > 0 {
+                    certified += 1;
+                }
+            }
+            SolveStatus::Infeasible => infeasible += 1,
+            other => panic!("case {case}: unexpected monolithic status {other:?}"),
+        }
+    }
+    // The corpus must actually exercise both verdicts and the genuine
+    // column-generation path (not just the monolithic fallback).
+    assert!(optimal >= 60, "only {optimal} optimal cases");
+    assert!(infeasible >= 5, "only {infeasible} infeasible cases");
+    assert!(
+        certified * 2 >= optimal,
+        "column generation certified only {certified} of {optimal} optima"
+    );
+}
+
+/// Budget-stop contract on a decomposable instance: a capped re-run either
+/// fails with `LpError::Budget` (no incumbent yet) or hands back a
+/// primal-feasible point flagged `budget_stop` — never a silent wrong answer.
+#[test]
+fn capped_budget_yields_feasible_incumbent_or_budget_error() {
+    let mut rng = Lcg(0xb0d9e7);
+    let mut stopped = 0usize;
+    let mut tried = 0usize;
+    for _ in 0..40 {
+        let (m, var_block) = random_block_lp(&mut rng);
+        let structure = BlockStructure::infer(&m, &var_block).unwrap();
+        let opts = DecompOptions::default();
+        let full = match solve_decomposed(&m, &structure, None, &opts) {
+            Ok(s) if s.status == SolveStatus::Optimal && s.stats.dw_rounds > 0 => s,
+            _ => continue, // fallback or infeasible: no CG iterations to cap
+        };
+        let total = full.stats.simplex_iterations.max(2);
+        for cap in [total / 4, total / 2] {
+            tried += 1;
+            let budget = teccl_lp::SolveBudget::with_iteration_cap(cap.max(1) as u64);
+            match solve_decomposed(&m, &structure, Some(&budget), &opts) {
+                Ok(sol) => {
+                    if sol.stats.budget_stop.is_some() {
+                        stopped += 1;
+                        assert_eq!(sol.status, SolveStatus::Feasible);
+                        assert!(
+                            m.is_feasible(&sol.values, 1e-5),
+                            "budget-stop incumbent must be primal feasible"
+                        );
+                    } else {
+                        // Finished inside the cap (iteration counts vary a
+                        // little with warm-start luck); must be the optimum.
+                        assert_eq!(sol.status, SolveStatus::Optimal);
+                    }
+                }
+                Err(teccl_lp::LpError::Budget(_)) => stopped += 1,
+                Err(other) => panic!("unexpected error under cap: {other:?}"),
+            }
+        }
+    }
+    assert!(tried >= 20, "corpus produced only {tried} capped runs");
+    assert!(stopped > 0, "no capped run ever actually stopped");
+}

@@ -58,9 +58,9 @@ fn print_help() {
          solve  --topology SPEC --collective KIND --buffer SIZE\n         \
          [--chunks N] [--method auto|milp|lp|astar] [--addr H:P]\n         \
          [--max-epochs K] [--early-stop GAP] [--time-limit-s S]\n         \
-         [--deadline-ms D] [--threads N]\n  \
+         [--deadline-ms D] [--threads N] [--decompose auto|on|off]\n  \
          batch  --file requests.jsonl [--repeat N] [--deadline-ms D]\n         \
-         [--threads N] [--addr H:P]\n  \
+         [--threads N] [--decompose auto|on|off] [--addr H:P]\n  \
          stats  [--addr H:P]\n  \
          evict  [--addr H:P]\n\n\
          SPEC is a builtin name (dgx1, ndv2x2, internal1x2, …) or @FILE.json;\n\
@@ -69,7 +69,10 @@ fn print_help() {
          reply's quality tag (exact/incumbent/stale/baseline) says what it\n\
          had to settle for.\n\
          --threads asks the server to solve with up to N worker threads\n\
-         (granted subject to its --core-budget; the answer is unchanged)."
+         (granted subject to its --core-budget; the answer is unchanged).\n\
+         --decompose controls the copy-free LP's Dantzig-Wolfe path: auto\n\
+         (default) engages it when it should win, on/off force it; the\n\
+         certified answer is identical either way."
     );
 }
 
@@ -232,6 +235,7 @@ fn cmd_solve(args: &[String]) {
                 deadline = Some(Duration::from_millis(parse_num(value, "--deadline-ms")))
             }
             "--threads" => config.threads = parse_threads(value),
+            "--decompose" => config.decompose = parse_decompose(value),
             other => die(&format!("unknown flag `{other}` for solve")),
         }
     }
@@ -275,6 +279,7 @@ fn cmd_batch(args: &[String]) {
     let mut repeat = 1usize;
     let mut deadline = None;
     let mut threads = None;
+    let mut decompose = None;
     for (flag, value) in &rest {
         match flag.as_str() {
             "--file" => file = Some(value.clone()),
@@ -283,6 +288,7 @@ fn cmd_batch(args: &[String]) {
                 deadline = Some(Duration::from_millis(parse_num(value, "--deadline-ms")))
             }
             "--threads" => threads = Some(parse_threads(value)),
+            "--decompose" => decompose = Some(parse_decompose(value)),
             other => die(&format!("unknown flag `{other}` for batch")),
         }
     }
@@ -304,6 +310,9 @@ fn cmd_batch(args: &[String]) {
             }
             if let Some(t) = threads {
                 req.config.threads = t;
+            }
+            if let Some(d) = decompose {
+                req.config.decompose = d;
             }
             solve_request_line(&req)
         })
@@ -421,6 +430,12 @@ fn parse_threads(value: &str) -> usize {
         .ok()
         .filter(|&t| t >= 1)
         .unwrap_or_else(|| die("--threads must be a positive integer"))
+}
+
+/// Parses `--decompose`: one of the wire names `auto`, `on`, `off`.
+fn parse_decompose(value: &str) -> teccl_core::Decompose {
+    teccl_core::Decompose::from_name(value)
+        .unwrap_or_else(|| die("--decompose must be auto, on or off"))
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {

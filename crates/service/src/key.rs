@@ -20,7 +20,7 @@
 //! buckets for warm starting.
 
 use teccl_collective::{CollectiveKind, CollectiveSizing, DemandMatrix};
-use teccl_core::{BufferMode, EpochStrategy, SolverConfig, SwitchModel};
+use teccl_core::{BufferMode, Decompose, EpochStrategy, SolverConfig, SwitchModel};
 use teccl_topology::{NodeId, Topology};
 use teccl_util::hash::{size_bucket, StableHasher};
 use teccl_util::json::{JsonError, Value};
@@ -385,10 +385,12 @@ fn hash_config(h: &mut StableHasher, c: &SolverConfig) {
             }
         }
     }
-    // `c.threads` is deliberately NOT hashed: like the per-request deadline,
-    // it changes how fast the answer arrives, never what the answer is
-    // (solves are thread-count invariant), so a 1-thread and an 8-thread
-    // request for the same problem must share one cache entry.
+    // `c.threads` and `c.decompose` are deliberately NOT hashed: like the
+    // per-request deadline, they change how fast the answer arrives, never
+    // what the answer is (solves are thread-count invariant, and the
+    // Dantzig-Wolfe path certifies the same optimum as the monolithic
+    // simplex), so a 1-thread and an 8-thread-decomposed request for the
+    // same problem must share one cache entry.
 }
 
 /// Serializes a solver configuration for the wire protocol.
@@ -447,6 +449,9 @@ pub fn config_to_json(c: &SolverConfig) -> Value {
     // byte-identical.
     if c.threads != 1 {
         pairs.push(("threads", Value::from(c.threads)));
+    }
+    if c.decompose != Decompose::Auto {
+        pairs.push(("decompose", Value::from(c.decompose.name())));
     }
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
@@ -527,6 +532,13 @@ pub fn config_from_json(v: &Value) -> Result<SolverConfig, JsonError> {
     if let Some(t) = v.get("threads") {
         let t = t.as_usize().filter(|&t| t >= 1).ok_or(bad("bad threads"))?;
         c.threads = t;
+    }
+    if let Some(d) = v.get("decompose") {
+        let d = d
+            .as_str()
+            .and_then(Decompose::from_name)
+            .ok_or(bad("bad decompose"))?;
+        c.decompose = d;
     }
     Ok(c)
 }
@@ -665,6 +677,35 @@ mod tests {
         assert_eq!(back.deadline, None);
         let neg = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"deadline_ms":-3}"#;
         assert!(SolveRequest::from_json_value(&Value::parse(neg).unwrap()).is_err());
+    }
+
+    #[test]
+    fn decompose_rides_the_wire_but_not_the_key() {
+        let auto = base_request();
+        let mut forced = base_request();
+        forced.config.decompose = Decompose::On;
+        assert_eq!(
+            forced.key(),
+            auto.key(),
+            "decompose mode must not split the cache (answers are invariant)"
+        );
+        let back = SolveRequest::from_json_value(&forced.to_json_value()).unwrap();
+        assert_eq!(
+            back.config.decompose,
+            Decompose::On,
+            "decompose must survive the wire"
+        );
+        let back = SolveRequest::from_json_value(&auto.to_json_value()).unwrap();
+        assert_eq!(back.config.decompose, Decompose::Auto);
+        assert!(
+            !auto.to_json_value().to_json().contains("decompose"),
+            "default decompose mode stays off the wire for golden stability"
+        );
+        let junk = r#"{"topology":"dgx1","collective":"all_gather","output_buffer":1024,"config":{"decompose":"sideways"}}"#;
+        assert!(
+            SolveRequest::from_json_value(&Value::parse(junk).unwrap()).is_err(),
+            "unknown decompose mode must be rejected"
+        );
     }
 
     #[test]
